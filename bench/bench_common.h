@@ -1,0 +1,80 @@
+// Shared setup for the table-reproduction harnesses: paper-scale simulated
+// datasets ("oral-sim" 880×16, "class-sim" 472×14, five crowd votes each),
+// default method options, and table-printing helpers.
+
+#ifndef RLL_BENCH_BENCH_COMMON_H_
+#define RLL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "crowd/worker_pool.h"
+#include "data/synthetic.h"
+
+namespace rll::bench {
+
+struct BenchDataset {
+  std::string name;
+  data::Dataset dataset;
+};
+
+/// Fixed seed for regenerable tables; vary with --seed to probe stability.
+constexpr uint64_t kDefaultSeed = 42;
+
+/// Both simulated paper datasets, annotated by a 25-worker pool with
+/// `votes_per_example` votes each (the paper uses 5).
+inline std::vector<BenchDataset> MakePaperDatasets(
+    uint64_t seed, size_t votes_per_example = 5) {
+  std::vector<BenchDataset> out;
+  {
+    Rng rng(seed);
+    data::Dataset d = GenerateSynthetic(data::OralSimConfig(), &rng);
+    crowd::WorkerPool pool({.num_workers = 25}, &rng);
+    pool.Annotate(&d, votes_per_example, &rng);
+    out.push_back({"oral", std::move(d)});
+  }
+  {
+    Rng rng(seed + 1);
+    data::Dataset d = GenerateSynthetic(data::ClassSimConfig(), &rng);
+    crowd::WorkerPool pool({.num_workers = 25}, &rng);
+    pool.Annotate(&d, votes_per_example, &rng);
+    out.push_back({"class", std::move(d)});
+  }
+  return out;
+}
+
+/// Parses --seed N and --quick from argv. Quick mode shrinks training
+/// budgets so a full table regenerates in seconds (for smoke runs).
+struct BenchArgs {
+  uint64_t seed = kDefaultSeed;
+  bool quick = false;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr,
+                                                      10));
+      ++i;
+    }
+  }
+  // Keep stdout clean for the tables.
+  SetLogLevel(LogLevel::kWarning);
+  return args;
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace rll::bench
+
+#endif  // RLL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,238 @@
+// Microbenchmarks of the substrate the experiments run on: dense kernels,
+// autograd forward/backward, RLL group sampling and training steps, and
+// aggregator iterations. Run in Release mode for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "baselines/raykar.h"
+#include "classify/pca.h"
+#include "core/embedding_index.h"
+#include "core/group_sampler.h"
+#include "core/rll_model.h"
+#include "crowd/dawid_skene.h"
+#include "crowd/glad.h"
+#include "crowd/iwmv.h"
+#include "crowd/worker_pool.h"
+#include "data/synthetic.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "text/linguistic_features.h"
+#include "text/text_dataset.h"
+
+namespace rll {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = RandomNormal(n, n, &rng);
+  Matrix b = RandomNormal(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RowCosine(benchmark::State& state) {
+  Rng rng(2);
+  Matrix a = RandomNormal(256, 32, &rng);
+  Matrix b = RandomNormal(256, 32, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RowCosine(a, b));
+  }
+}
+BENCHMARK(BM_RowCosine);
+
+void BM_MlpForward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Mlp mlp({.dims = {16, 64, 32}}, &rng);
+  Matrix x = RandomNormal(64, 16, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Embed(x));
+  }
+}
+BENCHMARK(BM_MlpForward);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(4);
+  nn::Mlp mlp({.dims = {16, 64, 32}}, &rng);
+  nn::Adam adam(mlp.Parameters(), {});
+  Matrix x = RandomNormal(64, 16, &rng);
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    ag::Var loss = ag::Mean(ag::Square(mlp.Forward(ag::Constant(x))));
+    ag::Backward(loss);
+    adam.Step();
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_GroupSampling(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<int> labels(880);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = rng.Bernoulli(0.64);
+  core::GroupSampler sampler(labels, {.negatives_per_group = 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(1024, &rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_GroupSampling);
+
+void BM_RllTrainingStep(benchmark::State& state) {
+  // One batch (64 groups, k = 3) through the paper-scale encoder:
+  // forward, loss, backward, Adam.
+  Rng rng(6);
+  data::Dataset d = GenerateSynthetic(data::OralSimConfig(), &rng);
+  core::RllModel model(
+      {.input_dim = d.dim(), .hidden_dims = {64, 32}}, &rng);
+  nn::Adam adam(model.Parameters(), {});
+  std::vector<int> labels = d.true_labels();
+  core::GroupSampler sampler(labels, {.negatives_per_group = 3});
+  auto groups = sampler.Sample(64, &rng);
+  std::vector<size_t> anchors, slot0, slot1, slot2, slot3;
+  for (const core::Group& g : *groups) {
+    anchors.push_back(g.anchor);
+    slot0.push_back(g.positive);
+    slot1.push_back(g.negatives[0]);
+    slot2.push_back(g.negatives[1]);
+    slot3.push_back(g.negatives[2]);
+  }
+  const std::vector<std::vector<size_t>*> slots = {&slot0, &slot1, &slot2,
+                                                   &slot3};
+  std::vector<Matrix> conf(4, Matrix(64, 1, 0.9));
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    ag::Var anchor_emb =
+        model.Forward(ag::Constant(d.features().GatherRows(anchors)));
+    std::vector<ag::Var> cands;
+    for (const auto* slot : slots) {
+      cands.push_back(
+          model.Forward(ag::Constant(d.features().GatherRows(*slot))));
+    }
+    ag::Var loss = core::GroupNllLoss(anchor_emb, cands, conf, 10.0);
+    ag::Backward(loss);
+    adam.Step();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_RllTrainingStep);
+
+data::Dataset AnnotatedDataset(size_t votes) {
+  Rng rng(7);
+  data::Dataset d = GenerateSynthetic(data::OralSimConfig(), &rng);
+  crowd::WorkerPool pool({.num_workers = 25}, &rng);
+  pool.Annotate(&d, votes, &rng);
+  return d;
+}
+
+void BM_DawidSkene(benchmark::State& state) {
+  data::Dataset d = AnnotatedDataset(5);
+  crowd::DawidSkene ds;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.Run(d));
+  }
+}
+BENCHMARK(BM_DawidSkene);
+
+void BM_Glad(benchmark::State& state) {
+  data::Dataset d = AnnotatedDataset(5);
+  crowd::Glad glad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(glad.Run(d));
+  }
+}
+BENCHMARK(BM_Glad);
+
+void BM_WorkerAnnotation(benchmark::State& state) {
+  Rng rng(8);
+  data::Dataset d = GenerateSynthetic(data::OralSimConfig(), &rng);
+  crowd::WorkerPool pool({.num_workers = 25}, &rng);
+  for (auto _ : state) {
+    pool.Annotate(&d, 5, &rng);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d.size() * 5));
+}
+BENCHMARK(BM_WorkerAnnotation);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  Rng rng(9);
+  const data::SyntheticConfig config = data::OralSimConfig();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateSynthetic(config, &rng));
+  }
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+void BM_Iwmv(benchmark::State& state) {
+  data::Dataset d = AnnotatedDataset(5);
+  crowd::Iwmv iwmv;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iwmv.Run(d));
+  }
+}
+BENCHMARK(BM_Iwmv);
+
+void BM_RaykarEm(benchmark::State& state) {
+  data::Dataset d = AnnotatedDataset(5);
+  baselines::RaykarOptions options;
+  options.max_em_iterations = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::FitRaykar(d, options));
+  }
+}
+BENCHMARK(BM_RaykarEm);
+
+void BM_PcaFit(benchmark::State& state) {
+  Rng rng(10);
+  Matrix x = RandomNormal(880, 16, &rng);
+  for (auto _ : state) {
+    classify::Pca pca({.num_components = 8});
+    benchmark::DoNotOptimize(pca.Fit(x));
+  }
+}
+BENCHMARK(BM_PcaFit);
+
+void BM_TranscriptGeneration(benchmark::State& state) {
+  Rng rng(11);
+  const text::SpeakerProfile profile;
+  const text::Vocabulary& v = text::Vocabulary::Default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::GenerateTranscript(profile, v, 120, &rng));
+  }
+}
+BENCHMARK(BM_TranscriptGeneration);
+
+void BM_LinguisticFeatureExtraction(benchmark::State& state) {
+  Rng rng(12);
+  const text::Vocabulary& v = text::Vocabulary::Default();
+  const text::Transcript t =
+      text::GenerateTranscript(text::SpeakerProfile{}, v, 120, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::ExtractFeatures(t, v));
+  }
+}
+BENCHMARK(BM_LinguisticFeatureExtraction);
+
+void BM_EmbeddingIndexQuery(benchmark::State& state) {
+  Rng rng(13);
+  Matrix corpus = RandomNormal(880, 32, &rng);
+  core::EmbeddingIndex index;
+  if (!index.Build(corpus).ok()) return;
+  Matrix query = RandomNormal(1, 32, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Query(query, 10));
+  }
+}
+BENCHMARK(BM_EmbeddingIndexQuery);
+
+}  // namespace
+}  // namespace rll
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Crowd substrate demo: no representation learning, just label aggregation.
+// Shows when the smart aggregators (Dawid–Skene EM, GLAD) pay off over
+// majority vote as worker pools degrade — and how each method scores the
+// workers themselves.
+//
+// Run: ./build/examples/aggregation_demo
+
+#include <cstdio>
+
+#include "crowd/dawid_skene.h"
+#include "crowd/glad.h"
+#include "crowd/majority_vote.h"
+#include "crowd/worker_pool.h"
+#include "data/synthetic.h"
+
+namespace {
+
+double Recovery(const rll::crowd::Aggregator& agg,
+                const rll::data::Dataset& d) {
+  auto result = agg.Run(d);
+  if (!result.ok()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    correct += (result->labels[i] == d.true_label(i));
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace rll;
+
+  std::printf("AGGREGATION DEMO — 600 items, 5 votes each\n\n");
+  std::printf("pool composition                  |   MV    DS-EM   GLAD\n");
+  std::printf("-----------------------------------------------------------\n");
+
+  struct PoolSpec {
+    const char* label;
+    std::vector<double> abilities;
+  };
+  const std::vector<PoolSpec> pools = {
+      {"10 solid workers (0.85)", std::vector<double>(10, 0.85)},
+      {"3 experts + 7 mediocre",
+       {0.97, 0.97, 0.97, 0.65, 0.65, 0.65, 0.65, 0.65, 0.65, 0.65}},
+      {"3 experts + 7 spammers (0.52)",
+       {0.97, 0.97, 0.97, 0.52, 0.52, 0.52, 0.52, 0.52, 0.52, 0.52}},
+      {"10 weak workers (0.60)", std::vector<double>(10, 0.60)},
+  };
+
+  for (const PoolSpec& spec : pools) {
+    Rng rng(11);
+    data::SyntheticConfig config;
+    config.num_examples = 600;
+    data::Dataset d = GenerateSynthetic(config, &rng);
+    crowd::WorkerPool pool(spec.abilities, spec.abilities);
+    pool.Annotate(&d, 5, &rng);
+    std::printf("%-33s | %6.3f  %6.3f  %6.3f\n", spec.label,
+                Recovery(crowd::MajorityVote(), d),
+                Recovery(crowd::DawidSkene(), d),
+                Recovery(crowd::Glad(), d));
+    std::fflush(stdout);
+  }
+
+  // Worker-score view on the spammer pool: do the models spot the experts?
+  Rng rng(11);
+  data::SyntheticConfig config;
+  config.num_examples = 600;
+  data::Dataset d = GenerateSynthetic(config, &rng);
+  crowd::WorkerPool pool(pools[2].abilities, pools[2].abilities);
+  pool.Annotate(&d, 5, &rng);
+  crowd::DawidSkene ds;
+  crowd::Glad glad;
+  auto ds_result = ds.Run(d);
+  auto glad_result = glad.Run(d);
+  if (ds_result.ok() && glad_result.ok()) {
+    std::printf("\nper-worker scores on the spammer pool "
+                "(workers 0-2 are the experts):\n");
+    std::printf("  worker | true acc | DS-EM est | GLAD alpha\n");
+    for (size_t w = 0; w < pool.num_workers(); ++w) {
+      std::printf("  %6zu | %8.2f | %9.3f | %10.3f\n", w,
+                  pool.WorkerAccuracy(w), ds_result->worker_quality[w],
+                  glad_result->worker_quality[w]);
+    }
+  }
+  return 0;
+}

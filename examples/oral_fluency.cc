@@ -1,0 +1,96 @@
+// Oral-fluency scenario (the paper's "oral" application): predict whether a
+// student's spoken answer to an oral math question is fluent, from
+// fixed-length features with 5 crowdsourced votes per clip.
+//
+// This example walks the full decision a practitioner faces:
+//   1. inspect how inconsistent the crowd labels actually are;
+//   2. compare a plain majority-vote + logistic-regression baseline against
+//      the three RLL variants, per fold;
+//   3. show the learned-confidence view of a few contested examples.
+//
+// Run: ./build/examples/oral_fluency
+
+#include <cstdio>
+
+#include "baselines/method.h"
+#include "baselines/rll_method.h"
+#include "baselines/softprob.h"
+#include "classify/logistic_regression.h"
+#include "crowd/agreement.h"
+#include "crowd/confidence.h"
+#include "crowd/worker_pool.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace rll;
+
+  Rng rng(42);
+  data::Dataset dataset = GenerateSynthetic(data::OralSimConfig(), &rng);
+  crowd::WorkerPool workers({.num_workers = 25}, &rng);
+  workers.Annotate(&dataset, 5, &rng);
+
+  // ---- 1. How noisy are the crowd labels?
+  auto stats = crowd::ComputeAgreement(dataset);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ORAL FLUENCY — 880 simulated clips, 5 votes each\n\n");
+  std::printf("crowd-label quality:\n");
+  std::printf("  Fleiss kappa            = %.3f\n", stats->fleiss_kappa);
+  std::printf("  unanimous examples      = %.1f%%\n",
+              100.0 * stats->unanimous_fraction);
+  std::printf("  majority-vote accuracy  = %.3f (vs expert labels)\n\n",
+              stats->majority_vote_accuracy);
+  std::printf("  votes histogram (positives of 5): ");
+  for (size_t v = 0; v < stats->vote_histogram.size(); ++v) {
+    std::printf("%zu:%zu  ", v, stats->vote_histogram[v]);
+  }
+  std::printf("\n\n");
+
+  // ---- 2. Baseline vs RLL variants (5-fold CV).
+  std::printf("%-14s  %-9s %-9s\n", "method", "accuracy", "F1");
+  std::printf("--------------------------------------\n");
+  auto report = [&](const baselines::Method& method) {
+    Rng eval_rng(7);
+    auto outcome = baselines::CrossValidateMethod(dataset, method, 5,
+                                                  &eval_rng);
+    if (!outcome.ok()) {
+      std::printf("%-14s  failed: %s\n", method.name().c_str(),
+                  outcome.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-14s  %-9.3f %-9.3f\n", method.name().c_str(),
+                outcome->mean.accuracy, outcome->mean.f1);
+    std::fflush(stdout);
+  };
+
+  report(baselines::SoftProbMethod());
+  for (auto mode :
+       {crowd::ConfidenceMode::kNone, crowd::ConfidenceMode::kMle,
+        crowd::ConfidenceMode::kBayesian}) {
+    core::RllPipelineOptions options;
+    options.trainer.model.hidden_dims = {64, 32};
+    options.trainer.epochs = 12;
+    options.trainer.confidence_mode = mode;
+    report(baselines::RllVariantMethod(options));
+  }
+
+  // ---- 3. What the Bayesian estimator believes about contested clips.
+  std::printf("\ncontested clips (3-2 votes) under eq. (1) vs eq. (2):\n");
+  const auto mle =
+      crowd::LabelPositiveness(dataset, crowd::ConfidenceMode::kMle);
+  const auto bayes =
+      crowd::LabelPositiveness(dataset, crowd::ConfidenceMode::kBayesian);
+  int shown = 0;
+  for (size_t i = 0; i < dataset.size() && shown < 5; ++i) {
+    const size_t pos = dataset.PositiveVotes(i);
+    if (pos != 3) continue;
+    std::printf("  clip %3zu: votes 3/5 → MLE %.2f, Bayesian %.2f "
+                "(expert: %s)\n",
+                i, mle[i], bayes[i],
+                dataset.true_label(i) == 1 ? "fluent" : "influent");
+    ++shown;
+  }
+  return 0;
+}

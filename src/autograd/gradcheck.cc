@@ -1,0 +1,45 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+namespace rll::ag {
+
+GradCheckResult CheckGradients(const std::vector<Var>& params,
+                               const std::function<Var()>& forward,
+                               double eps) {
+  // Analytic pass.
+  for (const Var& p : params) p->ZeroGrad();
+  Var loss = forward();
+  Backward(loss);
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const Var& p : params) {
+    analytic.push_back(p->grad.empty()
+                           ? Matrix(p->value.rows(), p->value.cols())
+                           : p->grad);
+  }
+
+  GradCheckResult result;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Var p = params[pi];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const double original = p->value[i];
+      p->value[i] = original + eps;
+      const double up = forward()->value(0, 0);
+      p->value[i] = original - eps;
+      const double down = forward()->value(0, 0);
+      p->value[i] = original;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double err = std::fabs(analytic[pi][i] - numeric) /
+                         std::max(1.0, std::fabs(numeric));
+      if (err > result.max_relative_error) {
+        result.max_relative_error = err;
+        result.worst_param = pi;
+        result.worst_element = i;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rll::ag

@@ -1,0 +1,32 @@
+// Finite-difference gradient verification for autograd ops and composite
+// losses. Used by the test suite; also handy when adding new ops.
+
+#ifndef RLL_AUTOGRAD_GRADCHECK_H_
+#define RLL_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rll::ag {
+
+struct GradCheckResult {
+  /// Largest |analytic − numeric| / max(1, |numeric|) over all parameters.
+  double max_relative_error = 0.0;
+  /// Where it occurred (parameter index, flat element index).
+  size_t worst_param = 0;
+  size_t worst_element = 0;
+};
+
+/// Compares backprop gradients with central finite differences.
+///
+/// `forward` must rebuild the graph from the current parameter values and
+/// return a 1×1 scalar loss; it is re-invoked with perturbed parameters.
+GradCheckResult CheckGradients(const std::vector<Var>& params,
+                               const std::function<Var()>& forward,
+                               double eps = 1e-6);
+
+}  // namespace rll::ag
+
+#endif  // RLL_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,451 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace rll::ag {
+
+namespace {
+
+/// Builds a result node wired to its parents; `backward` is only attached
+/// when gradients are needed.
+Var MakeOp(Matrix value, std::vector<Var> parents,
+           std::function<void(Node*)> backward) {
+  bool needs_grad = false;
+  for (const Var& p : parents) needs_grad = needs_grad || p->requires_grad;
+  Var out = std::make_shared<Node>(std::move(value), needs_grad);
+  out->parents = std::move(parents);
+  if (needs_grad) out->backward_fn = std::move(backward);
+  return out;
+}
+
+}  // namespace
+
+Var Matmul(const Var& a, const Var& b) {
+  Matrix value = rll::Matmul(a->value, b->value);
+  return MakeOp(std::move(value), {a, b}, [](Node* n) {
+    const Var& a = n->parents[0];
+    const Var& b = n->parents[1];
+    if (a->requires_grad)
+      a->AccumulateGrad(MatmulTransposeB(n->grad, b->value));
+    if (b->requires_grad)
+      b->AccumulateGrad(MatmulTransposeA(a->value, n->grad));
+  });
+}
+
+Var Add(const Var& a, const Var& b) {
+  return MakeOp(rll::Add(a->value, b->value), {a, b}, [](Node* n) {
+    for (int i = 0; i < 2; ++i) {
+      if (n->parents[i]->requires_grad) n->parents[i]->AccumulateGrad(n->grad);
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  return MakeOp(rll::Sub(a->value, b->value), {a, b}, [](Node* n) {
+    if (n->parents[0]->requires_grad) n->parents[0]->AccumulateGrad(n->grad);
+    if (n->parents[1]->requires_grad)
+      n->parents[1]->AccumulateGrad(rll::Scale(n->grad, -1.0));
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  return MakeOp(Hadamard(a->value, b->value), {a, b}, [](Node* n) {
+    const Var& a = n->parents[0];
+    const Var& b = n->parents[1];
+    if (a->requires_grad) a->AccumulateGrad(Hadamard(n->grad, b->value));
+    if (b->requires_grad) b->AccumulateGrad(Hadamard(n->grad, a->value));
+  });
+}
+
+Var Div(const Var& a, const Var& b, double eps) {
+  RLL_CHECK(a->value.SameShape(b->value));
+  auto safe = [eps](double d) {
+    if (d >= 0.0) return std::max(d, eps);
+    return std::min(d, -eps);
+  };
+  Matrix value(a->value.rows(), a->value.cols());
+  for (size_t i = 0; i < value.size(); ++i) {
+    value[i] = a->value[i] / safe(b->value[i]);
+  }
+  return MakeOp(std::move(value), {a, b}, [safe](Node* n) {
+    const Var& a = n->parents[0];
+    const Var& b = n->parents[1];
+    if (a->requires_grad) {
+      Matrix ga(n->grad.rows(), n->grad.cols());
+      for (size_t i = 0; i < ga.size(); ++i) {
+        ga[i] = n->grad[i] / safe(b->value[i]);
+      }
+      a->AccumulateGrad(ga);
+    }
+    if (b->requires_grad) {
+      Matrix gb(n->grad.rows(), n->grad.cols());
+      for (size_t i = 0; i < gb.size(); ++i) {
+        const double d = safe(b->value[i]);
+        gb[i] = -n->grad[i] * a->value[i] / (d * d);
+      }
+      b->AccumulateGrad(gb);
+    }
+  });
+}
+
+Var Scale(const Var& a, double s) {
+  return MakeOp(rll::Scale(a->value, s), {a}, [s](Node* n) {
+    n->parents[0]->AccumulateGrad(rll::Scale(n->grad, s));
+  });
+}
+
+Var AddScalar(const Var& a, double s) {
+  return MakeOp(rll::AddScalar(a->value, s), {a}, [](Node* n) {
+    n->parents[0]->AccumulateGrad(n->grad);
+  });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& bias) {
+  return MakeOp(rll::AddRowBroadcast(a->value, bias->value), {a, bias},
+                [](Node* n) {
+                  if (n->parents[0]->requires_grad)
+                    n->parents[0]->AccumulateGrad(n->grad);
+                  if (n->parents[1]->requires_grad)
+                    n->parents[1]->AccumulateGrad(ColSum(n->grad));
+                });
+}
+
+Var MulRowBroadcast(const Var& a, const Var& row) {
+  return MakeOp(rll::MulRowBroadcast(a->value, row->value), {a, row},
+                [](Node* n) {
+                  const Var& a = n->parents[0];
+                  const Var& row = n->parents[1];
+                  if (a->requires_grad) {
+                    a->AccumulateGrad(
+                        rll::MulRowBroadcast(n->grad, row->value));
+                  }
+                  if (row->requires_grad) {
+                    row->AccumulateGrad(
+                        ColSum(Hadamard(n->grad, a->value)));
+                  }
+                });
+}
+
+Var BroadcastCol(const Var& col, size_t cols) {
+  RLL_CHECK_EQ(col->value.cols(), 1u);
+  RLL_CHECK_GT(cols, 0u);
+  Matrix value(col->value.rows(), cols);
+  for (size_t r = 0; r < value.rows(); ++r) {
+    const double v = col->value(r, 0);
+    double* row = value.row_data(r);
+    for (size_t c = 0; c < cols; ++c) row[c] = v;
+  }
+  return MakeOp(std::move(value), {col}, [](Node* n) {
+    n->parents[0]->AccumulateGrad(rll::RowSum(n->grad));
+  });
+}
+
+Var Tanh(const Var& a) {
+  Matrix value = Map(a->value, [](double x) { return std::tanh(x); });
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    Matrix g(n->grad.rows(), n->grad.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      const double y = n->value[i];
+      g[i] = n->grad[i] * (1.0 - y * y);
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var Relu(const Var& a) {
+  Matrix value = Map(a->value, [](double x) { return x > 0.0 ? x : 0.0; });
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    Matrix g(n->grad.rows(), n->grad.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      g[i] = x[i] > 0.0 ? n->grad[i] : 0.0;
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Matrix value = Map(a->value, [](double x) {
+    // Branch on sign for numerical stability at large |x|.
+    if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+  });
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    Matrix g(n->grad.rows(), n->grad.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      const double y = n->value[i];
+      g[i] = n->grad[i] * y * (1.0 - y);
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var Log(const Var& a, double eps) {
+  Matrix value =
+      Map(a->value, [eps](double x) { return std::log(std::max(x, eps)); });
+  return MakeOp(std::move(value), {a}, [eps](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    Matrix g(n->grad.rows(), n->grad.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      g[i] = n->grad[i] / std::max(x[i], eps);
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var Exp(const Var& a) {
+  Matrix value = Map(a->value, [](double x) { return std::exp(x); });
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    n->parents[0]->AccumulateGrad(Hadamard(n->grad, n->value));
+  });
+}
+
+Var Square(const Var& a) {
+  Matrix value = Map(a->value, [](double x) { return x * x; });
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    Matrix g(n->grad.rows(), n->grad.cols());
+    for (size_t i = 0; i < g.size(); ++i) g[i] = 2.0 * x[i] * n->grad[i];
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var Sqrt(const Var& a, double eps) {
+  Matrix value =
+      Map(a->value, [eps](double x) { return std::sqrt(std::max(x, eps)); });
+  return MakeOp(std::move(value), {a}, [eps](Node* n) {
+    Matrix g(n->grad.rows(), n->grad.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      g[i] = n->grad[i] * 0.5 / std::max(n->value[i], std::sqrt(eps));
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var Abs(const Var& a) {
+  Matrix value = Map(a->value, [](double x) { return std::fabs(x); });
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    Matrix g(n->grad.rows(), n->grad.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      g[i] = x[i] > 0.0 ? n->grad[i] : (x[i] < 0.0 ? -n->grad[i] : 0.0);
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var ClampMin(const Var& a, double floor) {
+  Matrix value =
+      Map(a->value, [floor](double x) { return std::max(x, floor); });
+  return MakeOp(std::move(value), {a}, [floor](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    Matrix g(n->grad.rows(), n->grad.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      g[i] = x[i] > floor ? n->grad[i] : 0.0;
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var Sum(const Var& a) {
+  Matrix value(1, 1, rll::Sum(a->value));
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    const double g = n->grad(0, 0);
+    const Matrix& x = n->parents[0]->value;
+    n->parents[0]->AccumulateGrad(Matrix(x.rows(), x.cols(), g));
+  });
+}
+
+Var Mean(const Var& a) {
+  RLL_CHECK_GT(a->value.size(), 0u);
+  Matrix value(1, 1, rll::Mean(a->value));
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    const double g = n->grad(0, 0) / static_cast<double>(x.size());
+    n->parents[0]->AccumulateGrad(Matrix(x.rows(), x.cols(), g));
+  });
+}
+
+Var RowSum(const Var& a) {
+  return MakeOp(rll::RowSum(a->value), {a}, [](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    Matrix g(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+      const double gr = n->grad(r, 0);
+      double* row = g.row_data(r);
+      for (size_t c = 0; c < x.cols(); ++c) row[c] = gr;
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var RowCosine(const Var& a, const Var& b, double eps) {
+  return MakeOp(
+      rll::RowCosine(a->value, b->value, eps), {a, b}, [eps](Node* n) {
+        const Var& a = n->parents[0];
+        const Var& b = n->parents[1];
+        const Matrix& av = a->value;
+        const Matrix& bv = b->value;
+        Matrix ga(av.rows(), av.cols());
+        Matrix gb(bv.rows(), bv.cols());
+        for (size_t r = 0; r < av.rows(); ++r) {
+          const double* ar = av.row_data(r);
+          const double* br = bv.row_data(r);
+          double dot = 0.0, na2 = 0.0, nb2 = 0.0;
+          for (size_t c = 0; c < av.cols(); ++c) {
+            dot += ar[c] * br[c];
+            na2 += ar[c] * ar[c];
+            nb2 += br[c] * br[c];
+          }
+          const double na = std::max(std::sqrt(na2), eps);
+          const double nb = std::max(std::sqrt(nb2), eps);
+          const double cosv = dot / (na * nb);
+          const double g = n->grad(r, 0);
+          // d cos / d a = b/(|a||b|) − cos·a/|a|²  (and symmetrically for b).
+          double* gar = ga.row_data(r);
+          double* gbr = gb.row_data(r);
+          for (size_t c = 0; c < av.cols(); ++c) {
+            gar[c] = g * (br[c] / (na * nb) - cosv * ar[c] / (na * na));
+            gbr[c] = g * (ar[c] / (na * nb) - cosv * br[c] / (nb * nb));
+          }
+        }
+        if (a->requires_grad) a->AccumulateGrad(ga);
+        if (b->requires_grad) b->AccumulateGrad(gb);
+      });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  RLL_CHECK(!parts.empty());
+  const size_t rows = parts[0]->value.rows();
+  size_t total_cols = 0;
+  for (const Var& p : parts) {
+    RLL_CHECK_EQ(p->value.rows(), rows);
+    total_cols += p->value.cols();
+  }
+  Matrix value(rows, total_cols);
+  size_t offset = 0;
+  for (const Var& p : parts) {
+    for (size_t r = 0; r < rows; ++r) {
+      const double* src = p->value.row_data(r);
+      double* dst = value.row_data(r) + offset;
+      for (size_t c = 0; c < p->value.cols(); ++c) dst[c] = src[c];
+    }
+    offset += p->value.cols();
+  }
+  return MakeOp(std::move(value), parts, [](Node* n) {
+    size_t offset = 0;
+    for (const Var& p : n->parents) {
+      const size_t pc = p->value.cols();
+      if (p->requires_grad) {
+        Matrix g(p->value.rows(), pc);
+        for (size_t r = 0; r < g.rows(); ++r) {
+          const double* src = n->grad.row_data(r) + offset;
+          double* dst = g.row_data(r);
+          for (size_t c = 0; c < pc; ++c) dst[c] = src[c];
+        }
+        p->AccumulateGrad(g);
+      }
+      offset += pc;
+    }
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  RLL_CHECK(!parts.empty());
+  const size_t cols = parts[0]->value.cols();
+  size_t total_rows = 0;
+  for (const Var& p : parts) {
+    RLL_CHECK_EQ(p->value.cols(), cols);
+    total_rows += p->value.rows();
+  }
+  Matrix value(total_rows, cols);
+  size_t offset = 0;
+  for (const Var& p : parts) {
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      value.SetRow(offset + r, p->value.Row(r));
+    }
+    offset += p->value.rows();
+  }
+  return MakeOp(std::move(value), parts, [](Node* n) {
+    size_t offset = 0;
+    for (const Var& p : n->parents) {
+      const size_t pr = p->value.rows();
+      if (p->requires_grad) {
+        Matrix g(pr, p->value.cols());
+        for (size_t r = 0; r < pr; ++r) {
+          const double* src = n->grad.row_data(offset + r);
+          double* dst = g.row_data(r);
+          for (size_t c = 0; c < g.cols(); ++c) dst[c] = src[c];
+        }
+        p->AccumulateGrad(g);
+      }
+      offset += pr;
+    }
+  });
+}
+
+Var LogSoftmaxRows(const Var& a) {
+  const Matrix lse = LogSumExpRows(a->value);
+  Matrix value = a->value;
+  for (size_t r = 0; r < value.rows(); ++r) {
+    double* row = value.row_data(r);
+    for (size_t c = 0; c < value.cols(); ++c) row[c] -= lse(r, 0);
+  }
+  return MakeOp(std::move(value), {a}, [](Node* n) {
+    // dx = dy − softmax(x) · rowsum(dy); softmax(x) = exp(logsoftmax).
+    const Matrix& y = n->value;
+    const Matrix& dy = n->grad;
+    Matrix g(y.rows(), y.cols());
+    for (size_t r = 0; r < y.rows(); ++r) {
+      const double* yr = y.row_data(r);
+      const double* dyr = dy.row_data(r);
+      double* gr = g.row_data(r);
+      double dsum = 0.0;
+      for (size_t c = 0; c < y.cols(); ++c) dsum += dyr[c];
+      for (size_t c = 0; c < y.cols(); ++c) {
+        gr[c] = dyr[c] - std::exp(yr[c]) * dsum;
+      }
+    }
+    n->parents[0]->AccumulateGrad(g);
+  });
+}
+
+Var NllRows(const Var& logp, const std::vector<size_t>& targets) {
+  return WeightedNllRows(logp, targets,
+                         std::vector<double>(targets.size(), 1.0));
+}
+
+Var WeightedNllRows(const Var& logp, const std::vector<size_t>& targets,
+                    const std::vector<double>& weights) {
+  RLL_CHECK_EQ(logp->value.rows(), targets.size());
+  RLL_CHECK_EQ(targets.size(), weights.size());
+  RLL_CHECK(!targets.empty());
+  double wsum = 0.0;
+  for (double w : weights) {
+    RLL_CHECK_GE(w, 0.0);
+    wsum += w;
+  }
+  RLL_CHECK_GT(wsum, 0.0);
+  double loss = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    RLL_CHECK_LT(targets[i], logp->value.cols());
+    loss -= weights[i] * logp->value(i, targets[i]);
+  }
+  Matrix value(1, 1, loss / wsum);
+  return MakeOp(std::move(value), {logp},
+                [targets, weights, wsum](Node* n) {
+                  const double g = n->grad(0, 0);
+                  const Matrix& lp = n->parents[0]->value;
+                  Matrix grad(lp.rows(), lp.cols());
+                  for (size_t i = 0; i < targets.size(); ++i) {
+                    grad(i, targets[i]) = -g * weights[i] / wsum;
+                  }
+                  n->parents[0]->AccumulateGrad(grad);
+                });
+}
+
+}  // namespace rll::ag

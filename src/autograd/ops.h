@@ -1,0 +1,83 @@
+// Differentiable operations over ag::Var. Each op computes the forward value
+// eagerly and registers a closure that propagates gradients to its parents.
+// Ops only allocate a backward closure when some input requires gradients.
+
+#ifndef RLL_AUTOGRAD_OPS_H_
+#define RLL_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace rll::ag {
+
+/// C = A·B.
+Var Matmul(const Var& a, const Var& b);
+
+/// Elementwise sum/difference/product (same shapes).
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+/// Elementwise quotient a/b; |b| is clamped away from zero at eps
+/// (sign-preserving) for numerical safety.
+Var Div(const Var& a, const Var& b, double eps = 1e-12);
+
+/// Scalar transforms.
+Var Scale(const Var& a, double s);
+Var AddScalar(const Var& a, double s);
+
+/// Adds a 1×cols bias row to every row of a.
+Var AddRowBroadcast(const Var& a, const Var& bias);
+
+/// Multiplies every row of a elementwise by a 1×cols row (e.g. a learned
+/// gain vector); gradients flow into both operands.
+Var MulRowBroadcast(const Var& a, const Var& row);
+
+/// Replicates an n×1 column across `cols` columns → n×cols.
+Var BroadcastCol(const Var& col, size_t cols);
+
+/// Nonlinearities (elementwise).
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+Var Sigmoid(const Var& a);
+/// log(max(a, eps)) — inputs are clamped for stability.
+Var Log(const Var& a, double eps = 1e-12);
+Var Exp(const Var& a);
+Var Square(const Var& a);
+/// sqrt(max(a, eps)).
+Var Sqrt(const Var& a, double eps = 1e-12);
+/// |a| (subgradient 0 at the kink).
+Var Abs(const Var& a);
+/// max(a, floor) elementwise; gradient passes only where a > floor.
+Var ClampMin(const Var& a, double floor);
+
+/// Full reductions → 1×1.
+Var Sum(const Var& a);
+Var Mean(const Var& a);
+
+/// Row reduction → rows×1.
+Var RowSum(const Var& a);
+
+/// Row-wise cosine similarity → rows×1; norms clamped at eps.
+Var RowCosine(const Var& a, const Var& b, double eps = 1e-12);
+
+/// Horizontal concatenation (equal row counts) → rows×Σcols.
+Var ConcatCols(const std::vector<Var>& parts);
+
+/// Vertical concatenation (equal col counts) → Σrows×cols.
+Var ConcatRows(const std::vector<Var>& parts);
+
+/// Numerically stable row-wise log-softmax.
+Var LogSoftmaxRows(const Var& a);
+
+/// Mean negative log likelihood: -(1/n)·Σᵢ logp(i, targets[i]) → 1×1.
+/// `logp` is n×c log-probabilities (e.g. from LogSoftmaxRows).
+Var NllRows(const Var& logp, const std::vector<size_t>& targets);
+
+/// Per-example weighted mean NLL: -(Σᵢ wᵢ·logp(i,tᵢ))/Σᵢwᵢ → 1×1.
+Var WeightedNllRows(const Var& logp, const std::vector<size_t>& targets,
+                    const std::vector<double>& weights);
+
+}  // namespace rll::ag
+
+#endif  // RLL_AUTOGRAD_OPS_H_

@@ -1,0 +1,66 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace rll::ag {
+
+void Node::AccumulateGrad(const Matrix& g) {
+  RLL_CHECK(g.rows() == value.rows() && g.cols() == value.cols());
+  if (grad.empty()) {
+    grad = g;
+  } else {
+    grad += g;
+  }
+}
+
+Var Constant(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+}
+
+Var Parameter(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+}
+
+std::vector<Node*> TopologicalOrder(const Var& root) {
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  // Iterative post-order DFS; graphs from long training loops can be deep
+  // enough to overflow the stack with recursion.
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // Parents precede children.
+}
+
+void Backward(const Var& loss) {
+  RLL_CHECK_MSG(loss->value.rows() == 1 && loss->value.cols() == 1,
+                "Backward requires a 1x1 scalar loss");
+  std::vector<Node*> order = TopologicalOrder(loss);
+  loss->AccumulateGrad(Matrix(1, 1, 1.0));
+  // Children before parents: walk in reverse topological order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->requires_grad && !node->grad.empty()) {
+      node->backward_fn(node);
+    }
+  }
+}
+
+}  // namespace rll::ag

@@ -1,0 +1,68 @@
+// Dynamic reverse-mode automatic differentiation over matrices.
+//
+// A computation builds a DAG of Node objects (shared_ptr-owned); Backward()
+// topologically sorts the graph from a scalar loss and accumulates gradients
+// into every node with requires_grad. The graph is rebuilt on every forward
+// pass (define-by-run), which keeps control flow — like RLL's per-group
+// candidate lists — ordinary C++.
+
+#ifndef RLL_AUTOGRAD_VARIABLE_H_
+#define RLL_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rll::ag {
+
+class Node;
+/// Handle type used by all autograd ops.
+using Var = std::shared_ptr<Node>;
+
+class Node {
+ public:
+  Node(Matrix value, bool requires_grad)
+      : value(std::move(value)), requires_grad(requires_grad) {}
+
+  /// Forward value.
+  Matrix value;
+  /// Accumulated gradient dLoss/dvalue; empty until first accumulation.
+  Matrix grad;
+  /// Whether gradients should flow into (and through) this node.
+  bool requires_grad;
+  /// Upstream nodes; drives the topological sort.
+  std::vector<Var> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves and for
+  /// nodes with requires_grad == false.
+  std::function<void(Node*)> backward_fn;
+
+  /// Adds g into grad, allocating a zero gradient on first use.
+  void AccumulateGrad(const Matrix& g);
+
+  /// Clears the gradient (keeps allocation semantics simple: resets to
+  /// empty, reallocated on next accumulation).
+  void ZeroGrad() { grad = Matrix(); }
+
+  size_t rows() const { return value.rows(); }
+  size_t cols() const { return value.cols(); }
+};
+
+/// Creates a leaf holding `value`. Constants have requires_grad == false.
+Var Constant(Matrix value);
+
+/// Creates a trainable leaf (gradient target).
+Var Parameter(Matrix value);
+
+/// Runs backpropagation from a 1×1 scalar `loss`, seeding dloss/dloss = 1.
+/// Gradients accumulate — callers zero parameter grads between steps.
+void Backward(const Var& loss);
+
+/// Collects every distinct node reachable from `root` in topological order
+/// (parents before children). Exposed for testing.
+std::vector<Node*> TopologicalOrder(const Var& root);
+
+}  // namespace rll::ag
+
+#endif  // RLL_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,14 @@
+#include "baselines/aggregated_lr.h"
+
+namespace rll::baselines {
+
+Result<std::vector<int>> AggregatedLrMethod::TrainAndPredict(
+    const data::Dataset& train, const Matrix& test_features,
+    Rng* /*rng*/) const {
+  RLL_ASSIGN_OR_RETURN(std::vector<int> labels, InferLabels(train, source_));
+  classify::LogisticRegression lr(options_);
+  RLL_RETURN_IF_ERROR(lr.Fit(train.features(), labels));
+  return lr.Predict(test_features);
+}
+
+}  // namespace rll::baselines

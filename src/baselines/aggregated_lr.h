@@ -1,0 +1,33 @@
+// Group-1 baselines "EM" and "GLAD": infer hard labels with a crowd
+// aggregator, then fit logistic regression on raw features.
+
+#ifndef RLL_BASELINES_AGGREGATED_LR_H_
+#define RLL_BASELINES_AGGREGATED_LR_H_
+
+#include "baselines/label_source.h"
+#include "baselines/method.h"
+#include "classify/logistic_regression.h"
+
+namespace rll::baselines {
+
+class AggregatedLrMethod : public Method {
+ public:
+  AggregatedLrMethod(LabelSource source,
+                     classify::LogisticRegressionOptions options = {})
+      : source_(source), options_(options) {}
+
+  std::string name() const override { return LabelSourceName(source_); }
+  std::string group() const override { return "group 1"; }
+
+  Result<std::vector<int>> TrainAndPredict(const data::Dataset& train,
+                                           const Matrix& test_features,
+                                           Rng* rng) const override;
+
+ private:
+  LabelSource source_;
+  classify::LogisticRegressionOptions options_;
+};
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_AGGREGATED_LR_H_

@@ -1,0 +1,52 @@
+#include "baselines/deep_baseline.h"
+
+namespace rll::baselines {
+
+std::string DeepBaselineMethod::name() const {
+  if (options_.label_source == LabelSource::kMajorityVote) return base_name_;
+  return base_name_ + "+" + LabelSourceName(options_.label_source);
+}
+
+std::string DeepBaselineMethod::group() const {
+  return options_.label_source == LabelSource::kMajorityVote ? "group 2"
+                                                             : "group 3";
+}
+
+nn::MlpConfig DeepBaselineMethod::EncoderConfig(size_t input_dim) const {
+  nn::MlpConfig config;
+  config.dims.push_back(input_dim);
+  for (size_t d : options_.hidden_dims) config.dims.push_back(d);
+  config.hidden_activation = options_.hidden_activation;
+  config.output_activation = options_.output_activation;
+  return config;
+}
+
+Status DeepBaselineMethod::CheckTwoClasses(const std::vector<int>& labels) {
+  size_t pos = 0;
+  for (int y : labels) pos += (y == 1);
+  const size_t neg = labels.size() - pos;
+  if (pos < 2 || neg < 2) {
+    return Status::FailedPrecondition(
+        "metric-learning baselines need >= 2 examples of each class");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int>> DeepBaselineMethod::TrainAndPredict(
+    const data::Dataset& train, const Matrix& test_features, Rng* rng) const {
+  RLL_ASSIGN_OR_RETURN(std::vector<int> labels,
+                       InferLabels(train, options_.label_source));
+  RLL_RETURN_IF_ERROR(CheckTwoClasses(labels));
+
+  nn::Mlp encoder(EncoderConfig(train.dim()), rng);
+  RLL_RETURN_IF_ERROR(
+      TrainEncoder(&encoder, train.features(), labels, rng));
+
+  const Matrix train_emb = encoder.Embed(train.features());
+  const Matrix test_emb = encoder.Embed(test_features);
+  classify::LogisticRegression lr(options_.classifier);
+  RLL_RETURN_IF_ERROR(lr.Fit(train_emb, labels));
+  return lr.Predict(test_emb);
+}
+
+}  // namespace rll::baselines

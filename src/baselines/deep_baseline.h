@@ -1,0 +1,69 @@
+// Shared machinery for the paper's group-2 deep metric-learning baselines
+// (SiameseNet, TripletNet, RelationNet): label inference → encoder training
+// (subclass hook) → logistic regression on the learned embeddings. Using a
+// pluggable LabelSource also yields the group-3 two-stage combinations
+// (e.g. TripletNet+GLAD) for free.
+
+#ifndef RLL_BASELINES_DEEP_BASELINE_H_
+#define RLL_BASELINES_DEEP_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/label_source.h"
+#include "baselines/method.h"
+#include "classify/logistic_regression.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace rll::baselines {
+
+struct DeepBaselineOptions {
+  /// Encoder hidden widths; last entry is the embedding dimension.
+  std::vector<size_t> hidden_dims = {64, 32};
+  nn::Activation hidden_activation = nn::Activation::kTanh;
+  nn::Activation output_activation = nn::Activation::kTanh;
+  int epochs = 20;
+  /// Pairs (Siamese/Relation) or triplets (Triplet) sampled per epoch.
+  size_t samples_per_epoch = 1024;
+  size_t batch_size = 64;
+  /// Margin for contrastive/triplet losses (embeddings live in [-1,1]^d).
+  double margin = 1.0;
+  nn::AdamOptions adam = {.lr = 2e-3, .weight_decay = 1e-4};
+  /// Where training labels come from (majority vote per the paper for
+  /// group 2; EM/GLAD for the group-3 combinations).
+  LabelSource label_source = LabelSource::kMajorityVote;
+  classify::LogisticRegressionOptions classifier;
+};
+
+class DeepBaselineMethod : public Method {
+ public:
+  Result<std::vector<int>> TrainAndPredict(const data::Dataset& train,
+                                           const Matrix& test_features,
+                                           Rng* rng) const override;
+
+  std::string name() const override;
+  std::string group() const override;
+
+ protected:
+  DeepBaselineMethod(std::string base_name, DeepBaselineOptions options)
+      : base_name_(std::move(base_name)), options_(std::move(options)) {}
+
+  /// Subclass hook: train `encoder` on (features, labels).
+  virtual Status TrainEncoder(nn::Mlp* encoder, const Matrix& features,
+                              const std::vector<int>& labels,
+                              Rng* rng) const = 0;
+
+  nn::MlpConfig EncoderConfig(size_t input_dim) const;
+
+  /// Fails unless both classes have at least two members — every metric
+  /// loss here needs same-class pairs and cross-class contrast.
+  static Status CheckTwoClasses(const std::vector<int>& labels);
+
+  std::string base_name_;
+  DeepBaselineOptions options_;
+};
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_DEEP_BASELINE_H_

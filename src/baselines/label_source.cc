@@ -1,0 +1,43 @@
+#include "baselines/label_source.h"
+
+#include "crowd/dawid_skene.h"
+#include "crowd/glad.h"
+#include "crowd/majority_vote.h"
+
+namespace rll::baselines {
+
+const char* LabelSourceName(LabelSource source) {
+  switch (source) {
+    case LabelSource::kMajorityVote:
+      return "MV";
+    case LabelSource::kDawidSkene:
+      return "EM";
+    case LabelSource::kGlad:
+      return "GLAD";
+  }
+  return "?";
+}
+
+Result<std::vector<int>> InferLabels(const data::Dataset& dataset,
+                                     LabelSource source) {
+  switch (source) {
+    case LabelSource::kMajorityVote: {
+      crowd::MajorityVote mv;
+      RLL_ASSIGN_OR_RETURN(crowd::AggregationResult r, mv.Run(dataset));
+      return r.labels;
+    }
+    case LabelSource::kDawidSkene: {
+      crowd::DawidSkene ds;
+      RLL_ASSIGN_OR_RETURN(crowd::AggregationResult r, ds.Run(dataset));
+      return r.labels;
+    }
+    case LabelSource::kGlad: {
+      crowd::Glad glad;
+      RLL_ASSIGN_OR_RETURN(crowd::AggregationResult r, glad.Run(dataset));
+      return r.labels;
+    }
+  }
+  return Status::InvalidArgument("unknown label source");
+}
+
+}  // namespace rll::baselines

@@ -1,0 +1,30 @@
+// Pluggable hard-label inference for training-time supervision. Group 2
+// baselines use majority vote (as in the paper); group 3 two-stage methods
+// swap in Dawid–Skene EM or GLAD.
+
+#ifndef RLL_BASELINES_LABEL_SOURCE_H_
+#define RLL_BASELINES_LABEL_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rll::baselines {
+
+enum class LabelSource {
+  kMajorityVote,
+  kDawidSkene,
+  kGlad,
+};
+
+const char* LabelSourceName(LabelSource source);
+
+/// Infers one hard label per example from the dataset's crowd annotations.
+Result<std::vector<int>> InferLabels(const data::Dataset& dataset,
+                                     LabelSource source);
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_LABEL_SOURCE_H_

@@ -1,0 +1,53 @@
+#include "baselines/method.h"
+
+#include "data/kfold.h"
+#include "data/standardize.h"
+
+namespace rll::baselines {
+
+Result<core::CvOutcome> CrossValidateMethod(const data::Dataset& dataset,
+                                            const Method& method,
+                                            size_t folds, Rng* rng,
+                                            bool standardize) {
+  if (!dataset.FullyAnnotated()) {
+    return Status::FailedPrecondition(
+        "dataset must be crowd-annotated before evaluation");
+  }
+  const std::vector<data::Split> splits =
+      data::StratifiedKFold(dataset.true_labels(), folds, rng);
+
+  core::CvOutcome outcome;
+  for (const data::Split& split : splits) {
+    data::Dataset train = dataset.Subset(split.train);
+    const data::Dataset test = dataset.Subset(split.test);
+
+    Matrix train_features = train.features();
+    Matrix test_features = test.features();
+    if (standardize) {
+      data::Standardizer standardizer;
+      train_features = standardizer.FitTransform(train_features);
+      test_features = standardizer.Transform(test_features);
+    }
+    data::Dataset train_std(std::move(train_features), train.true_labels());
+    for (size_t i = 0; i < train.size(); ++i) {
+      for (const data::Annotation& a : train.annotations(i)) {
+        train_std.AddAnnotation(i, a);
+      }
+    }
+
+    RLL_ASSIGN_OR_RETURN(
+        std::vector<int> predicted,
+        method.TrainAndPredict(train_std, test_features, rng));
+    if (predicted.size() != test.size()) {
+      return Status::Internal(method.name() +
+                              " returned wrong prediction count");
+    }
+    outcome.per_fold.push_back(
+        classify::Evaluate(test.true_labels(), predicted));
+  }
+  outcome.mean = classify::MeanMetrics(outcome.per_fold);
+  outcome.stddev = classify::StdDevMetrics(outcome.per_fold);
+  return outcome;
+}
+
+}  // namespace rll::baselines

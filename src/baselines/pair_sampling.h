@@ -1,0 +1,78 @@
+// Pair/triplet sampling utilities shared by the metric-learning baselines.
+
+#ifndef RLL_BASELINES_PAIR_SAMPLING_H_
+#define RLL_BASELINES_PAIR_SAMPLING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rll::baselines {
+
+/// Example indices split by (inferred) class.
+struct ClassIndex {
+  std::vector<size_t> pos;
+  std::vector<size_t> neg;
+};
+
+inline ClassIndex BuildClassIndex(const std::vector<int>& labels) {
+  ClassIndex index;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    (labels[i] == 1 ? index.pos : index.neg).push_back(i);
+  }
+  return index;
+}
+
+/// Two distinct indices uniformly from `members` (requires size >= 2).
+inline std::pair<size_t, size_t> SampleDistinctPair(
+    const std::vector<size_t>& members, Rng* rng) {
+  RLL_CHECK_GE(members.size(), 2u);
+  const size_t a = static_cast<size_t>(rng->UniformInt(members.size()));
+  const size_t offset =
+      1 + static_cast<size_t>(rng->UniformInt(members.size() - 1));
+  return {members[a], members[(a + offset) % members.size()]};
+}
+
+struct Pair {
+  size_t first;
+  size_t second;
+  bool same_class;
+};
+
+/// Balanced pair: with probability 1/2 a same-class pair (class chosen
+/// uniformly), otherwise one member of each class.
+inline Pair SamplePair(const ClassIndex& index, Rng* rng) {
+  if (rng->Bernoulli(0.5)) {
+    const std::vector<size_t>& members =
+        rng->Bernoulli(0.5) ? index.pos : index.neg;
+    auto [a, b] = SampleDistinctPair(members, rng);
+    return {a, b, true};
+  }
+  const size_t p =
+      index.pos[static_cast<size_t>(rng->UniformInt(index.pos.size()))];
+  const size_t n =
+      index.neg[static_cast<size_t>(rng->UniformInt(index.neg.size()))];
+  return {p, n, false};
+}
+
+struct Triplet {
+  size_t anchor;
+  size_t positive;  // Same class as anchor.
+  size_t negative;  // Other class.
+};
+
+/// Anchor class chosen uniformly; positive is a distinct same-class
+/// example, negative comes from the other class.
+inline Triplet SampleTriplet(const ClassIndex& index, Rng* rng) {
+  const bool anchor_is_pos = rng->Bernoulli(0.5);
+  const std::vector<size_t>& same = anchor_is_pos ? index.pos : index.neg;
+  const std::vector<size_t>& other = anchor_is_pos ? index.neg : index.pos;
+  auto [anchor, positive] = SampleDistinctPair(same, rng);
+  const size_t negative =
+      other[static_cast<size_t>(rng->UniformInt(other.size()))];
+  return {anchor, positive, negative};
+}
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_PAIR_SAMPLING_H_

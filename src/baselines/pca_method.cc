@@ -1,0 +1,26 @@
+#include "baselines/pca_method.h"
+
+#include <algorithm>
+
+namespace rll::baselines {
+
+Result<std::vector<int>> PcaMethod::TrainAndPredict(
+    const data::Dataset& train, const Matrix& test_features,
+    Rng* /*rng*/) const {
+  if (!train.FullyAnnotated()) {
+    return Status::FailedPrecondition("PCA baseline needs crowd labels");
+  }
+  classify::PcaOptions pca_options = pca_options_;
+  pca_options.num_components =
+      std::min(pca_options.num_components, train.dim());
+
+  classify::Pca pca(pca_options);
+  RLL_ASSIGN_OR_RETURN(Matrix train_proj, pca.FitTransform(train.features()));
+  const Matrix test_proj = pca.Transform(test_features);
+
+  classify::LogisticRegression lr(lr_options_);
+  RLL_RETURN_IF_ERROR(lr.Fit(train_proj, train.MajorityVoteLabels()));
+  return lr.Predict(test_proj);
+}
+
+}  // namespace rll::baselines

@@ -1,0 +1,36 @@
+// PCA+LR: unsupervised projection to the RLL embedding dimensionality,
+// logistic regression on top (majority-vote labels). Not in the paper's
+// Table I — included as the label-free control: any gap between this row
+// and the group-2/4 methods is what the crowd labels contribute to the
+// representation itself.
+
+#ifndef RLL_BASELINES_PCA_METHOD_H_
+#define RLL_BASELINES_PCA_METHOD_H_
+
+#include "baselines/method.h"
+#include "classify/logistic_regression.h"
+#include "classify/pca.h"
+
+namespace rll::baselines {
+
+class PcaMethod : public Method {
+ public:
+  explicit PcaMethod(classify::PcaOptions pca_options = {.num_components = 32},
+                     classify::LogisticRegressionOptions lr_options = {})
+      : pca_options_(pca_options), lr_options_(lr_options) {}
+
+  std::string name() const override { return "PCA"; }
+  std::string group() const override { return "control"; }
+
+  Result<std::vector<int>> TrainAndPredict(const data::Dataset& train,
+                                           const Matrix& test_features,
+                                           Rng* rng) const override;
+
+ private:
+  classify::PcaOptions pca_options_;
+  classify::LogisticRegressionOptions lr_options_;
+};
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_PCA_METHOD_H_

@@ -1,0 +1,80 @@
+#include "baselines/registry.h"
+
+#include "baselines/aggregated_lr.h"
+#include "baselines/relation.h"
+#include "baselines/rll_method.h"
+#include "baselines/siamese.h"
+#include "baselines/softprob.h"
+#include "baselines/triplet.h"
+
+namespace rll::baselines {
+
+RegistryOptions DefaultRegistryOptions() {
+  RegistryOptions options;
+  options.deep.hidden_dims = {64, 32};
+  options.deep.epochs = 15;
+  options.deep.samples_per_epoch = 1024;
+
+  options.rll.trainer.model.hidden_dims = {64, 32};
+  options.rll.trainer.epochs = 15;
+  options.rll.trainer.groups_per_epoch = 1024;
+  options.rll.trainer.negatives_per_group = 3;
+  options.rll.trainer.eta = 10.0;
+  return options;
+}
+
+std::vector<std::unique_ptr<Method>> BuildTableOneMethods(
+    const RegistryOptions& options) {
+  std::vector<std::unique_ptr<Method>> methods;
+
+  // Group 1: true-label inference + logistic regression on raw features.
+  methods.push_back(std::make_unique<SoftProbMethod>(options.lr));
+  methods.push_back(std::make_unique<AggregatedLrMethod>(
+      LabelSource::kDawidSkene, options.lr));
+  methods.push_back(
+      std::make_unique<AggregatedLrMethod>(LabelSource::kGlad, options.lr));
+
+  // Group 2: metric learners on majority-vote labels.
+  auto with_source = [&options](LabelSource source) {
+    DeepBaselineOptions deep = options.deep;
+    deep.label_source = source;
+    return deep;
+  };
+  methods.push_back(
+      std::make_unique<SiameseMethod>(with_source(LabelSource::kMajorityVote)));
+  methods.push_back(
+      std::make_unique<TripletMethod>(with_source(LabelSource::kMajorityVote)));
+  methods.push_back(std::make_unique<RelationMethod>(
+      with_source(LabelSource::kMajorityVote)));
+
+  // Group 3: two-stage — aggregator labels feeding the metric learners.
+  methods.push_back(
+      std::make_unique<SiameseMethod>(with_source(LabelSource::kDawidSkene)));
+  methods.push_back(
+      std::make_unique<SiameseMethod>(with_source(LabelSource::kGlad)));
+  methods.push_back(
+      std::make_unique<TripletMethod>(with_source(LabelSource::kDawidSkene)));
+  methods.push_back(
+      std::make_unique<TripletMethod>(with_source(LabelSource::kGlad)));
+  methods.push_back(
+      std::make_unique<RelationMethod>(with_source(LabelSource::kDawidSkene)));
+  methods.push_back(
+      std::make_unique<RelationMethod>(with_source(LabelSource::kGlad)));
+
+  // Group 4: RLL variants.
+  auto with_mode = [&options](crowd::ConfidenceMode mode) {
+    core::RllPipelineOptions rll = options.rll;
+    rll.trainer.confidence_mode = mode;
+    return rll;
+  };
+  methods.push_back(std::make_unique<RllVariantMethod>(
+      with_mode(crowd::ConfidenceMode::kNone)));
+  methods.push_back(std::make_unique<RllVariantMethod>(
+      with_mode(crowd::ConfidenceMode::kMle)));
+  methods.push_back(std::make_unique<RllVariantMethod>(
+      with_mode(crowd::ConfidenceMode::kBayesian)));
+
+  return methods;
+}
+
+}  // namespace rll::baselines

@@ -1,0 +1,37 @@
+// Builds the full roster of Table I methods (15 rows across 4 groups) with
+// consistent hyperparameters, so benchmark binaries and tests iterate one
+// list instead of hand-wiring each method.
+
+#ifndef RLL_BASELINES_REGISTRY_H_
+#define RLL_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/deep_baseline.h"
+#include "baselines/method.h"
+#include "core/pipeline.h"
+
+namespace rll::baselines {
+
+struct RegistryOptions {
+  DeepBaselineOptions deep;
+  core::RllPipelineOptions rll;
+  classify::LogisticRegressionOptions lr;
+};
+
+/// Reasonable defaults for the paper-scale datasets (hundreds of examples,
+/// 60–80 features).
+RegistryOptions DefaultRegistryOptions();
+
+/// All 15 Table I rows, in paper order:
+/// group 1: SoftProb, EM, GLAD;
+/// group 2: SiameseNet, TripletNet, RelationNet (majority-vote labels);
+/// group 3: {Siamese,Triplet,Relation} × {EM, GLAD};
+/// group 4: RLL, RLL+MLE, RLL+Bayesian.
+std::vector<std::unique_ptr<Method>> BuildTableOneMethods(
+    const RegistryOptions& options = DefaultRegistryOptions());
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_REGISTRY_H_

@@ -1,0 +1,54 @@
+#include "baselines/relation.h"
+
+#include "autograd/ops.h"
+#include "baselines/pair_sampling.h"
+
+namespace rll::baselines {
+
+Status RelationMethod::TrainEncoder(nn::Mlp* encoder, const Matrix& features,
+                                    const std::vector<int>& labels,
+                                    Rng* rng) const {
+  const ClassIndex index = BuildClassIndex(labels);
+
+  // Relation head: concat(e1, e2) → hidden → scalar relation score.
+  nn::MlpConfig head_config;
+  head_config.dims.push_back(2 * encoder->output_dim());
+  for (size_t d : relation_hidden_) head_config.dims.push_back(d);
+  head_config.dims.push_back(1);
+  head_config.hidden_activation = options_.hidden_activation;
+  head_config.output_activation = nn::Activation::kSigmoid;
+  nn::Mlp relation_head(head_config, rng);
+
+  std::vector<ag::Var> params = encoder->Parameters();
+  for (const ag::Var& p : relation_head.Parameters()) params.push_back(p);
+  nn::Adam optimizer(std::move(params), options_.adam);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t start = 0; start < options_.samples_per_epoch;
+         start += options_.batch_size) {
+      const size_t batch = std::min(options_.batch_size,
+                                    options_.samples_per_epoch - start);
+      std::vector<size_t> left(batch), right(batch);
+      Matrix target(batch, 1);
+      for (size_t b = 0; b < batch; ++b) {
+        const Pair pair = SamplePair(index, rng);
+        left[b] = pair.first;
+        right[b] = pair.second;
+        target(b, 0) = pair.same_class ? 1.0 : 0.0;
+      }
+
+      ag::Var e1 = encoder->Forward(ag::Constant(features.GatherRows(left)));
+      ag::Var e2 = encoder->Forward(ag::Constant(features.GatherRows(right)));
+      ag::Var score = relation_head.Forward(ag::ConcatCols({e1, e2}));
+      ag::Var loss =
+          ag::Mean(ag::Square(ag::Sub(score, ag::Constant(target))));
+
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rll::baselines

@@ -1,0 +1,31 @@
+// RelationNet (Sung et al., CVPR 2018 flavor): a learned deep distance —
+// a relation MLP scores concatenated embedding pairs; trained with MSE to
+// 1 for same-class and 0 for different-class pairs. The encoder trained
+// jointly with the relation head provides the representation.
+
+#ifndef RLL_BASELINES_RELATION_H_
+#define RLL_BASELINES_RELATION_H_
+
+#include "baselines/deep_baseline.h"
+
+namespace rll::baselines {
+
+class RelationMethod : public DeepBaselineMethod {
+ public:
+  explicit RelationMethod(DeepBaselineOptions options = {},
+                          std::vector<size_t> relation_hidden = {32})
+      : DeepBaselineMethod("RelationNet", std::move(options)),
+        relation_hidden_(std::move(relation_hidden)) {}
+
+ protected:
+  Status TrainEncoder(nn::Mlp* encoder, const Matrix& features,
+                      const std::vector<int>& labels,
+                      Rng* rng) const override;
+
+ private:
+  std::vector<size_t> relation_hidden_;
+};
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_RELATION_H_

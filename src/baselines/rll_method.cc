@@ -1,0 +1,25 @@
+#include "baselines/rll_method.h"
+
+namespace rll::baselines {
+
+std::string RllVariantMethod::name() const {
+  switch (options_.trainer.confidence_mode) {
+    case crowd::ConfidenceMode::kNone:
+      return "RLL";
+    case crowd::ConfidenceMode::kMle:
+      return "RLL+MLE";
+    case crowd::ConfidenceMode::kBayesian:
+      return "RLL+Bayesian";
+    case crowd::ConfidenceMode::kWorkerAware:
+      return "RLL+WorkerAware";
+  }
+  return "RLL?";
+}
+
+Result<std::vector<int>> RllVariantMethod::TrainAndPredict(
+    const data::Dataset& train, const Matrix& test_features,
+    Rng* rng) const {
+  return core::TrainRllAndPredict(train, test_features, options_, rng);
+}
+
+}  // namespace rll::baselines

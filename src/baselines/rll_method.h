@@ -1,0 +1,34 @@
+// Group-4 rows of Table I: the RLL variants wrapped in the Method
+// interface so the benchmark harness evaluates them like every baseline.
+
+#ifndef RLL_BASELINES_RLL_METHOD_H_
+#define RLL_BASELINES_RLL_METHOD_H_
+
+#include "baselines/method.h"
+#include "core/pipeline.h"
+
+namespace rll::baselines {
+
+class RllVariantMethod : public Method {
+ public:
+  /// The confidence mode in `options.trainer.confidence_mode` selects the
+  /// variant: kNone → "RLL", kMle → "RLL+MLE", kBayesian → "RLL+Bayesian".
+  explicit RllVariantMethod(core::RllPipelineOptions options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override;
+  std::string group() const override { return "group 4"; }
+
+  Result<std::vector<int>> TrainAndPredict(const data::Dataset& train,
+                                           const Matrix& test_features,
+                                           Rng* rng) const override;
+
+  const core::RllPipelineOptions& options() const { return options_; }
+
+ private:
+  core::RllPipelineOptions options_;
+};
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_RLL_METHOD_H_

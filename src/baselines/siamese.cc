@@ -1,0 +1,49 @@
+#include "baselines/siamese.h"
+
+#include "autograd/ops.h"
+#include "baselines/pair_sampling.h"
+
+namespace rll::baselines {
+
+Status SiameseMethod::TrainEncoder(nn::Mlp* encoder, const Matrix& features,
+                                   const std::vector<int>& labels,
+                                   Rng* rng) const {
+  const ClassIndex index = BuildClassIndex(labels);
+  nn::Adam optimizer(encoder->Parameters(), options_.adam);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t start = 0; start < options_.samples_per_epoch;
+         start += options_.batch_size) {
+      const size_t batch = std::min(options_.batch_size,
+                                    options_.samples_per_epoch - start);
+      std::vector<size_t> left(batch), right(batch);
+      Matrix same(batch, 1), diff(batch, 1);
+      for (size_t b = 0; b < batch; ++b) {
+        const Pair pair = SamplePair(index, rng);
+        left[b] = pair.first;
+        right[b] = pair.second;
+        same(b, 0) = pair.same_class ? 1.0 : 0.0;
+        diff(b, 0) = pair.same_class ? 0.0 : 1.0;
+      }
+
+      ag::Var e1 = encoder->Forward(ag::Constant(features.GatherRows(left)));
+      ag::Var e2 = encoder->Forward(ag::Constant(features.GatherRows(right)));
+      // d² per pair, then contrastive loss
+      //   y·d² + (1−y)·relu(margin − d)².
+      ag::Var d2 = ag::RowSum(ag::Square(ag::Sub(e1, e2)));
+      ag::Var d = ag::Sqrt(d2);
+      ag::Var pull = ag::Mul(ag::Constant(same), d2);
+      ag::Var hinge =
+          ag::Relu(ag::AddScalar(ag::Scale(d, -1.0), options_.margin));
+      ag::Var push = ag::Mul(ag::Constant(diff), ag::Square(hinge));
+      ag::Var loss = ag::Mean(ag::Add(pull, push));
+
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rll::baselines

@@ -1,0 +1,27 @@
+// SiameseNet (Koch et al., 2015 flavor): twin encoders with contrastive
+// loss — same-class pairs pulled together, different-class pairs pushed
+// beyond a margin.
+
+#ifndef RLL_BASELINES_SIAMESE_H_
+#define RLL_BASELINES_SIAMESE_H_
+
+#include "baselines/deep_baseline.h"
+
+namespace rll::baselines {
+
+class SiameseMethod : public DeepBaselineMethod {
+ public:
+  explicit SiameseMethod(DeepBaselineOptions options = {})
+      : DeepBaselineMethod("SiameseNet", std::move(options)) {}
+
+ protected:
+  /// Contrastive loss: mean( y·d² + (1−y)·relu(margin − d)² ) over balanced
+  /// same/different pairs resampled every epoch.
+  Status TrainEncoder(nn::Mlp* encoder, const Matrix& features,
+                      const std::vector<int>& labels,
+                      Rng* rng) const override;
+};
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_SIAMESE_H_

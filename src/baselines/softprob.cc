@@ -1,0 +1,21 @@
+#include "baselines/softprob.h"
+
+namespace rll::baselines {
+
+Result<std::vector<int>> SoftProbMethod::TrainAndPredict(
+    const data::Dataset& train, const Matrix& test_features,
+    Rng* /*rng*/) const {
+  if (!train.FullyAnnotated()) {
+    return Status::FailedPrecondition("SoftProb needs crowd annotations");
+  }
+  std::vector<double> soft_targets(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    soft_targets[i] = static_cast<double>(train.PositiveVotes(i)) /
+                      static_cast<double>(train.annotations(i).size());
+  }
+  classify::LogisticRegression lr(options_);
+  RLL_RETURN_IF_ERROR(lr.Fit(train.features(), soft_targets));
+  return lr.Predict(test_features);
+}
+
+}  // namespace rll::baselines

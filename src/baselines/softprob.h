@@ -1,0 +1,33 @@
+// SoftProb (Raykar et al., JMLR 2010 flavor as used in the paper's group 1):
+// logistic regression treating every (instance, crowd label) pair as a
+// separate training example. With equal per-vote weights this is exactly
+// logistic regression on soft targets equal to each example's positive-vote
+// fraction, which is how we implement it (identical gradient, d× cheaper).
+
+#ifndef RLL_BASELINES_SOFTPROB_H_
+#define RLL_BASELINES_SOFTPROB_H_
+
+#include "baselines/method.h"
+#include "classify/logistic_regression.h"
+
+namespace rll::baselines {
+
+class SoftProbMethod : public Method {
+ public:
+  explicit SoftProbMethod(classify::LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "SoftProb"; }
+  std::string group() const override { return "group 1"; }
+
+  Result<std::vector<int>> TrainAndPredict(const data::Dataset& train,
+                                           const Matrix& test_features,
+                                           Rng* rng) const override;
+
+ private:
+  classify::LogisticRegressionOptions options_;
+};
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_SOFTPROB_H_

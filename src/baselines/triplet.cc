@@ -1,0 +1,46 @@
+#include "baselines/triplet.h"
+
+#include "autograd/ops.h"
+#include "baselines/pair_sampling.h"
+
+namespace rll::baselines {
+
+Status TripletMethod::TrainEncoder(nn::Mlp* encoder, const Matrix& features,
+                                   const std::vector<int>& labels,
+                                   Rng* rng) const {
+  const ClassIndex index = BuildClassIndex(labels);
+  nn::Adam optimizer(encoder->Parameters(), options_.adam);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t start = 0; start < options_.samples_per_epoch;
+         start += options_.batch_size) {
+      const size_t batch = std::min(options_.batch_size,
+                                    options_.samples_per_epoch - start);
+      std::vector<size_t> anchors(batch), positives(batch), negatives(batch);
+      for (size_t b = 0; b < batch; ++b) {
+        const Triplet t = SampleTriplet(index, rng);
+        anchors[b] = t.anchor;
+        positives[b] = t.positive;
+        negatives[b] = t.negative;
+      }
+
+      ag::Var ea =
+          encoder->Forward(ag::Constant(features.GatherRows(anchors)));
+      ag::Var ep =
+          encoder->Forward(ag::Constant(features.GatherRows(positives)));
+      ag::Var en =
+          encoder->Forward(ag::Constant(features.GatherRows(negatives)));
+      ag::Var d_ap = ag::RowSum(ag::Square(ag::Sub(ea, ep)));
+      ag::Var d_an = ag::RowSum(ag::Square(ag::Sub(ea, en)));
+      ag::Var loss = ag::Mean(
+          ag::Relu(ag::AddScalar(ag::Sub(d_ap, d_an), options_.margin)));
+
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optimizer.Step();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rll::baselines

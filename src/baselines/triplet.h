@@ -1,0 +1,26 @@
+// TripletNet (FaceNet-style, Schroff et al. 2015): anchor/positive/negative
+// triplets with a margin hinge on squared distances.
+
+#ifndef RLL_BASELINES_TRIPLET_H_
+#define RLL_BASELINES_TRIPLET_H_
+
+#include "baselines/deep_baseline.h"
+
+namespace rll::baselines {
+
+class TripletMethod : public DeepBaselineMethod {
+ public:
+  explicit TripletMethod(DeepBaselineOptions options = {})
+      : DeepBaselineMethod("TripletNet", std::move(options)) {}
+
+ protected:
+  /// Triplet loss: mean relu(d(a,p)² − d(a,n)² + margin), triplets
+  /// resampled every epoch.
+  Status TrainEncoder(nn::Mlp* encoder, const Matrix& features,
+                      const std::vector<int>& labels,
+                      Rng* rng) const override;
+};
+
+}  // namespace rll::baselines
+
+#endif  // RLL_BASELINES_TRIPLET_H_

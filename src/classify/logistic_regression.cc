@@ -1,0 +1,116 @@
+#include "classify/logistic_regression.h"
+
+#include <cmath>
+
+namespace rll::classify {
+
+namespace {
+
+double StableSigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status LogisticRegression::Fit(const Matrix& x,
+                               const std::vector<double>& targets,
+                               const std::vector<double>& sample_weights) {
+  const size_t n = x.rows();
+  const size_t dim = x.cols();
+  if (n == 0 || dim == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (targets.size() != n) {
+    return Status::InvalidArgument("targets size != rows");
+  }
+  for (double t : targets) {
+    if (t < 0.0 || t > 1.0 || !std::isfinite(t)) {
+      return Status::InvalidArgument("targets must lie in [0, 1]");
+    }
+  }
+  std::vector<double> w = sample_weights;
+  if (w.empty()) {
+    w.assign(n, 1.0);
+  } else if (w.size() != n) {
+    return Status::InvalidArgument("sample_weights size != rows");
+  }
+  double wsum = 0.0;
+  for (double v : w) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      return Status::InvalidArgument("sample weights must be >= 0");
+    }
+    wsum += v;
+  }
+  if (wsum <= 0.0) {
+    return Status::InvalidArgument("all sample weights are zero");
+  }
+
+  weights_ = Matrix(dim, 1);
+  bias_ = 0.0;
+  Matrix vel_w(dim, 1);
+  double vel_b = 0.0;
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    // Gradient of the weighted mean cross-entropy + L2.
+    Matrix grad_w(dim, 1);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = x.row_data(i);
+      double z = bias_;
+      for (size_t j = 0; j < dim; ++j) z += row[j] * weights_(j, 0);
+      const double err = (StableSigmoid(z) - targets[i]) * w[i] / wsum;
+      for (size_t j = 0; j < dim; ++j) grad_w(j, 0) += err * row[j];
+      grad_b += err;
+    }
+    double max_grad = std::fabs(grad_b);
+    for (size_t j = 0; j < dim; ++j) {
+      grad_w(j, 0) += options_.l2 * weights_(j, 0);
+      max_grad = std::max(max_grad, std::fabs(grad_w(j, 0)));
+    }
+    for (size_t j = 0; j < dim; ++j) {
+      vel_w(j, 0) = options_.momentum * vel_w(j, 0) - options_.learning_rate * grad_w(j, 0);
+      weights_(j, 0) += vel_w(j, 0);
+    }
+    vel_b = options_.momentum * vel_b - options_.learning_rate * grad_b;
+    bias_ += vel_b;
+    if (max_grad < options_.tolerance) break;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& labels,
+                               const std::vector<double>& sample_weights) {
+  std::vector<double> targets(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != 0 && labels[i] != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    targets[i] = static_cast<double>(labels[i]);
+  }
+  return Fit(x, targets, sample_weights);
+}
+
+std::vector<double> LogisticRegression::PredictProba(const Matrix& x) const {
+  RLL_CHECK_MSG(fitted_, "PredictProba before Fit");
+  RLL_CHECK_EQ(x.cols(), weights_.rows());
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row_data(i);
+    double z = bias_;
+    for (size_t j = 0; j < x.cols(); ++j) z += row[j] * weights_(j, 0);
+    out[i] = StableSigmoid(z);
+  }
+  return out;
+}
+
+std::vector<int> LogisticRegression::Predict(const Matrix& x) const {
+  const std::vector<double> proba = PredictProba(x);
+  std::vector<int> labels(proba.size());
+  for (size_t i = 0; i < proba.size(); ++i) labels[i] = proba[i] >= 0.5;
+  return labels;
+}
+
+}  // namespace rll::classify

@@ -1,0 +1,59 @@
+// L2-regularized binary logistic regression — the paper's "basic classifier"
+// applied on top of every representation (§IV-A). Trained full-batch with
+// gradient descent + momentum; supports soft targets and per-sample weights
+// so the SoftProb baseline (Raykar et al.) can reuse it directly.
+
+#ifndef RLL_CLASSIFY_LOGISTIC_REGRESSION_H_
+#define RLL_CLASSIFY_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace rll::classify {
+
+struct LogisticRegressionOptions {
+  double learning_rate = 0.5;
+  double momentum = 0.9;
+  int max_epochs = 500;
+  /// L2 penalty on weights (not the intercept).
+  double l2 = 1e-3;
+  /// Stop when the gradient's infinity norm drops below this.
+  double tolerance = 1e-6;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  /// Fits on x (n×dim) and targets in [0,1] (hard 0/1 labels or soft
+  /// probabilities). Optional per-sample weights (empty → all 1).
+  Status Fit(const Matrix& x, const std::vector<double>& targets,
+             const std::vector<double>& sample_weights = {});
+
+  /// Convenience overload for hard integer labels.
+  Status Fit(const Matrix& x, const std::vector<int>& labels,
+             const std::vector<double>& sample_weights = {});
+
+  /// P(y=1|x) per row. Requires a successful Fit.
+  std::vector<double> PredictProba(const Matrix& x) const;
+
+  /// Hard labels at threshold 0.5.
+  std::vector<int> Predict(const Matrix& x) const;
+
+  bool fitted() const { return fitted_; }
+  const Matrix& weights() const { return weights_; }  // dim×1
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  bool fitted_ = false;
+  Matrix weights_;  // dim×1
+  double bias_ = 0.0;
+};
+
+}  // namespace rll::classify
+
+#endif  // RLL_CLASSIFY_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,102 @@
+#include "classify/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rll::classify {
+
+ConfusionMatrix Confusion(const std::vector<int>& truth,
+                          const std::vector<int>& predicted) {
+  RLL_CHECK_EQ(truth.size(), predicted.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) {
+      predicted[i] == 1 ? ++cm.tp : ++cm.fn;
+    } else {
+      predicted[i] == 1 ? ++cm.fp : ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+double Accuracy(const ConfusionMatrix& cm) {
+  const size_t total = cm.total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(cm.tp + cm.tn) / static_cast<double>(total);
+}
+
+double Precision(const ConfusionMatrix& cm) {
+  const size_t denom = cm.tp + cm.fp;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(cm.tp) / static_cast<double>(denom);
+}
+
+double Recall(const ConfusionMatrix& cm) {
+  const size_t denom = cm.tp + cm.fn;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(cm.tp) / static_cast<double>(denom);
+}
+
+double F1(const ConfusionMatrix& cm) {
+  const double p = Precision(cm);
+  const double r = Recall(cm);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+EvalMetrics Evaluate(const std::vector<int>& truth,
+                     const std::vector<int>& predicted) {
+  const ConfusionMatrix cm = Confusion(truth, predicted);
+  EvalMetrics m;
+  m.accuracy = Accuracy(cm);
+  m.f1 = F1(cm);
+  m.precision = Precision(cm);
+  m.recall = Recall(cm);
+  return m;
+}
+
+EvalMetrics MeanMetrics(const std::vector<EvalMetrics>& folds) {
+  RLL_CHECK(!folds.empty());
+  EvalMetrics m;
+  for (const EvalMetrics& f : folds) {
+    m.accuracy += f.accuracy;
+    m.f1 += f.f1;
+    m.precision += f.precision;
+    m.recall += f.recall;
+  }
+  const double n = static_cast<double>(folds.size());
+  m.accuracy /= n;
+  m.f1 /= n;
+  m.precision /= n;
+  m.recall /= n;
+  return m;
+}
+
+EvalMetrics StdDevMetrics(const std::vector<EvalMetrics>& folds) {
+  RLL_CHECK(!folds.empty());
+  if (folds.size() == 1) return EvalMetrics{};
+  const EvalMetrics mean = MeanMetrics(folds);
+  EvalMetrics v;
+  for (const EvalMetrics& f : folds) {
+    v.accuracy += (f.accuracy - mean.accuracy) * (f.accuracy - mean.accuracy);
+    v.f1 += (f.f1 - mean.f1) * (f.f1 - mean.f1);
+    v.precision +=
+        (f.precision - mean.precision) * (f.precision - mean.precision);
+    v.recall += (f.recall - mean.recall) * (f.recall - mean.recall);
+  }
+  const double n = static_cast<double>(folds.size() - 1);
+  v.accuracy = std::sqrt(v.accuracy / n);
+  v.f1 = std::sqrt(v.f1 / n);
+  v.precision = std::sqrt(v.precision / n);
+  v.recall = std::sqrt(v.recall / n);
+  return v;
+}
+
+std::string ToString(const EvalMetrics& m) {
+  return StrFormat("acc=%.3f f1=%.3f precision=%.3f recall=%.3f", m.accuracy,
+                   m.f1, m.precision, m.recall);
+}
+
+}  // namespace rll::classify

@@ -1,0 +1,54 @@
+// Binary classification metrics (positive class = 1) and small summary
+// helpers for cross-validated results — the quantities every table in the
+// paper reports.
+
+#ifndef RLL_CLASSIFY_METRICS_H_
+#define RLL_CLASSIFY_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace rll::classify {
+
+struct ConfusionMatrix {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  size_t total() const { return tp + fp + tn + fn; }
+};
+
+/// Tallies predictions against ground truth; sizes must match.
+ConfusionMatrix Confusion(const std::vector<int>& truth,
+                          const std::vector<int>& predicted);
+
+double Accuracy(const ConfusionMatrix& cm);
+/// Precision/recall/F1 for the positive class; 0 when undefined.
+double Precision(const ConfusionMatrix& cm);
+double Recall(const ConfusionMatrix& cm);
+double F1(const ConfusionMatrix& cm);
+
+struct EvalMetrics {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// All four metrics at once.
+EvalMetrics Evaluate(const std::vector<int>& truth,
+                     const std::vector<int>& predicted);
+
+/// Arithmetic mean of per-fold metrics (the paper reports fold averages).
+EvalMetrics MeanMetrics(const std::vector<EvalMetrics>& folds);
+
+/// Sample standard deviation of each metric across folds.
+EvalMetrics StdDevMetrics(const std::vector<EvalMetrics>& folds);
+
+/// "acc=0.888 f1=0.915" style rendering.
+std::string ToString(const EvalMetrics& m);
+
+}  // namespace rll::classify
+
+#endif  // RLL_CLASSIFY_METRICS_H_

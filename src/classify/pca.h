@@ -1,0 +1,56 @@
+// Principal component analysis via power iteration with deflation — the
+// classic unsupervised representation baseline: what do crowdsourced labels
+// buy over a label-free projection of the same dimensionality?
+
+#ifndef RLL_CLASSIFY_PCA_H_
+#define RLL_CLASSIFY_PCA_H_
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace rll::classify {
+
+struct PcaOptions {
+  size_t num_components = 2;
+  int max_iterations = 300;
+  /// Power iteration stops when the direction moves less than this.
+  double tolerance = 1e-9;
+};
+
+class Pca {
+ public:
+  explicit Pca(PcaOptions options = {}) : options_(options) {}
+
+  /// Learns the top principal directions of x (n×dim). Requires
+  /// num_components <= dim and n >= 2.
+  Status Fit(const Matrix& x);
+
+  /// Projects onto the learned components → n×num_components.
+  Matrix Transform(const Matrix& x) const;
+
+  Result<Matrix> FitTransform(const Matrix& x) {
+    RLL_RETURN_IF_ERROR(Fit(x));
+    return Transform(x);
+  }
+
+  bool fitted() const { return fitted_; }
+  /// Component directions, one per row (num_components×dim), unit norm,
+  /// mutually orthogonal.
+  const Matrix& components() const { return components_; }
+  /// Variance captured by each component, descending.
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+  const Matrix& mean() const { return mean_; }
+
+ private:
+  PcaOptions options_;
+  bool fitted_ = false;
+  Matrix mean_;        // 1×dim
+  Matrix components_;  // num_components×dim
+  std::vector<double> explained_variance_;
+};
+
+}  // namespace rll::classify
+
+#endif  // RLL_CLASSIFY_PCA_H_

@@ -1,0 +1,28 @@
+// Threshold-free metrics over predicted probabilities: ROC AUC and binary
+// log-loss. Complements the thresholded metrics in classify/metrics.h when
+// comparing calibration rather than hard decisions.
+
+#ifndef RLL_CLASSIFY_RANKING_METRICS_H_
+#define RLL_CLASSIFY_RANKING_METRICS_H_
+
+#include <vector>
+
+namespace rll::classify {
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) statistic, with
+/// ties counted as half. Returns 0.5 when either class is absent.
+double RocAuc(const std::vector<int>& truth,
+              const std::vector<double>& scores);
+
+/// Mean binary cross-entropy −[y·log p + (1−y)·log(1−p)]; probabilities are
+/// clamped to [eps, 1−eps].
+double LogLoss(const std::vector<int>& truth,
+               const std::vector<double>& probabilities, double eps = 1e-12);
+
+/// Brier score: mean squared error between probability and outcome.
+double BrierScore(const std::vector<int>& truth,
+                  const std::vector<double>& probabilities);
+
+}  // namespace rll::classify
+
+#endif  // RLL_CLASSIFY_RANKING_METRICS_H_

@@ -1,0 +1,90 @@
+#include "classify/softmax_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace rll::classify {
+
+Status SoftmaxRegression::Fit(const Matrix& x, const std::vector<int>& labels,
+                              size_t num_classes) {
+  const size_t n = x.rows();
+  const size_t dim = x.cols();
+  if (n == 0 || dim == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (labels.size() != n) {
+    return Status::InvalidArgument("labels size != rows");
+  }
+  int max_label = 0;
+  for (int y : labels) {
+    if (y < 0) return Status::InvalidArgument("labels must be >= 0");
+    max_label = std::max(max_label, y);
+  }
+  size_t k = num_classes == 0 ? static_cast<size_t>(max_label) + 1
+                              : num_classes;
+  if (k < 2) return Status::InvalidArgument("need at least 2 classes");
+  if (static_cast<size_t>(max_label) >= k) {
+    return Status::InvalidArgument("label exceeds num_classes");
+  }
+
+  weights_ = Matrix(dim, k);
+  bias_ = Matrix(1, k);
+  Matrix vel_w(dim, k);
+  Matrix vel_b(1, k);
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    // P = softmax(XW + b); grad = Xᵀ(P − Y)/n (+ L2 on W).
+    Matrix logits =
+        AddRowBroadcast(Matmul(x, weights_), bias_);
+    Matrix probs = SoftmaxRows(logits);
+    for (size_t i = 0; i < n; ++i) {
+      probs(i, static_cast<size_t>(labels[i])) -= 1.0;
+    }
+    probs *= 1.0 / static_cast<double>(n);
+    Matrix grad_w = MatmulTransposeA(x, probs);
+    Matrix grad_b = ColSum(probs);
+
+    double max_grad = 0.0;
+    for (size_t j = 0; j < grad_w.size(); ++j) {
+      grad_w[j] += options_.l2 * weights_[j];
+      max_grad = std::max(max_grad, std::fabs(grad_w[j]));
+    }
+    for (size_t j = 0; j < grad_b.size(); ++j) {
+      max_grad = std::max(max_grad, std::fabs(grad_b[j]));
+    }
+
+    for (size_t j = 0; j < weights_.size(); ++j) {
+      vel_w[j] = options_.momentum * vel_w[j] -
+                 options_.learning_rate * grad_w[j];
+      weights_[j] += vel_w[j];
+    }
+    for (size_t j = 0; j < bias_.size(); ++j) {
+      vel_b[j] = options_.momentum * vel_b[j] -
+                 options_.learning_rate * grad_b[j];
+      bias_[j] += vel_b[j];
+    }
+    if (max_grad < options_.tolerance) break;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Matrix SoftmaxRegression::PredictProba(const Matrix& x) const {
+  RLL_CHECK_MSG(fitted_, "PredictProba before Fit");
+  RLL_CHECK_EQ(x.cols(), weights_.rows());
+  return SoftmaxRows(AddRowBroadcast(Matmul(x, weights_), bias_));
+}
+
+std::vector<int> SoftmaxRegression::Predict(const Matrix& x) const {
+  const Matrix probs = PredictProba(x);
+  const std::vector<size_t> argmax = ArgmaxRows(probs);
+  std::vector<int> out(argmax.size());
+  for (size_t i = 0; i < argmax.size(); ++i) {
+    out[i] = static_cast<int>(argmax[i]);
+  }
+  return out;
+}
+
+}  // namespace rll::classify

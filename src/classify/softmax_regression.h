@@ -1,0 +1,55 @@
+// Multinomial logistic (softmax) regression. The paper treats binary labels
+// "without loss of generality"; this is the K-class classifier that makes
+// the pipeline generalize — embeddings in, class posteriors out.
+
+#ifndef RLL_CLASSIFY_SOFTMAX_REGRESSION_H_
+#define RLL_CLASSIFY_SOFTMAX_REGRESSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace rll::classify {
+
+struct SoftmaxRegressionOptions {
+  double learning_rate = 0.5;
+  double momentum = 0.9;
+  int max_epochs = 500;
+  /// L2 penalty on weights (not intercepts).
+  double l2 = 1e-3;
+  /// Stop when the gradient's infinity norm drops below this.
+  double tolerance = 1e-6;
+};
+
+class SoftmaxRegression {
+ public:
+  explicit SoftmaxRegression(SoftmaxRegressionOptions options = {})
+      : options_(options) {}
+
+  /// Fits on x (n×dim) and labels in [0, num_classes). num_classes == 0
+  /// infers max(labels)+1. Requires at least 2 classes.
+  Status Fit(const Matrix& x, const std::vector<int>& labels,
+             size_t num_classes = 0);
+
+  /// Class posteriors, one row per example (rows sum to 1).
+  Matrix PredictProba(const Matrix& x) const;
+
+  /// argmax class per row.
+  std::vector<int> Predict(const Matrix& x) const;
+
+  bool fitted() const { return fitted_; }
+  size_t num_classes() const { return weights_.cols(); }
+  const Matrix& weights() const { return weights_; }  // dim×K
+  const Matrix& bias() const { return bias_; }        // 1×K
+
+ private:
+  SoftmaxRegressionOptions options_;
+  bool fitted_ = false;
+  Matrix weights_;
+  Matrix bias_;
+};
+
+}  // namespace rll::classify
+
+#endif  // RLL_CLASSIFY_SOFTMAX_REGRESSION_H_

@@ -1,0 +1,50 @@
+// Fatal-assert macros for programmer errors (precondition violations on
+// internal paths where returning a Status would be noise). RLL_CHECK is
+// always on; RLL_DCHECK compiles out in NDEBUG builds.
+
+#ifndef RLL_COMMON_CHECK_H_
+#define RLL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rll::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "RLL_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rll::internal
+
+#define RLL_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::rll::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+  } while (false)
+
+#define RLL_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::rll::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+  } while (false)
+
+#define RLL_CHECK_EQ(a, b) RLL_CHECK((a) == (b))
+#define RLL_CHECK_NE(a, b) RLL_CHECK((a) != (b))
+#define RLL_CHECK_LT(a, b) RLL_CHECK((a) < (b))
+#define RLL_CHECK_LE(a, b) RLL_CHECK((a) <= (b))
+#define RLL_CHECK_GT(a, b) RLL_CHECK((a) > (b))
+#define RLL_CHECK_GE(a, b) RLL_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define RLL_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define RLL_DCHECK(cond) RLL_CHECK(cond)
+#endif
+
+#endif  // RLL_COMMON_CHECK_H_

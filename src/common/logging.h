@@ -1,0 +1,43 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage: RLL_LOG(INFO) << "epoch " << e << " loss " << loss;
+// Benchmarks and examples raise the threshold to keep stdout tables clean.
+
+#ifndef RLL_COMMON_LOGGING_H_
+#define RLL_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace rll {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Messages below this level are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rll
+
+#define RLL_LOG(severity)                                          \
+  if (::rll::LogLevel::k##severity < ::rll::GetLogLevel()) {       \
+  } else                                                           \
+    ::rll::internal::LogMessage(::rll::LogLevel::k##severity,      \
+                                __FILE__, __LINE__)                \
+        .stream()
+
+#endif  // RLL_COMMON_LOGGING_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for benchmark harnesses and training-loop telemetry.
+
+#ifndef RLL_COMMON_STOPWATCH_H_
+#define RLL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rll {
+
+/// Starts on construction; ElapsedSeconds()/ElapsedMillis() read without
+/// stopping, Restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rll
+
+#endif  // RLL_COMMON_STOPWATCH_H_

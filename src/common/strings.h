@@ -1,0 +1,34 @@
+// Small string helpers (printf-style formatting, joining, splitting).
+// libstdc++ 12 has no <format>, so we wrap vsnprintf.
+
+#ifndef RLL_COMMON_STRINGS_H_
+#define RLL_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace rll {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator, e.g. Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// Parses a double; returns false on malformed input or trailing junk.
+bool ParseDouble(const std::string& s, double* out);
+
+/// Parses a signed integer; returns false on malformed input.
+bool ParseInt(const std::string& s, int64_t* out);
+
+}  // namespace rll
+
+#endif  // RLL_COMMON_STRINGS_H_

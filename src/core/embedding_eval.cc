@@ -1,0 +1,125 @@
+#include "core/embedding_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace rll::core {
+
+namespace {
+
+/// Row-normalizes so cosine reduces to a dot product.
+Matrix NormalizeRows(const Matrix& m) {
+  Matrix out = m;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.row_data(r);
+    double norm = 0.0;
+    for (size_t c = 0; c < out.cols(); ++c) norm += row[c] * row[c];
+    norm = std::max(std::sqrt(norm), 1e-12);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] /= norm;
+  }
+  return out;
+}
+
+double RowDot(const Matrix& m, size_t a, size_t b) {
+  const double* ra = m.row_data(a);
+  const double* rb = m.row_data(b);
+  double dot = 0.0;
+  for (size_t c = 0; c < m.cols(); ++c) dot += ra[c] * rb[c];
+  return dot;
+}
+
+}  // namespace
+
+EmbeddingQuality EvaluateEmbeddings(const Matrix& embeddings,
+                                    const std::vector<int>& labels) {
+  RLL_CHECK_EQ(embeddings.rows(), labels.size());
+  RLL_CHECK_GE(labels.size(), 2u);
+  const Matrix unit = NormalizeRows(embeddings);
+  const size_t n = labels.size();
+
+  EmbeddingQuality q;
+  double intra = 0.0, inter = 0.0;
+  size_t intra_n = 0, inter_n = 0;
+  // Silhouette accumulators: per example, mean cosine *distance* to own
+  // class (a) vs other class (b); s = (b − a)/max(a, b).
+  double silhouette_total = 0.0;
+  size_t silhouette_n = 0;
+
+  std::vector<double> same_dist(n, 0.0), other_dist(n, 0.0);
+  std::vector<size_t> same_count(n, 0), other_count(n, 0);
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double cos = RowDot(unit, i, j);
+      const double dist = 1.0 - cos;
+      if (labels[i] == labels[j]) {
+        intra += cos;
+        ++intra_n;
+        same_dist[i] += dist;
+        same_dist[j] += dist;
+        ++same_count[i];
+        ++same_count[j];
+      } else {
+        inter += cos;
+        ++inter_n;
+        other_dist[i] += dist;
+        other_dist[j] += dist;
+        ++other_count[i];
+        ++other_count[j];
+      }
+    }
+  }
+  q.intra_class_cosine = intra_n ? intra / static_cast<double>(intra_n) : 0.0;
+  q.inter_class_cosine = inter_n ? inter / static_cast<double>(inter_n) : 0.0;
+  q.cosine_margin = q.intra_class_cosine - q.inter_class_cosine;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (same_count[i] == 0 || other_count[i] == 0) continue;
+    const double a = same_dist[i] / static_cast<double>(same_count[i]);
+    const double b = other_dist[i] / static_cast<double>(other_count[i]);
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      silhouette_total += (b - a) / denom;
+      ++silhouette_n;
+    }
+  }
+  q.silhouette =
+      silhouette_n ? silhouette_total / static_cast<double>(silhouette_n)
+                   : 0.0;
+  return q;
+}
+
+double KnnAccuracy(const Matrix& embeddings, const std::vector<int>& labels,
+                   size_t k) {
+  RLL_CHECK_EQ(embeddings.rows(), labels.size());
+  RLL_CHECK_GE(labels.size(), 2u);
+  RLL_CHECK_GE(k, 1u);
+  const Matrix unit = NormalizeRows(embeddings);
+  const size_t n = labels.size();
+  const size_t kk = std::min(k, n - 1);
+
+  size_t correct = 0;
+  std::vector<std::pair<double, size_t>> sims;
+  sims.reserve(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    sims.clear();
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sims.emplace_back(RowDot(unit, i, j), j);
+    }
+    std::partial_sort(sims.begin(), sims.begin() + static_cast<long>(kk),
+                      sims.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    size_t votes = 0;
+    for (size_t t = 0; t < kk; ++t) votes += (labels[sims[t].second] == 1);
+    const int predicted = 2 * votes >= kk ? 1 : 0;
+    correct += (predicted == labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace rll::core

@@ -1,0 +1,76 @@
+#include "core/embedding_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rll::core {
+
+namespace {
+
+void NormalizeRowInPlace(double* row, size_t cols) {
+  double norm = 0.0;
+  for (size_t c = 0; c < cols; ++c) norm += row[c] * row[c];
+  norm = std::max(std::sqrt(norm), 1e-12);
+  for (size_t c = 0; c < cols; ++c) row[c] /= norm;
+}
+
+}  // namespace
+
+Status EmbeddingIndex::Build(const Matrix& embeddings) {
+  if (embeddings.rows() == 0 || embeddings.cols() == 0) {
+    return Status::InvalidArgument("cannot index an empty corpus");
+  }
+  corpus_ = embeddings;
+  for (size_t r = 0; r < corpus_.rows(); ++r) {
+    NormalizeRowInPlace(corpus_.row_data(r), corpus_.cols());
+  }
+  return Status::OK();
+}
+
+Result<size_t> EmbeddingIndex::Add(const Matrix& embedding) {
+  if (embedding.rows() != 1) {
+    return Status::InvalidArgument("Add expects a single 1xdim row");
+  }
+  if (!empty() && embedding.cols() != dim()) {
+    return Status::InvalidArgument("dimension mismatch with corpus");
+  }
+  Matrix grown(corpus_.rows() + 1,
+               empty() ? embedding.cols() : corpus_.cols());
+  for (size_t r = 0; r < corpus_.rows(); ++r) {
+    grown.SetRow(r, corpus_.Row(r));
+  }
+  grown.SetRow(corpus_.rows(), embedding.Row(0));
+  NormalizeRowInPlace(grown.row_data(corpus_.rows()), grown.cols());
+  corpus_ = std::move(grown);
+  return corpus_.rows() - 1;
+}
+
+Result<std::vector<Neighbor>> EmbeddingIndex::Query(const Matrix& query,
+                                                    size_t k) const {
+  if (empty()) return Status::FailedPrecondition("index is empty");
+  if (query.rows() != 1 || query.cols() != dim()) {
+    return Status::InvalidArgument("query must be 1xdim");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+
+  Matrix q = query;
+  NormalizeRowInPlace(q.row_data(0), q.cols());
+
+  std::vector<Neighbor> all;
+  all.reserve(corpus_.rows());
+  for (size_t r = 0; r < corpus_.rows(); ++r) {
+    const double* row = corpus_.row_data(r);
+    double dot = 0.0;
+    for (size_t c = 0; c < corpus_.cols(); ++c) dot += row[c] * q(0, c);
+    all.push_back({r, dot});
+  }
+  const size_t kk = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(kk),
+                    all.end(), [](const Neighbor& a, const Neighbor& b) {
+                      return a.similarity > b.similarity;
+                    });
+  all.resize(kk);
+  return all;
+}
+
+}  // namespace rll::core

@@ -1,0 +1,47 @@
+// Cosine-similarity retrieval index over learned embeddings — the serving
+// side of the pipeline: embed a new example, retrieve the most similar
+// labeled examples (e.g. "find past classes that looked like this one").
+// Brute-force scan over row-normalized vectors; exact, and fast enough for
+// the corpus sizes this library targets.
+
+#ifndef RLL_CORE_EMBEDDING_INDEX_H_
+#define RLL_CORE_EMBEDDING_INDEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace rll::core {
+
+struct Neighbor {
+  size_t index;       // Row in the indexed corpus.
+  double similarity;  // Cosine in [−1, 1].
+};
+
+class EmbeddingIndex {
+ public:
+  EmbeddingIndex() = default;
+
+  /// Builds (or rebuilds) the index over a corpus of embeddings; rows are
+  /// stored L2-normalized. Fails on an empty corpus.
+  Status Build(const Matrix& embeddings);
+
+  /// Appends one embedding row; returns its index.
+  Result<size_t> Add(const Matrix& embedding);
+
+  /// The k nearest corpus rows to `query` (1×dim) by cosine similarity,
+  /// most similar first. k is clamped to the corpus size.
+  Result<std::vector<Neighbor>> Query(const Matrix& query, size_t k) const;
+
+  size_t size() const { return corpus_.rows(); }
+  size_t dim() const { return corpus_.cols(); }
+  bool empty() const { return corpus_.rows() == 0; }
+
+ private:
+  Matrix corpus_;  // Row-normalized.
+};
+
+}  // namespace rll::core
+
+#endif  // RLL_CORE_EMBEDDING_INDEX_H_

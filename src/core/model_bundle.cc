@@ -1,0 +1,98 @@
+#include "core/model_bundle.h"
+
+#include <fstream>
+
+#include "tensor/serialize.h"
+
+namespace rll::core {
+
+Result<ModelBundle> ModelBundle::Create(
+    const data::Standardizer& standardizer, const RllModel& model,
+    Rng* rng) {
+  if (!standardizer.fitted()) {
+    return Status::FailedPrecondition("standardizer is not fitted");
+  }
+  if (standardizer.mean().cols() != model.input_dim()) {
+    return Status::InvalidArgument(
+        "standardizer dimensionality does not match the model input");
+  }
+  ModelBundle bundle;
+  bundle.standardizer_ = standardizer;
+  // Copy the model by cloning its architecture and parameter values.
+  bundle.model_ = std::make_shared<RllModel>(model.config(), rng);
+  const auto src = model.Parameters();
+  const auto dst = bundle.model_->Parameters();
+  for (size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  return bundle;
+}
+
+Status ModelBundle::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open: " + path);
+  RLL_RETURN_IF_ERROR(WriteMatrix(&out, standardizer_.mean()));
+  RLL_RETURN_IF_ERROR(WriteMatrix(&out, standardizer_.stddev()));
+  for (const ag::Var& p : model_->Parameters()) {
+    RLL_RETURN_IF_ERROR(WriteMatrix(&out, p->value));
+  }
+  return Status::OK();
+}
+
+Result<ModelBundle> ModelBundle::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+  RLL_ASSIGN_OR_RETURN(Matrix mean, ReadMatrix(&in));
+  RLL_ASSIGN_OR_RETURN(Matrix stddev, ReadMatrix(&in));
+  if (mean.rows() != 1 || !mean.SameShape(stddev)) {
+    return Status::InvalidArgument("malformed standardizer block");
+  }
+
+  std::vector<Matrix> params;
+  for (;;) {
+    Result<Matrix> m = ReadMatrix(&in);
+    if (!m.ok()) break;
+    params.push_back(std::move(*m));
+  }
+  if (params.empty() || params.size() % 2 != 0) {
+    return Status::InvalidArgument(
+        "bundle must contain weight/bias parameter pairs");
+  }
+
+  RllModelConfig config;
+  config.input_dim = params[0].rows();
+  config.hidden_dims.clear();
+  for (size_t i = 0; i < params.size(); i += 2) {
+    if (params[i + 1].rows() != 1 ||
+        params[i + 1].cols() != params[i].cols()) {
+      return Status::InvalidArgument("bias shape mismatch in bundle");
+    }
+    if (i > 0 && params[i].rows() != params[i - 2].cols()) {
+      return Status::InvalidArgument("layer shapes do not chain in bundle");
+    }
+    config.hidden_dims.push_back(params[i].cols());
+  }
+  if (config.input_dim != mean.cols()) {
+    return Status::InvalidArgument(
+        "standardizer and encoder dimensionality disagree");
+  }
+
+  ModelBundle bundle;
+  bundle.standardizer_ =
+      data::Standardizer::FromMoments(std::move(mean), std::move(stddev));
+  Rng init_rng(1);  // Values are overwritten below.
+  bundle.model_ = std::make_shared<RllModel>(config, &init_rng);
+  const auto dst = bundle.model_->Parameters();
+  RLL_CHECK_EQ(dst.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    dst[i]->value = std::move(params[i]);
+  }
+  return bundle;
+}
+
+Result<Matrix> ModelBundle::Embed(const Matrix& raw_features) const {
+  if (raw_features.cols() != input_dim()) {
+    return Status::InvalidArgument("feature dimensionality mismatch");
+  }
+  return model_->Embed(standardizer_.Transform(raw_features));
+}
+
+}  // namespace rll::core

@@ -1,0 +1,48 @@
+// Deployable model bundle: the standardizer statistics and the trained
+// encoder in one file, so serving code cannot accidentally pair a model
+// with the wrong preprocessing. Text format (tensor/serialize):
+//   mean (1×dim), stddev (1×dim), then encoder parameters in layer order.
+
+#ifndef RLL_CORE_MODEL_BUNDLE_H_
+#define RLL_CORE_MODEL_BUNDLE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/rll_model.h"
+#include "data/standardize.h"
+
+namespace rll::core {
+
+class ModelBundle {
+ public:
+  /// Packages a fitted standardizer and a trained model. Both are copied.
+  static Result<ModelBundle> Create(const data::Standardizer& standardizer,
+                                    const RllModel& model, Rng* rng);
+
+  /// Writes the bundle to a file.
+  Status Save(const std::string& path) const;
+
+  /// Reads a bundle; the encoder architecture is reconstructed from the
+  /// stored parameter shapes (hidden activations default to tanh, matching
+  /// RllModelConfig).
+  static Result<ModelBundle> Load(const std::string& path);
+
+  /// Standardizes raw features with the stored statistics and embeds them.
+  Result<Matrix> Embed(const Matrix& raw_features) const;
+
+  size_t input_dim() const { return model_->input_dim(); }
+  size_t embedding_dim() const { return model_->embedding_dim(); }
+  const RllModel& model() const { return *model_; }
+  const data::Standardizer& standardizer() const { return standardizer_; }
+
+ private:
+  ModelBundle() = default;
+
+  data::Standardizer standardizer_;
+  std::shared_ptr<RllModel> model_;
+};
+
+}  // namespace rll::core
+
+#endif  // RLL_CORE_MODEL_BUNDLE_H_

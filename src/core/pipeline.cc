@@ -1,0 +1,75 @@
+#include "core/pipeline.h"
+
+#include "data/kfold.h"
+#include "data/standardize.h"
+
+namespace rll::core {
+
+Result<std::vector<int>> TrainRllAndPredict(const data::Dataset& train,
+                                            const Matrix& test_features,
+                                            const RllPipelineOptions& options,
+                                            Rng* rng) {
+  if (!train.FullyAnnotated()) {
+    return Status::FailedPrecondition(
+        "RLL training requires crowd annotations on every example");
+  }
+  // Labels and confidences come from the crowd only.
+  const std::vector<int> labels = train.MajorityVoteLabels();
+  const std::vector<double> confidence = crowd::LabelConfidence(
+      train, labels, options.trainer.confidence_mode,
+      options.trainer.prior_strength);
+
+  RllTrainer trainer(options.trainer, rng);
+  RLL_RETURN_IF_ERROR(
+      trainer.Train(train.features(), labels, confidence).status());
+
+  const Matrix train_emb = trainer.model().Embed(train.features());
+  const Matrix test_emb = trainer.model().Embed(test_features);
+
+  classify::LogisticRegression lr(options.classifier);
+  RLL_RETURN_IF_ERROR(lr.Fit(train_emb, labels));
+  return lr.Predict(test_emb);
+}
+
+Result<CvOutcome> RunRllCrossValidation(const data::Dataset& dataset,
+                                        const RllPipelineOptions& options,
+                                        Rng* rng) {
+  if (!dataset.FullyAnnotated()) {
+    return Status::FailedPrecondition(
+        "dataset must be crowd-annotated before evaluation");
+  }
+  // Stratify on expert labels (fold construction only, never training).
+  const std::vector<data::Split> splits =
+      data::StratifiedKFold(dataset.true_labels(), options.folds, rng);
+
+  CvOutcome outcome;
+  for (const data::Split& split : splits) {
+    data::Dataset train = dataset.Subset(split.train);
+    data::Dataset test = dataset.Subset(split.test);
+
+    Matrix train_features = train.features();
+    Matrix test_features = test.features();
+    if (options.standardize) {
+      data::Standardizer standardizer;
+      train_features = standardizer.FitTransform(train_features);
+      test_features = standardizer.Transform(test_features);
+    }
+    data::Dataset train_std(train_features, train.true_labels());
+    for (size_t i = 0; i < train.size(); ++i) {
+      for (const data::Annotation& a : train.annotations(i)) {
+        train_std.AddAnnotation(i, a);
+      }
+    }
+
+    RLL_ASSIGN_OR_RETURN(
+        std::vector<int> predicted,
+        TrainRllAndPredict(train_std, test_features, options, rng));
+    outcome.per_fold.push_back(
+        classify::Evaluate(test.true_labels(), predicted));
+  }
+  outcome.mean = classify::MeanMetrics(outcome.per_fold);
+  outcome.stddev = classify::StdDevMetrics(outcome.per_fold);
+  return outcome;
+}
+
+}  // namespace rll::core

@@ -1,0 +1,44 @@
+#include "core/rll_model.h"
+
+#include "autograd/ops.h"
+
+namespace rll::core {
+
+RllModel::RllModel(const RllModelConfig& config, Rng* rng) : config_(config) {
+  RLL_CHECK_GT(config.input_dim, 0u);
+  RLL_CHECK(!config.hidden_dims.empty());
+  nn::MlpConfig mlp_config;
+  mlp_config.dims.push_back(config.input_dim);
+  for (size_t d : config.hidden_dims) mlp_config.dims.push_back(d);
+  mlp_config.hidden_activation = config.hidden_activation;
+  mlp_config.output_activation = config.output_activation;
+  mlp_config.dropout = config.dropout;
+  mlp_config.layer_norm = config.layer_norm;
+  encoder_ = std::make_unique<nn::Mlp>(mlp_config, rng);
+}
+
+ag::Var GroupNllLoss(const ag::Var& anchor_emb,
+                     const std::vector<ag::Var>& candidate_embs,
+                     const std::vector<Matrix>& slot_confidence, double eta) {
+  RLL_CHECK(!candidate_embs.empty());
+  RLL_CHECK_EQ(candidate_embs.size(), slot_confidence.size());
+  RLL_CHECK_GT(eta, 0.0);
+  const size_t batch = anchor_emb->value.rows();
+
+  std::vector<ag::Var> scores;
+  scores.reserve(candidate_embs.size());
+  for (size_t s = 0; s < candidate_embs.size(); ++s) {
+    RLL_CHECK_EQ(candidate_embs[s]->value.rows(), batch);
+    RLL_CHECK_EQ(slot_confidence[s].rows(), batch);
+    RLL_CHECK_EQ(slot_confidence[s].cols(), 1u);
+    // η·δ·r(anchor, candidate); δ is data, not a gradient target.
+    ag::Var cos = ag::RowCosine(anchor_emb, candidate_embs[s]);
+    ag::Var weighted = ag::Mul(cos, ag::Constant(slot_confidence[s]));
+    scores.push_back(ag::Scale(weighted, eta));
+  }
+  ag::Var logits = ag::ConcatCols(scores);          // batch×(k+1)
+  ag::Var logp = ag::LogSoftmaxRows(logits);        // slot 0 is the target
+  return ag::NllRows(logp, std::vector<size_t>(batch, 0));
+}
+
+}  // namespace rll::core

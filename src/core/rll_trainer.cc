@@ -1,0 +1,176 @@
+#include "core/rll_trainer.h"
+
+#include <algorithm>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+
+namespace rll::core {
+
+RllTrainer::RllTrainer(const RllTrainerOptions& options, Rng* rng)
+    : options_(options), rng_(rng) {
+  RLL_CHECK(rng != nullptr);
+  RLL_CHECK_GT(options.batch_size, 0u);
+  RLL_CHECK_GT(options.groups_per_epoch, 0u);
+  RLL_CHECK_GT(options.epochs, 0);
+  if (options_.model.input_dim > 0) {
+    model_ = std::make_unique<RllModel>(options_.model, rng_);
+  }
+}
+
+Result<RllTrainSummary> RllTrainer::Train(
+    const Matrix& features, const std::vector<int>& labels,
+    const std::vector<double>& confidence) {
+  const size_t n = features.rows();
+  if (n == 0) return Status::InvalidArgument("empty feature matrix");
+  if (labels.size() != n || confidence.size() != n) {
+    return Status::InvalidArgument(
+        "labels/confidence sizes must match feature rows");
+  }
+  for (double c : confidence) {
+    if (c < 0.0 || c > 1.0) {
+      return Status::InvalidArgument("confidences must lie in [0, 1]");
+    }
+  }
+  if (options_.validation_fraction < 0.0 ||
+      options_.validation_fraction >= 1.0) {
+    return Status::InvalidArgument("validation_fraction must be in [0, 1)");
+  }
+  if (model_ == nullptr) {
+    options_.model.input_dim = features.cols();
+    model_ = std::make_unique<RllModel>(options_.model, rng_);
+  } else if (model_->input_dim() != features.cols()) {
+    return Status::InvalidArgument("feature dim does not match model input");
+  }
+
+  // ---- Optional validation holdout (label-stratified).
+  std::vector<int> train_labels = labels;
+  std::vector<Group> validation_groups;
+  if (options_.validation_fraction > 0.0) {
+    std::vector<int> val_labels(n, -1);
+    for (int cls : {0, 1}) {
+      std::vector<size_t> members;
+      for (size_t i = 0; i < n; ++i) {
+        if (labels[i] == cls) members.push_back(i);
+      }
+      rng_->Shuffle(&members);
+      const size_t take = static_cast<size_t>(
+          options_.validation_fraction * static_cast<double>(members.size()));
+      for (size_t j = 0; j < take; ++j) {
+        train_labels[members[j]] = -1;
+        val_labels[members[j]] = cls;
+      }
+    }
+    GroupSampler val_sampler(
+        val_labels, {.negatives_per_group = options_.negatives_per_group});
+    auto sampled = val_sampler.Sample(options_.validation_groups, rng_);
+    if (!sampled.ok()) {
+      return Status::FailedPrecondition(
+          "validation split too small to form groups: " +
+          sampled.status().message());
+    }
+    validation_groups = std::move(*sampled);
+  }
+
+  GroupSampler sampler(train_labels, {.negatives_per_group =
+                                          options_.negatives_per_group});
+  nn::Adam optimizer(model_->Parameters(), options_.adam);
+  const size_t k = options_.negatives_per_group;
+
+  // Builds the confidence-weighted group loss for groups [start, end).
+  // Dropout (if configured) only applies on the training path.
+  auto build_loss = [&](const std::vector<Group>& groups, size_t start,
+                        size_t end, bool training) {
+    const size_t batch = end - start;
+    std::vector<size_t> anchor_idx(batch);
+    std::vector<std::vector<size_t>> slot_idx(k + 1,
+                                              std::vector<size_t>(batch));
+    for (size_t b = 0; b < batch; ++b) {
+      const Group& g = groups[start + b];
+      anchor_idx[b] = g.anchor;
+      slot_idx[0][b] = g.positive;
+      for (size_t s = 0; s < k; ++s) slot_idx[s + 1][b] = g.negatives[s];
+    }
+    auto embed = [&](const std::vector<size_t>& idx) {
+      ag::Var input = ag::Constant(features.GatherRows(idx));
+      return training ? model_->ForwardTrain(input, rng_)
+                      : model_->Forward(input);
+    };
+    ag::Var anchor_emb = embed(anchor_idx);
+    std::vector<ag::Var> candidate_embs;
+    std::vector<Matrix> slot_confidence;
+    candidate_embs.reserve(k + 1);
+    slot_confidence.reserve(k + 1);
+    for (size_t s = 0; s <= k; ++s) {
+      candidate_embs.push_back(embed(slot_idx[s]));
+      Matrix delta(batch, 1);
+      for (size_t b = 0; b < batch; ++b) {
+        delta(b, 0) = confidence[slot_idx[s][b]];
+      }
+      slot_confidence.push_back(std::move(delta));
+    }
+    return GroupNllLoss(anchor_emb, candidate_embs, slot_confidence,
+                        options_.eta);
+  };
+
+  // ---- Epoch loop with optional early stopping on validation NLL.
+  RllTrainSummary summary;
+  double best_val_loss = 0.0;
+  std::vector<Matrix> best_params;
+  int stale_epochs = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    RLL_ASSIGN_OR_RETURN(std::vector<Group> groups,
+                         sampler.Sample(options_.groups_per_epoch, rng_));
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < groups.size();
+         start += options_.batch_size) {
+      const size_t end = std::min(start + options_.batch_size, groups.size());
+      ag::Var loss = build_loss(groups, start, end, /*training=*/true);
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optimizer.Step();
+      epoch_loss += loss->value(0, 0);
+      ++batches;
+    }
+    summary.epoch_losses.push_back(epoch_loss /
+                                   static_cast<double>(batches));
+    summary.groups_trained += groups.size();
+    if (validation_groups.empty()) summary.best_epoch = epoch;
+
+    if (!validation_groups.empty()) {
+      const double val_loss =
+          build_loss(validation_groups, 0, validation_groups.size(),
+                     /*training=*/false)
+              ->value(0, 0);
+      summary.validation_losses.push_back(val_loss);
+      if (best_params.empty() || val_loss < best_val_loss) {
+        best_val_loss = val_loss;
+        summary.best_epoch = epoch;
+        best_params.clear();
+        for (const ag::Var& p : model_->Parameters()) {
+          best_params.push_back(p->value);
+        }
+        stale_epochs = 0;
+      } else if (++stale_epochs >= options_.patience) {
+        summary.stopped_early = true;
+        break;
+      }
+      RLL_LOG(Debug) << "RLL epoch " << epoch << " train "
+                     << summary.epoch_losses.back() << " val " << val_loss;
+    } else {
+      RLL_LOG(Debug) << "RLL epoch " << epoch << " loss "
+                     << summary.epoch_losses.back();
+    }
+  }
+  // Restore the best-validation parameters (no-op without validation).
+  if (!best_params.empty()) {
+    const auto params = model_->Parameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_params[i];
+    }
+  }
+  return summary;
+}
+
+}  // namespace rll::core

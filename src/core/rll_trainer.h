@@ -1,0 +1,85 @@
+// RLL training loop (§III-C): sample groups from crowd-labeled data,
+// estimate per-example label confidence, and minimize the confidence-
+// weighted group NLL with Adam. The three paper variants are selected by
+// the confidence mode: kNone → RLL, kMle → RLL-MLE, kBayesian →
+// RLL-Bayesian.
+
+#ifndef RLL_CORE_RLL_TRAINER_H_
+#define RLL_CORE_RLL_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/group_sampler.h"
+#include "core/rll_model.h"
+#include "crowd/confidence.h"
+#include "nn/optimizer.h"
+
+namespace rll::core {
+
+struct RllTrainerOptions {
+  /// Encoder architecture; input_dim is filled from the feature matrix.
+  RllModelConfig model;
+  /// Softmax temperature η (set empirically on held-out data per §III-A).
+  double eta = 10.0;
+  /// k negatives per group (Table II sweeps this).
+  size_t negatives_per_group = 3;
+  /// Groups freshly sampled each epoch — the grouping scheme turns a few
+  /// hundred labels into an unbounded training stream.
+  size_t groups_per_epoch = 1024;
+  /// Groups per gradient step.
+  size_t batch_size = 64;
+  int epochs = 20;
+  nn::AdamOptions adam = {.lr = 2e-3, .weight_decay = 1e-4};
+  /// δ estimator: kNone (RLL), kMle (RLL-MLE), kBayesian (RLL-Bayesian).
+  crowd::ConfidenceMode confidence_mode = crowd::ConfidenceMode::kBayesian;
+  /// Prior strength α+β for the Bayesian estimator.
+  double prior_strength = 2.0;
+  /// When > 0, this fraction of examples is held out; training monitors
+  /// the group NLL on a fixed set of validation groups, keeps the best
+  /// parameters, and stops early after `patience` stale epochs.
+  double validation_fraction = 0.0;
+  int patience = 5;
+  /// Validation groups sampled once at the start (fixed for stability).
+  size_t validation_groups = 256;
+};
+
+struct RllTrainSummary {
+  /// Mean group NLL per epoch (training groups).
+  std::vector<double> epoch_losses;
+  /// Validation group NLL per epoch (empty without validation).
+  std::vector<double> validation_losses;
+  /// Epoch whose parameters were kept (== last epoch without validation).
+  int best_epoch = 0;
+  bool stopped_early = false;
+  size_t groups_trained = 0;
+};
+
+class RllTrainer {
+ public:
+  /// `rng` outlives the trainer and drives init + sampling.
+  RllTrainer(const RllTrainerOptions& options, Rng* rng);
+
+  /// Trains the encoder. `features` are the (standardized) training
+  /// features; `labels` are inferred crowd labels (e.g. majority vote —
+  /// expert labels must not reach training); `confidence` is δ per example
+  /// (see crowd::LabelConfidence), sizes equal to features.rows().
+  Result<RllTrainSummary> Train(const Matrix& features,
+                                const std::vector<int>& labels,
+                                const std::vector<double>& confidence);
+
+  /// The encoder; valid after construction, trained after Train.
+  const RllModel& model() const { return *model_; }
+  RllModel* mutable_model() { return model_.get(); }
+
+  const RllTrainerOptions& options() const { return options_; }
+
+ private:
+  RllTrainerOptions options_;
+  Rng* rng_;
+  std::unique_ptr<RllModel> model_;
+};
+
+}  // namespace rll::core
+
+#endif  // RLL_CORE_RLL_TRAINER_H_

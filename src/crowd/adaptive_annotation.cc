@@ -1,0 +1,123 @@
+#include "crowd/adaptive_annotation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "crowd/confidence.h"
+
+namespace rll::crowd {
+
+namespace {
+
+/// Distinct workers not yet used on this item, sampled uniformly.
+std::vector<size_t> SampleFreshWorkers(const data::Dataset& dataset,
+                                       size_t item, size_t count,
+                                       size_t num_workers, Rng* rng) {
+  std::vector<bool> used(num_workers, false);
+  size_t available = num_workers;
+  for (const data::Annotation& a : dataset.annotations(item)) {
+    if (!used[a.worker_id]) {
+      used[a.worker_id] = true;
+      --available;
+    }
+  }
+  std::vector<size_t> fresh;
+  fresh.reserve(available);
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (!used[w]) fresh.push_back(w);
+  }
+  rng->Shuffle(&fresh);
+  fresh.resize(std::min(count, fresh.size()));
+  return fresh;
+}
+
+}  // namespace
+
+Result<AdaptiveAnnotationReport> AnnotateAdaptively(
+    data::Dataset* dataset, const WorkerPool& pool,
+    const AdaptiveAnnotationOptions& options, Rng* rng) {
+  const size_t n = dataset->size();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (options.base_votes == 0) {
+    return Status::InvalidArgument("base_votes must be >= 1");
+  }
+  if (options.base_votes > pool.num_workers()) {
+    return Status::InvalidArgument("base_votes exceeds worker pool size");
+  }
+  if (options.total_budget < options.base_votes * n) {
+    return Status::InvalidArgument(StrFormat(
+        "budget %zu cannot cover base round (%zu items x %zu votes)",
+        options.total_budget, n, options.base_votes));
+  }
+  if (options.votes_per_round == 0) {
+    return Status::InvalidArgument("votes_per_round must be >= 1");
+  }
+
+  // Per-item difficulty fixed for the whole procedure (it is a property of
+  // the item, not of the round).
+  std::vector<double> difficulty(n);
+  for (size_t i = 0; i < n; ++i) {
+    difficulty[i] = rng->Beta(1.5, 2.5);
+  }
+
+  AdaptiveAnnotationReport report;
+  dataset->ClearAnnotations();
+
+  // ---- Base round: every item gets base_votes votes.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t w : rng->SampleWithoutReplacement(pool.num_workers(),
+                                                  options.base_votes)) {
+      dataset->AddAnnotation(
+          i, {w, pool.Vote(w, dataset->true_label(i), difficulty[i], rng)});
+    }
+  }
+  report.votes_spent = options.base_votes * n;
+
+  // ---- Adaptive rounds: route remaining votes to the most uncertain item.
+  while (report.votes_spent + options.votes_per_round <=
+         options.total_budget) {
+    const auto [alpha, beta] =
+        BetaPriorFromClassPrior(*dataset, options.prior_strength);
+    double best_uncertainty = -1.0;
+    size_t best_item = n;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t d = dataset->annotations(i).size();
+      if (d >= pool.num_workers()) continue;  // No fresh workers left.
+      const double delta =
+          (alpha + static_cast<double>(dataset->PositiveVotes(i))) /
+          (alpha + beta + static_cast<double>(d));
+      const double uncertainty = 0.5 - std::fabs(delta - 0.5);
+      if (uncertainty > best_uncertainty) {
+        best_uncertainty = uncertainty;
+        best_item = i;
+      }
+    }
+    if (best_item == n) break;  // Every item exhausted its worker pool.
+
+    const std::vector<size_t> workers = SampleFreshWorkers(
+        *dataset, best_item, options.votes_per_round, pool.num_workers(),
+        rng);
+    if (workers.empty()) break;
+    for (size_t w : workers) {
+      dataset->AddAnnotation(
+          best_item, {w, pool.Vote(w, dataset->true_label(best_item),
+                                   difficulty[best_item], rng)});
+      ++report.votes_spent;
+    }
+    ++report.rounds;
+  }
+
+  // ---- Histogram.
+  size_t max_votes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    max_votes = std::max(max_votes, dataset->annotations(i).size());
+  }
+  report.votes_histogram.assign(max_votes + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    report.votes_histogram[dataset->annotations(i).size()]++;
+  }
+  return report;
+}
+
+}  // namespace rll::crowd

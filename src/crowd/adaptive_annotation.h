@@ -1,0 +1,47 @@
+// Budget-aware adaptive annotation: given a total vote budget, spend a base
+// number of votes on every item, then route the remaining votes to the
+// items whose current label is least certain. Directly addresses the
+// paper's motivating constraint — annotation in education is so expensive
+// that d must stay small — by making every extra vote count.
+
+#ifndef RLL_CROWD_ADAPTIVE_ANNOTATION_H_
+#define RLL_CROWD_ADAPTIVE_ANNOTATION_H_
+
+#include "common/status.h"
+#include "crowd/worker_pool.h"
+
+namespace rll::crowd {
+
+struct AdaptiveAnnotationOptions {
+  /// Votes given to every item in the first round. >= 1.
+  size_t base_votes = 1;
+  /// Total budget across all items; must cover the base round.
+  size_t total_budget = 0;
+  /// Votes added per round to each selected item.
+  size_t votes_per_round = 2;
+  /// Beta prior used for the uncertainty score (posterior of the item's
+  /// label); matched to the class prior like eq. (2).
+  double prior_strength = 2.0;
+};
+
+struct AdaptiveAnnotationReport {
+  /// Votes actually spent.
+  size_t votes_spent = 0;
+  /// Rounds of adaptive allocation after the base round.
+  size_t rounds = 0;
+  /// Final votes-per-item histogram (index = votes, value = #items).
+  std::vector<size_t> votes_histogram;
+};
+
+/// Annotates `dataset` in place using `pool`, spending at most
+/// options.total_budget votes. Items with the most uncertain Beta-posterior
+/// (closest to 0.5) receive extra votes first; each item is capped at
+/// pool->num_workers() votes (distinct workers). Fails when the budget
+/// cannot cover the base round.
+Result<AdaptiveAnnotationReport> AnnotateAdaptively(
+    data::Dataset* dataset, const WorkerPool& pool,
+    const AdaptiveAnnotationOptions& options, Rng* rng);
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_ADAPTIVE_ANNOTATION_H_

@@ -1,0 +1,49 @@
+// Common interface for true-label inference from crowdsourced annotations
+// (the paper's "group 1" methods and the label source for groups 2–4).
+
+#ifndef RLL_CROWD_AGGREGATOR_H_
+#define RLL_CROWD_AGGREGATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rll::crowd {
+
+struct AggregationResult {
+  /// Posterior P(true label = 1) per example.
+  std::vector<double> prob_positive;
+  /// Hard labels (prob thresholded at 0.5).
+  std::vector<int> labels;
+  /// Per-worker quality score; semantics depend on the method (accuracy for
+  /// Dawid–Skene, ability α for GLAD). Empty for majority vote.
+  std::vector<double> worker_quality;
+  /// Per-item difficulty estimate (GLAD only; empty otherwise).
+  std::vector<double> item_difficulty;
+  int iterations = 0;
+  bool converged = true;
+};
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Infers labels from the dataset's annotations. Fails with
+  /// FailedPrecondition when any example lacks annotations.
+  virtual Result<AggregationResult> Run(
+      const data::Dataset& dataset) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Shared precondition check used by all implementations.
+Status CheckAnnotated(const data::Dataset& dataset);
+
+/// Thresholds probabilities at 0.5 into hard labels.
+std::vector<int> HardLabels(const std::vector<double>& prob_positive);
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_AGGREGATOR_H_

@@ -1,0 +1,59 @@
+#include "crowd/agreement.h"
+
+#include <cmath>
+
+#include "crowd/aggregator.h"
+
+namespace rll::crowd {
+
+Result<AgreementStats> ComputeAgreement(const data::Dataset& dataset) {
+  RLL_RETURN_IF_ERROR(CheckAnnotated(dataset));
+  const size_t n = dataset.size();
+  const size_t d = dataset.annotations(0).size();
+  if (d < 2) {
+    return Status::FailedPrecondition(
+        "agreement statistics need >= 2 votes per example");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (dataset.annotations(i).size() != d) {
+      return Status::FailedPrecondition(
+          "agreement statistics require a fixed number of votes per example");
+    }
+  }
+
+  AgreementStats stats;
+  stats.vote_histogram.assign(d + 1, 0);
+
+  double agreement_sum = 0.0;
+  double p_pos_total = 0.0;  // Overall fraction of positive votes.
+  size_t majority_correct = 0;
+  size_t unanimous = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t pos = dataset.PositiveVotes(i);
+    const size_t neg = d - pos;
+    stats.vote_histogram[pos]++;
+    // Fraction of agreeing (unordered) pairs among the d votes.
+    const double pairs = static_cast<double>(d * (d - 1));
+    const double agree =
+        (static_cast<double>(pos * (pos - 1)) +
+         static_cast<double>(neg * (neg - 1))) /
+        pairs;
+    agreement_sum += agree;
+    p_pos_total += static_cast<double>(pos) / static_cast<double>(d);
+    majority_correct += (dataset.MajorityVote(i) == dataset.true_label(i));
+    unanimous += (pos == 0 || pos == d);
+  }
+
+  stats.observed_agreement = agreement_sum / static_cast<double>(n);
+  const double p1 = p_pos_total / static_cast<double>(n);
+  const double pe = p1 * p1 + (1.0 - p1) * (1.0 - p1);
+  stats.fleiss_kappa =
+      pe >= 1.0 ? 1.0 : (stats.observed_agreement - pe) / (1.0 - pe);
+  stats.majority_vote_accuracy =
+      static_cast<double>(majority_correct) / static_cast<double>(n);
+  stats.unanimous_fraction =
+      static_cast<double>(unanimous) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace rll::crowd

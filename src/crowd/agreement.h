@@ -1,0 +1,35 @@
+// Inter-annotator agreement diagnostics: how inconsistent a crowdsourced
+// dataset actually is (vote-split histograms, observed agreement, and
+// Fleiss' kappa for fixed-d designs).
+
+#ifndef RLL_CROWD_AGREEMENT_H_
+#define RLL_CROWD_AGREEMENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rll::crowd {
+
+struct AgreementStats {
+  /// histogram[v] = #examples that received exactly v positive votes.
+  /// Meaningful for fixed votes-per-example designs.
+  std::vector<size_t> vote_histogram;
+  /// Mean over examples of the fraction of agreeing annotation pairs.
+  double observed_agreement = 0.0;
+  /// Fleiss' kappa (chance-corrected agreement); 1 = perfect, 0 = chance.
+  double fleiss_kappa = 0.0;
+  /// Fraction of examples whose majority vote matches the expert label.
+  double majority_vote_accuracy = 0.0;
+  /// Fraction of unanimous examples.
+  double unanimous_fraction = 0.0;
+};
+
+/// Computes agreement statistics. Requires every example annotated with the
+/// same number (≥ 2) of votes for the kappa/histogram fields.
+Result<AgreementStats> ComputeAgreement(const data::Dataset& dataset);
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_AGREEMENT_H_

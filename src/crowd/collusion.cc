@@ -1,0 +1,65 @@
+#include "crowd/collusion.h"
+
+#include "common/strings.h"
+
+namespace rll::crowd {
+
+Status AnnotateWithCollusion(data::Dataset* dataset,
+                             const WorkerPool& honest_pool,
+                             size_t honest_votes,
+                             const CollusionOptions& options,
+                             size_t colluder_votes, Rng* rng) {
+  if (dataset->empty()) return Status::InvalidArgument("empty dataset");
+  if (honest_votes > honest_pool.num_workers()) {
+    return Status::InvalidArgument(
+        StrFormat("honest_votes %zu exceeds pool of %zu", honest_votes,
+                  honest_pool.num_workers()));
+  }
+  if (colluder_votes > options.num_colluders) {
+    return Status::InvalidArgument(
+        StrFormat("colluder_votes %zu exceeds ring of %zu", colluder_votes,
+                  options.num_colluders));
+  }
+  if (honest_votes + colluder_votes == 0) {
+    return Status::InvalidArgument("no votes requested");
+  }
+  if (options.follow_probability < 0.0 || options.follow_probability > 1.0 ||
+      options.leader_accuracy < 0.0 || options.leader_accuracy > 1.0) {
+    return Status::InvalidArgument("probabilities must lie in [0, 1]");
+  }
+
+  dataset->ClearAnnotations();
+  const size_t colluder_base = honest_pool.num_workers();
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    const double difficulty = rng->Beta(1.5, 2.5);
+    if (honest_votes > 0) {
+      for (size_t w : rng->SampleWithoutReplacement(
+               honest_pool.num_workers(), honest_votes)) {
+        dataset->AddAnnotation(
+            i, {w, honest_pool.Vote(w, dataset->true_label(i), difficulty,
+                                    rng)});
+      }
+    }
+    if (colluder_votes > 0) {
+      // One shared leader vote per item: correct with leader_accuracy.
+      const int leader_vote = rng->Bernoulli(options.leader_accuracy)
+                                  ? dataset->true_label(i)
+                                  : 1 - dataset->true_label(i);
+      for (size_t c : rng->SampleWithoutReplacement(options.num_colluders,
+                                                    colluder_votes)) {
+        int vote;
+        if (rng->Bernoulli(options.follow_probability)) {
+          vote = leader_vote;  // The ring moves in lockstep.
+        } else {
+          vote = rng->Bernoulli(options.leader_accuracy)
+                     ? dataset->true_label(i)
+                     : 1 - dataset->true_label(i);
+        }
+        dataset->AddAnnotation(i, {colluder_base + c, vote});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rll::crowd

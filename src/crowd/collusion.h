@@ -1,0 +1,40 @@
+// Colluding-annotator simulation. Every aggregator in this library (and
+// the paper's group-1 baselines) assumes workers err independently; real
+// crowdsourcing fraud breaks exactly that assumption — rings of accounts
+// copying one low-effort "leader" vote. This module annotates a dataset
+// with a mix of honest two-coin workers and such a ring, so robustness
+// experiments can measure how fast majority vote, Dawid–Skene, GLAD, and
+// RLL degrade as the ring grows.
+
+#ifndef RLL_CROWD_COLLUSION_H_
+#define RLL_CROWD_COLLUSION_H_
+
+#include "common/status.h"
+#include "crowd/worker_pool.h"
+
+namespace rll::crowd {
+
+struct CollusionOptions {
+  /// Size of the colluding ring (distinct worker ids after the honest
+  /// pool's ids).
+  size_t num_colluders = 5;
+  /// Probability a colluder copies the ring's leader vote on an item
+  /// (otherwise they vote independently at leader_accuracy).
+  double follow_probability = 0.9;
+  /// Accuracy of the ring's leader vote (0.5 = random spam).
+  double leader_accuracy = 0.55;
+};
+
+/// Annotates every example with `honest_votes` votes from distinct workers
+/// of `honest_pool` plus `colluder_votes` votes from the ring (replacing
+/// existing annotations). Colluder ids start at honest_pool.num_workers().
+/// Fails when vote counts exceed the respective pools.
+Status AnnotateWithCollusion(data::Dataset* dataset,
+                             const WorkerPool& honest_pool,
+                             size_t honest_votes,
+                             const CollusionOptions& options,
+                             size_t colluder_votes, Rng* rng);
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_COLLUSION_H_

@@ -1,0 +1,90 @@
+#include "crowd/confidence.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+#include "crowd/dawid_skene.h"
+
+namespace rll::crowd {
+
+const char* ConfidenceModeName(ConfidenceMode mode) {
+  switch (mode) {
+    case ConfidenceMode::kNone:
+      return "none";
+    case ConfidenceMode::kMle:
+      return "MLE";
+    case ConfidenceMode::kBayesian:
+      return "Bayesian";
+    case ConfidenceMode::kWorkerAware:
+      return "WorkerAware";
+  }
+  return "?";
+}
+
+std::pair<double, double> BetaPriorFromClassPrior(
+    const data::Dataset& dataset, double prior_strength) {
+  RLL_CHECK_GT(prior_strength, 0.0);
+  RLL_CHECK(dataset.FullyAnnotated());
+  size_t pos = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    pos += (dataset.MajorityVote(i) == 1);
+  }
+  double prior = static_cast<double>(pos) / static_cast<double>(dataset.size());
+  // Keep both pseudo-counts strictly positive.
+  prior = std::min(std::max(prior, 0.01), 0.99);
+  return {prior * prior_strength, (1.0 - prior) * prior_strength};
+}
+
+std::vector<double> LabelPositiveness(const data::Dataset& dataset,
+                                      ConfidenceMode mode,
+                                      double prior_strength) {
+  RLL_CHECK(dataset.FullyAnnotated());
+  if (mode == ConfidenceMode::kWorkerAware) {
+    // Reliability-weighted posterior: P(y=1 | votes, worker confusions)
+    // from the Dawid–Skene model.
+    DawidSkene ds;
+    Result<AggregationResult> result = ds.Run(dataset);
+    RLL_CHECK_MSG(result.ok(), "Dawid-Skene inference failed");
+    return std::move(*result).prob_positive;
+  }
+  std::vector<double> out(dataset.size());
+  double alpha = 0.0, beta = 0.0;
+  if (mode == ConfidenceMode::kBayesian) {
+    std::tie(alpha, beta) = BetaPriorFromClassPrior(dataset, prior_strength);
+  }
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const double votes = static_cast<double>(dataset.PositiveVotes(i));
+    const double d = static_cast<double>(dataset.annotations(i).size());
+    switch (mode) {
+      case ConfidenceMode::kNone:
+      case ConfidenceMode::kMle:
+        out[i] = votes / d;  // eq. (1)
+        break;
+      case ConfidenceMode::kBayesian:
+        out[i] = (alpha + votes) / (alpha + beta + d);  // eq. (2)
+        break;
+      case ConfidenceMode::kWorkerAware:
+        break;  // Handled above.
+    }
+  }
+  return out;
+}
+
+std::vector<double> LabelConfidence(const data::Dataset& dataset,
+                                    const std::vector<int>& labels,
+                                    ConfidenceMode mode,
+                                    double prior_strength) {
+  RLL_CHECK_EQ(labels.size(), dataset.size());
+  if (mode == ConfidenceMode::kNone) {
+    return std::vector<double>(dataset.size(), 1.0);
+  }
+  std::vector<double> pos = LabelPositiveness(dataset, mode, prior_strength);
+  std::vector<double> out(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    out[i] = labels[i] == 1 ? pos[i] : 1.0 - pos[i];
+  }
+  return out;
+}
+
+}  // namespace rll::crowd

@@ -1,0 +1,56 @@
+// Label-confidence estimators — equations (1) and (2) of the paper.
+//
+// MLE:      δᵢ = Σⱼ yᵢⱼ / d                       (eq. 1)
+// Bayesian: δᵢ = (α + Σⱼ yᵢⱼ) / (α + β + d)       (eq. 2)
+//
+// Following §IV-A, the Beta prior (α, β) is set from the label class prior:
+// α/(α+β) equals the positive fraction of the (majority-vote) labels and
+// α+β is a tunable prior strength.
+
+#ifndef RLL_CROWD_CONFIDENCE_H_
+#define RLL_CROWD_CONFIDENCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rll::crowd {
+
+enum class ConfidenceMode {
+  /// Every example gets confidence 1 (plain RLL).
+  kNone,
+  /// Maximum-likelihood vote fraction, eq. (1).
+  kMle,
+  /// Beta-posterior mean, eq. (2).
+  kBayesian,
+  /// Extension (the paper's stated future work): posterior from the
+  /// Dawid–Skene worker model — votes are weighted by each worker's
+  /// estimated reliability instead of being counted equally.
+  kWorkerAware,
+};
+
+const char* ConfidenceModeName(ConfidenceMode mode);
+
+/// (α, β) matched to the class prior observed in the majority-vote labels:
+/// α = prior·strength, β = (1−prior)·strength. Requires annotations.
+std::pair<double, double> BetaPriorFromClassPrior(
+    const data::Dataset& dataset, double prior_strength);
+
+/// Per-example P(label = 1): vote fraction (kMle / kNone) or Beta-posterior
+/// mean (kBayesian, using BetaPriorFromClassPrior). Requires annotations.
+std::vector<double> LabelPositiveness(const data::Dataset& dataset,
+                                      ConfidenceMode mode,
+                                      double prior_strength = 2.0);
+
+/// Confidence δᵢ of the *assigned* label: P(1) for examples labeled 1,
+/// 1−P(1) for examples labeled 0. With kNone, all confidences are 1, which
+/// reduces eq. (3) to the unweighted softmax — exactly plain RLL.
+std::vector<double> LabelConfidence(const data::Dataset& dataset,
+                                    const std::vector<int>& labels,
+                                    ConfidenceMode mode,
+                                    double prior_strength = 2.0);
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_CONFIDENCE_H_

@@ -1,0 +1,89 @@
+#include "crowd/dawid_skene.h"
+
+#include <array>
+#include <cmath>
+
+namespace rll::crowd {
+
+Result<AggregationResult> DawidSkene::Run(
+    const data::Dataset& dataset) const {
+  RLL_RETURN_IF_ERROR(CheckAnnotated(dataset));
+  const size_t n = dataset.size();
+  const size_t num_workers = dataset.NumWorkers();
+
+  // Initialize posteriors from soft majority vote.
+  std::vector<double> posterior(n);
+  for (size_t i = 0; i < n; ++i) {
+    posterior[i] = static_cast<double>(dataset.PositiveVotes(i)) /
+                   static_cast<double>(dataset.annotations(i).size());
+  }
+
+  // confusion[w][c*2+l] = P(worker w says l | true class c).
+  confusions_.assign(num_workers, {0.5, 0.5, 0.5, 0.5});
+  double prior_pos = 0.5;
+  int iter = 0;
+  bool converged = false;
+
+  for (; iter < options_.max_iterations; ++iter) {
+    // ---- M-step: re-estimate prior and confusion from posteriors.
+    double pos_mass = 0.0;
+    for (double p : posterior) pos_mass += p;
+    prior_pos = pos_mass / static_cast<double>(n);
+
+    std::vector<std::array<double, 4>> counts(
+        num_workers, {options_.smoothing, options_.smoothing,
+                      options_.smoothing, options_.smoothing});
+    for (size_t i = 0; i < n; ++i) {
+      const double p1 = posterior[i];
+      for (const data::Annotation& a : dataset.annotations(i)) {
+        counts[a.worker_id][0 * 2 + a.label] += (1.0 - p1);
+        counts[a.worker_id][1 * 2 + a.label] += p1;
+      }
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      for (int c = 0; c < 2; ++c) {
+        const double total = counts[w][c * 2] + counts[w][c * 2 + 1];
+        confusions_[w][c * 2] = counts[w][c * 2] / total;
+        confusions_[w][c * 2 + 1] = counts[w][c * 2 + 1] / total;
+      }
+    }
+
+    // ---- E-step: recompute posteriors under the new parameters.
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double log1 = std::log(std::max(prior_pos, 1e-12));
+      double log0 = std::log(std::max(1.0 - prior_pos, 1e-12));
+      for (const data::Annotation& a : dataset.annotations(i)) {
+        log1 += std::log(
+            std::max(confusions_[a.worker_id][1 * 2 + a.label], 1e-12));
+        log0 += std::log(
+            std::max(confusions_[a.worker_id][0 * 2 + a.label], 1e-12));
+      }
+      const double mx = std::max(log0, log1);
+      const double z = std::exp(log0 - mx) + std::exp(log1 - mx);
+      const double p1 = std::exp(log1 - mx) / z;
+      max_delta = std::max(max_delta, std::fabs(p1 - posterior[i]));
+      posterior[i] = p1;
+    }
+    if (max_delta < options_.tolerance) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  AggregationResult result;
+  result.prob_positive = std::move(posterior);
+  result.labels = HardLabels(result.prob_positive);
+  result.worker_quality.resize(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    // Balanced accuracy from the confusion diagonal.
+    result.worker_quality[w] =
+        0.5 * (confusions_[w][0 * 2 + 0] + confusions_[w][1 * 2 + 1]);
+  }
+  result.iterations = iter;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace rll::crowd

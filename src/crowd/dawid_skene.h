@@ -1,0 +1,46 @@
+// Dawid & Skene (1979) EM for observer error rates — the classic "EM"
+// baseline in the paper's group 1 (via Dempster et al.'s EM, ref [25]).
+//
+// Binary specialization: each worker w has a 2×2 confusion matrix
+// π_w[c][l] = P(worker labels l | true class c); the true label of each
+// example is a latent variable. EM alternates posterior inference (E) with
+// confusion/prior re-estimation (M, Laplace-smoothed).
+
+#ifndef RLL_CROWD_DAWID_SKENE_H_
+#define RLL_CROWD_DAWID_SKENE_H_
+
+#include <array>
+
+#include "crowd/aggregator.h"
+
+namespace rll::crowd {
+
+struct DawidSkeneOptions {
+  int max_iterations = 100;
+  /// Converged when max |Δposterior| < tolerance between iterations.
+  double tolerance = 1e-6;
+  /// Laplace smoothing added to confusion-matrix counts.
+  double smoothing = 0.01;
+};
+
+class DawidSkene : public Aggregator {
+ public:
+  explicit DawidSkene(DawidSkeneOptions options = {}) : options_(options) {}
+
+  Result<AggregationResult> Run(const data::Dataset& dataset) const override;
+  std::string name() const override { return "DawidSkeneEM"; }
+
+  /// Estimated confusion matrices from the last Run (row-major
+  /// [worker][true*2+label]); exposed for diagnostics and tests.
+  const std::vector<std::array<double, 4>>& confusions() const {
+    return confusions_;
+  }
+
+ private:
+  DawidSkeneOptions options_;
+  mutable std::vector<std::array<double, 4>> confusions_;
+};
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_DAWID_SKENE_H_

@@ -1,0 +1,114 @@
+#include "crowd/glad.h"
+
+#include <cmath>
+
+namespace rll::crowd {
+
+namespace {
+
+double StableSigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Result<AggregationResult> Glad::Run(const data::Dataset& dataset) const {
+  RLL_RETURN_IF_ERROR(CheckAnnotated(dataset));
+  const size_t n = dataset.size();
+  const size_t num_workers = dataset.NumWorkers();
+
+  // Posterior P(z_i = 1), initialized from soft majority vote.
+  std::vector<double> posterior(n);
+  for (size_t i = 0; i < n; ++i) {
+    posterior[i] = static_cast<double>(dataset.PositiveVotes(i)) /
+                   static_cast<double>(dataset.annotations(i).size());
+  }
+
+  std::vector<double> alpha(num_workers, 1.0);  // Worker ability.
+  std::vector<double> lambda(n, 0.0);           // log β_i (inverse difficulty).
+  double prior_pos = 0.5;
+
+  int iter = 0;
+  bool converged = false;
+  for (; iter < options_.max_em_iterations; ++iter) {
+    // ---- M-step: gradient ascent on the expected complete log-likelihood.
+    // For each vote, let t = P(vote is correct | posteriors); the gradient
+    // through sigmoid(αβ) is (t − σ) scaled by the other factor.
+    for (int step = 0; step < options_.m_step_iterations; ++step) {
+      std::vector<double> grad_alpha(num_workers, 0.0);
+      std::vector<double> grad_lambda(n, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        const double beta = std::exp(lambda[i]);
+        for (const data::Annotation& a : dataset.annotations(i)) {
+          const double t = a.label == 1 ? posterior[i] : 1.0 - posterior[i];
+          const double sigma = StableSigmoid(alpha[a.worker_id] * beta);
+          const double common = t - sigma;
+          grad_alpha[a.worker_id] += beta * common;
+          grad_lambda[i] += alpha[a.worker_id] * common * beta;
+        }
+      }
+      for (size_t w = 0; w < num_workers; ++w) {
+        grad_alpha[w] -= options_.alpha_prior_precision * (alpha[w] - 1.0);
+        alpha[w] += options_.m_step_learning_rate * grad_alpha[w];
+      }
+      for (size_t i = 0; i < n; ++i) {
+        grad_lambda[i] -= options_.lambda_prior_precision * lambda[i];
+        lambda[i] += options_.m_step_learning_rate * grad_lambda[i];
+        // Clamp to keep exp() well-behaved.
+        lambda[i] = std::min(std::max(lambda[i], -4.0), 4.0);
+      }
+    }
+
+    // Class prior from current posteriors.
+    double pos_mass = 0.0;
+    for (double p : posterior) pos_mass += p;
+    prior_pos = pos_mass / static_cast<double>(n);
+    prior_pos = std::min(std::max(prior_pos, 1e-6), 1.0 - 1e-6);
+
+    // ---- E-step: recompute posteriors.
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double beta = std::exp(lambda[i]);
+      double log1 = std::log(prior_pos);
+      double log0 = std::log(1.0 - prior_pos);
+      for (const data::Annotation& a : dataset.annotations(i)) {
+        const double sigma = StableSigmoid(alpha[a.worker_id] * beta);
+        const double p_correct = std::min(std::max(sigma, 1e-12), 1.0 - 1e-12);
+        if (a.label == 1) {
+          log1 += std::log(p_correct);
+          log0 += std::log(1.0 - p_correct);
+        } else {
+          log1 += std::log(1.0 - p_correct);
+          log0 += std::log(p_correct);
+        }
+      }
+      const double mx = std::max(log0, log1);
+      const double z = std::exp(log0 - mx) + std::exp(log1 - mx);
+      const double p1 = std::exp(log1 - mx) / z;
+      max_delta = std::max(max_delta, std::fabs(p1 - posterior[i]));
+      posterior[i] = p1;
+    }
+    if (max_delta < options_.tolerance) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  AggregationResult result;
+  result.prob_positive = std::move(posterior);
+  result.labels = HardLabels(result.prob_positive);
+  result.worker_quality = std::move(alpha);
+  result.item_difficulty.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Difficulty reported as 1/β as in the GLAD paper.
+    result.item_difficulty[i] = std::exp(-lambda[i]);
+  }
+  result.iterations = iter;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace rll::crowd

@@ -1,0 +1,42 @@
+// GLAD (Whitehill et al., NIPS 2009): joint inference of true labels,
+// worker expertise α_w, and per-item difficulty — the paper's "GLAD"
+// baseline in group 1.
+//
+// Model: P(worker w correct on item i) = sigmoid(α_w · β_i), where β_i > 0
+// is the item's inverse difficulty (β → 0 means a coin flip no matter how
+// able the worker). EM with a gradient-ascent M-step; β is parameterized as
+// exp(λ_i) to remain positive, with weak Gaussian priors on α and λ.
+
+#ifndef RLL_CROWD_GLAD_H_
+#define RLL_CROWD_GLAD_H_
+
+#include "crowd/aggregator.h"
+
+namespace rll::crowd {
+
+struct GladOptions {
+  int max_em_iterations = 50;
+  /// Gradient-ascent steps per M-step.
+  int m_step_iterations = 25;
+  double m_step_learning_rate = 0.05;
+  /// Converged when max |Δposterior| < tolerance between EM iterations.
+  double tolerance = 1e-5;
+  /// Gaussian prior precision on α (centered at 1) and λ (centered at 0).
+  double alpha_prior_precision = 0.1;
+  double lambda_prior_precision = 0.1;
+};
+
+class Glad : public Aggregator {
+ public:
+  explicit Glad(GladOptions options = {}) : options_(options) {}
+
+  Result<AggregationResult> Run(const data::Dataset& dataset) const override;
+  std::string name() const override { return "GLAD"; }
+
+ private:
+  GladOptions options_;
+};
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_GLAD_H_

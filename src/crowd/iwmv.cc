@@ -1,0 +1,71 @@
+#include "crowd/iwmv.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rll::crowd {
+
+Result<AggregationResult> Iwmv::Run(const data::Dataset& dataset) const {
+  RLL_RETURN_IF_ERROR(CheckAnnotated(dataset));
+  const size_t n = dataset.size();
+  const size_t num_workers = dataset.NumWorkers();
+
+  // Start from plain majority vote.
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = dataset.MajorityVote(i);
+
+  std::vector<double> weights(num_workers, 1.0);
+  std::vector<double> scores(n, 0.0);
+  int iter = 0;
+  bool converged = false;
+  for (; iter < options_.max_iterations; ++iter) {
+    // ---- Worker accuracies against the current consensus.
+    std::vector<double> agree(num_workers, options_.smoothing);
+    std::vector<double> total(num_workers, 2.0 * options_.smoothing);
+    for (size_t i = 0; i < n; ++i) {
+      for (const data::Annotation& a : dataset.annotations(i)) {
+        total[a.worker_id] += 1.0;
+        if (a.label == labels[i]) agree[a.worker_id] += 1.0;
+      }
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      const double acc =
+          std::min(std::max(agree[w] / total[w], 1e-6), 1.0 - 1e-6);
+      // Log-odds weight: 0 for coin-flippers, negative for adversaries.
+      weights[w] = std::clamp(std::log(acc / (1.0 - acc)),
+                              -options_.max_weight, options_.max_weight);
+    }
+
+    // ---- Weighted vote.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double score = 0.0;
+      for (const data::Annotation& a : dataset.annotations(i)) {
+        score += weights[a.worker_id] * (a.label == 1 ? 1.0 : -1.0);
+      }
+      scores[i] = score;
+      const int new_label = score >= 0.0 ? 1 : 0;
+      changed = changed || (new_label != labels[i]);
+      labels[i] = new_label;
+    }
+    if (!changed) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  AggregationResult result;
+  result.labels = std::move(labels);
+  result.prob_positive.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Squash the weighted-vote margin into a pseudo-probability.
+    result.prob_positive[i] = 1.0 / (1.0 + std::exp(-scores[i]));
+  }
+  result.worker_quality = std::move(weights);
+  result.iterations = iter;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace rll::crowd

@@ -1,0 +1,38 @@
+// Iterative Weighted Majority Vote (Li & Yu, 2014 flavor): alternate
+// between weighting workers by their agreement with the current consensus
+// and recomputing the consensus with those weights. Converges in a handful
+// of rounds, needs no confusion matrices, and sits between plain majority
+// vote and Dawid–Skene in both cost and power.
+
+#ifndef RLL_CROWD_IWMV_H_
+#define RLL_CROWD_IWMV_H_
+
+#include "crowd/aggregator.h"
+
+namespace rll::crowd {
+
+struct IwmvOptions {
+  int max_iterations = 50;
+  /// Converged when no hard label flips between rounds.
+  double tolerance = 1e-9;
+  /// Weights are log-odds of estimated worker accuracy, clamped to
+  /// [-max_weight, max_weight] so perfect agreement cannot dominate.
+  double max_weight = 6.0;
+  /// Laplace smoothing on worker-accuracy estimates.
+  double smoothing = 1.0;
+};
+
+class Iwmv : public Aggregator {
+ public:
+  explicit Iwmv(IwmvOptions options = {}) : options_(options) {}
+
+  Result<AggregationResult> Run(const data::Dataset& dataset) const override;
+  std::string name() const override { return "IWMV"; }
+
+ private:
+  IwmvOptions options_;
+};
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_IWMV_H_

@@ -1,0 +1,41 @@
+#include "crowd/majority_vote.h"
+
+namespace rll::crowd {
+
+Status CheckAnnotated(const data::Dataset& dataset) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (!dataset.FullyAnnotated()) {
+    return Status::FailedPrecondition(
+        "every example needs at least one crowd annotation");
+  }
+  return Status::OK();
+}
+
+std::vector<int> HardLabels(const std::vector<double>& prob_positive) {
+  std::vector<int> labels(prob_positive.size());
+  for (size_t i = 0; i < prob_positive.size(); ++i) {
+    labels[i] = prob_positive[i] >= 0.5 ? 1 : 0;
+  }
+  return labels;
+}
+
+Result<AggregationResult> MajorityVote::Run(
+    const data::Dataset& dataset) const {
+  RLL_RETURN_IF_ERROR(CheckAnnotated(dataset));
+  AggregationResult result;
+  result.prob_positive.resize(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const size_t d = dataset.annotations(i).size();
+    result.prob_positive[i] =
+        static_cast<double>(dataset.PositiveVotes(i)) /
+        static_cast<double>(d);
+  }
+  result.labels = HardLabels(result.prob_positive);
+  result.iterations = 0;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace rll::crowd

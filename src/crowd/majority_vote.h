@@ -1,0 +1,20 @@
+// Majority vote — the baseline aggregator (and the label source the paper
+// uses for its group-2 representation-learning baselines and plain RLL).
+
+#ifndef RLL_CROWD_MAJORITY_VOTE_H_
+#define RLL_CROWD_MAJORITY_VOTE_H_
+
+#include "crowd/aggregator.h"
+
+namespace rll::crowd {
+
+class MajorityVote : public Aggregator {
+ public:
+  /// prob_positive is the raw vote fraction; ties resolve to 1.
+  Result<AggregationResult> Run(const data::Dataset& dataset) const override;
+  std::string name() const override { return "MajorityVote"; }
+};
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_MAJORITY_VOTE_H_

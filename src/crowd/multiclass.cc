@@ -1,0 +1,176 @@
+#include "crowd/multiclass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "tensor/ops.h"
+
+namespace rll::crowd {
+
+size_t MulticlassAnnotations::NumWorkers() const {
+  size_t max_id = 0;
+  bool any = false;
+  for (const auto& item : votes) {
+    for (const MulticlassVote& v : item) {
+      max_id = std::max(max_id, v.worker_id);
+      any = true;
+    }
+  }
+  return any ? max_id + 1 : 0;
+}
+
+Status MulticlassAnnotations::Validate() const {
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+  if (votes.empty()) return Status::InvalidArgument("no items");
+  for (size_t i = 0; i < votes.size(); ++i) {
+    if (votes[i].empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("item %zu has no votes", i));
+    }
+    for (const MulticlassVote& v : votes[i]) {
+      if (v.label >= num_classes) {
+        return Status::OutOfRange(
+            StrFormat("item %zu: label %zu >= num_classes %zu", i, v.label,
+                      num_classes));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<MulticlassAggregation> MulticlassMajorityVote(
+    const MulticlassAnnotations& annotations) {
+  RLL_RETURN_IF_ERROR(annotations.Validate());
+  const size_t n = annotations.num_items();
+  const size_t k = annotations.num_classes;
+
+  MulticlassAggregation result;
+  result.posterior = Matrix(n, k);
+  result.labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const MulticlassVote& v : annotations.votes[i]) {
+      result.posterior(i, v.label) += 1.0;
+    }
+    const double total = static_cast<double>(annotations.votes[i].size());
+    size_t best = 0;
+    for (size_t c = 0; c < k; ++c) {
+      result.posterior(i, c) /= total;
+      if (result.posterior(i, c) > result.posterior(i, best)) best = c;
+    }
+    result.labels[i] = best;
+  }
+  return result;
+}
+
+Result<MulticlassAggregation> MulticlassDawidSkene(
+    const MulticlassAnnotations& annotations,
+    const MulticlassDawidSkeneOptions& options) {
+  RLL_RETURN_IF_ERROR(annotations.Validate());
+  const size_t n = annotations.num_items();
+  const size_t k = annotations.num_classes;
+  const size_t num_workers = annotations.NumWorkers();
+
+  // Initialize posteriors from plurality fractions.
+  RLL_ASSIGN_OR_RETURN(MulticlassAggregation result,
+                       MulticlassMajorityVote(annotations));
+  Matrix& posterior = result.posterior;
+
+  result.confusions.assign(num_workers,
+                           Matrix(k, k, 1.0 / static_cast<double>(k)));
+  std::vector<double> prior(k, 1.0 / static_cast<double>(k));
+
+  int iter = 0;
+  bool converged = false;
+  for (; iter < options.max_iterations; ++iter) {
+    // ---- M-step: class prior and confusion matrices.
+    for (size_t c = 0; c < k; ++c) {
+      double mass = 0.0;
+      for (size_t i = 0; i < n; ++i) mass += posterior(i, c);
+      prior[c] = std::max(mass / static_cast<double>(n), 1e-12);
+    }
+    std::vector<Matrix> counts(num_workers,
+                               Matrix(k, k, options.smoothing));
+    for (size_t i = 0; i < n; ++i) {
+      for (const MulticlassVote& v : annotations.votes[i]) {
+        for (size_t c = 0; c < k; ++c) {
+          counts[v.worker_id](c, v.label) += posterior(i, c);
+        }
+      }
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      for (size_t c = 0; c < k; ++c) {
+        double row_total = 0.0;
+        for (size_t l = 0; l < k; ++l) row_total += counts[w](c, l);
+        for (size_t l = 0; l < k; ++l) {
+          result.confusions[w](c, l) = counts[w](c, l) / row_total;
+        }
+      }
+    }
+
+    // ---- E-step: recompute posteriors in log space.
+    double max_delta = 0.0;
+    std::vector<double> log_post(k);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < k; ++c) log_post[c] = std::log(prior[c]);
+      for (const MulticlassVote& v : annotations.votes[i]) {
+        for (size_t c = 0; c < k; ++c) {
+          log_post[c] += std::log(
+              std::max(result.confusions[v.worker_id](c, v.label), 1e-12));
+        }
+      }
+      const double mx = *std::max_element(log_post.begin(), log_post.end());
+      double z = 0.0;
+      for (size_t c = 0; c < k; ++c) z += std::exp(log_post[c] - mx);
+      for (size_t c = 0; c < k; ++c) {
+        const double p = std::exp(log_post[c] - mx) / z;
+        max_delta = std::max(max_delta, std::fabs(p - posterior(i, c)));
+        posterior(i, c) = p;
+      }
+    }
+    if (max_delta < options.tolerance) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  const std::vector<size_t> argmax = ArgmaxRows(posterior);
+  result.labels.assign(argmax.begin(), argmax.end());
+  result.iterations = iter;
+  result.converged = converged;
+  return result;
+}
+
+MulticlassAnnotations SimulateMulticlassVotes(
+    const std::vector<size_t>& true_classes, size_t num_classes,
+    const std::vector<Matrix>& worker_confusions, size_t votes_per_item,
+    Rng* rng) {
+  RLL_CHECK_GE(num_classes, 2u);
+  RLL_CHECK(!worker_confusions.empty());
+  RLL_CHECK_LE(votes_per_item, worker_confusions.size());
+  for (const Matrix& confusion : worker_confusions) {
+    RLL_CHECK_EQ(confusion.rows(), num_classes);
+    RLL_CHECK_EQ(confusion.cols(), num_classes);
+  }
+
+  MulticlassAnnotations annotations;
+  annotations.num_classes = num_classes;
+  annotations.votes.resize(true_classes.size());
+  for (size_t i = 0; i < true_classes.size(); ++i) {
+    RLL_CHECK_LT(true_classes[i], num_classes);
+    for (size_t w : rng->SampleWithoutReplacement(worker_confusions.size(),
+                                                  votes_per_item)) {
+      std::vector<double> row(num_classes);
+      for (size_t l = 0; l < num_classes; ++l) {
+        row[l] = worker_confusions[w](true_classes[i], l);
+      }
+      annotations.votes[i].push_back({w, rng->Categorical(row)});
+    }
+  }
+  return annotations;
+}
+
+}  // namespace rll::crowd

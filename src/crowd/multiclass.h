@@ -1,0 +1,80 @@
+// K-class crowdsourced-label aggregation — the full Dawid & Skene (1979)
+// model with K×K per-worker confusion matrices, plus K-class majority vote.
+// The paper restricts itself to binary labels "without loss of generality";
+// this module supplies the generality: education tasks like rubric scoring
+// (1–4) or error-type tagging are inherently multiclass.
+//
+// Self-contained annotation table (independent of data::Dataset, which is
+// binary by construction) so multiclass inference composes with any source.
+
+#ifndef RLL_CROWD_MULTICLASS_H_
+#define RLL_CROWD_MULTICLASS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace rll::crowd {
+
+/// One worker's class vote on one item.
+struct MulticlassVote {
+  size_t worker_id;
+  size_t label;  // In [0, num_classes).
+};
+
+/// Long-format K-class annotation table.
+struct MulticlassAnnotations {
+  size_t num_classes = 0;
+  /// votes[i] — all votes on item i.
+  std::vector<std::vector<MulticlassVote>> votes;
+
+  size_t num_items() const { return votes.size(); }
+  /// Max worker id + 1 (0 when empty).
+  size_t NumWorkers() const;
+  /// Validates labels < num_classes and every item voted at least once.
+  Status Validate() const;
+};
+
+struct MulticlassAggregation {
+  /// posterior(i, c) = P(item i has class c); rows sum to 1.
+  Matrix posterior;
+  /// argmax of each posterior row.
+  std::vector<size_t> labels;
+  /// Per-worker estimated confusion matrices, row-major K×K each:
+  /// confusion[w](c, l) = P(worker w votes l | true class c).
+  std::vector<Matrix> confusions;
+  int iterations = 0;
+  bool converged = true;
+};
+
+/// Plurality vote per item; ties break toward the lower class id.
+/// posterior rows are the empirical vote fractions.
+Result<MulticlassAggregation> MulticlassMajorityVote(
+    const MulticlassAnnotations& annotations);
+
+struct MulticlassDawidSkeneOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;
+  /// Laplace smoothing added to confusion counts.
+  double smoothing = 0.01;
+};
+
+/// Full Dawid–Skene EM: latent item classes, per-worker K×K confusions,
+/// class prior. Initialized from the plurality posterior.
+Result<MulticlassAggregation> MulticlassDawidSkene(
+    const MulticlassAnnotations& annotations,
+    const MulticlassDawidSkeneOptions& options = {});
+
+/// Simulation helper for tests/experiments: workers with planted confusion
+/// matrices (each K×K, rows summing to 1) vote `votes_per_item` times on
+/// items with the given true classes.
+MulticlassAnnotations SimulateMulticlassVotes(
+    const std::vector<size_t>& true_classes, size_t num_classes,
+    const std::vector<Matrix>& worker_confusions, size_t votes_per_item,
+    Rng* rng);
+
+}  // namespace rll::crowd
+
+#endif  // RLL_CROWD_MULTICLASS_H_

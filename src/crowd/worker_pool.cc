@@ -1,0 +1,79 @@
+#include "crowd/worker_pool.h"
+
+#include <algorithm>
+
+namespace rll::crowd {
+
+WorkerPool::WorkerPool(const WorkerPoolConfig& config, Rng* rng)
+    : config_(config) {
+  RLL_CHECK_GT(config.num_workers, 0u);
+  sensitivity_.reserve(config.num_workers);
+  specificity_.reserve(config.num_workers);
+  for (size_t w = 0; w < config.num_workers; ++w) {
+    sensitivity_.push_back(
+        rng->Beta(config.sensitivity_alpha, config.sensitivity_beta));
+    specificity_.push_back(
+        rng->Beta(config.specificity_alpha, config.specificity_beta));
+  }
+}
+
+WorkerPool::WorkerPool(std::vector<double> sensitivity,
+                       std::vector<double> specificity)
+    : sensitivity_(std::move(sensitivity)),
+      specificity_(std::move(specificity)) {
+  RLL_CHECK_EQ(sensitivity_.size(), specificity_.size());
+  RLL_CHECK(!sensitivity_.empty());
+  config_.difficulty_alpha = 0.0;  // Pure two-coin model.
+}
+
+double WorkerPool::WorkerAccuracy(size_t w) const {
+  RLL_CHECK_LT(w, num_workers());
+  return 0.5 * (sensitivity_[w] + specificity_[w]);
+}
+
+int WorkerPool::Vote(size_t w, int true_label, double difficulty,
+                     Rng* rng) const {
+  RLL_CHECK_LT(w, num_workers());
+  RLL_CHECK(true_label == 0 || true_label == 1);
+  RLL_CHECK(difficulty >= 0.0 && difficulty <= 1.0);
+  const double ability = true_label == 1 ? sensitivity_[w] : specificity_[w];
+  // Difficulty attenuates ability toward a coin flip.
+  const double p_correct = 0.5 + (ability - 0.5) * (1.0 - difficulty);
+  const bool correct = rng->Bernoulli(p_correct);
+  return correct ? true_label : 1 - true_label;
+}
+
+void WorkerPool::Drift(double magnitude, Rng* rng) {
+  RLL_CHECK_GE(magnitude, 0.0);
+  auto step = [&](double ability) {
+    return std::min(std::max(ability + rng->Normal(0.0, magnitude), 0.05),
+                    0.99);
+  };
+  for (size_t w = 0; w < num_workers(); ++w) {
+    sensitivity_[w] = step(sensitivity_[w]);
+    specificity_[w] = step(specificity_[w]);
+  }
+}
+
+void WorkerPool::Annotate(data::Dataset* dataset, size_t votes_per_example,
+                          Rng* rng) {
+  RLL_CHECK_GT(votes_per_example, 0u);
+  RLL_CHECK_LE(votes_per_example, num_workers());
+  dataset->ClearAnnotations();
+  last_difficulties_.resize(dataset->size());
+  for (size_t i = 0; i < dataset->size(); ++i) {
+    const double t =
+        config_.difficulty_alpha > 0.0
+            ? rng->Beta(config_.difficulty_alpha, config_.difficulty_beta)
+            : 0.0;
+    last_difficulties_[i] = t;
+    const std::vector<size_t> workers =
+        rng->SampleWithoutReplacement(num_workers(), votes_per_example);
+    for (size_t w : workers) {
+      dataset->AddAnnotation(
+          i, {w, Vote(w, dataset->true_label(i), t, rng)});
+    }
+  }
+}
+
+}  // namespace rll::crowd

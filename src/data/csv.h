@@ -1,0 +1,33 @@
+// CSV import/export so datasets and annotations can round-trip to standard
+// crowdsourcing tooling.
+//
+// Features file: header "f0,...,f{d-1},label", one example per row.
+// Annotations file (long format, the de-facto crowdsourcing layout):
+// header "example_id,worker_id,label", one vote per row.
+
+#ifndef RLL_DATA_CSV_H_
+#define RLL_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace rll::data {
+
+/// Writes features + expert labels.
+Status SaveFeaturesCsv(const std::string& path, const Dataset& dataset);
+
+/// Reads features + expert labels (annotations left empty).
+Result<Dataset> LoadFeaturesCsv(const std::string& path);
+
+/// Writes all crowd annotations in long format.
+Status SaveAnnotationsCsv(const std::string& path, const Dataset& dataset);
+
+/// Loads annotations into an existing dataset (replaces current ones).
+/// Fails if any example_id is out of range.
+Status LoadAnnotationsCsv(const std::string& path, Dataset* dataset);
+
+}  // namespace rll::data
+
+#endif  // RLL_DATA_CSV_H_

@@ -1,0 +1,57 @@
+#include "data/kfold.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace rll::data {
+
+Split TrainTestSplit(size_t n, double test_fraction, Rng* rng) {
+  RLL_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  RLL_CHECK_GE(n, 2u);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng->Shuffle(&order);
+  size_t num_test = static_cast<size_t>(test_fraction * static_cast<double>(n));
+  num_test = std::clamp<size_t>(num_test, 1, n - 1);
+  Split split;
+  split.test.assign(order.begin(), order.begin() + num_test);
+  split.train.assign(order.begin() + num_test, order.end());
+  return split;
+}
+
+std::vector<Split> StratifiedKFold(const std::vector<int>& labels, size_t k,
+                                   Rng* rng) {
+  const size_t n = labels.size();
+  RLL_CHECK_GE(k, 2u);
+  RLL_CHECK_LE(k, n);
+
+  // Deal each class's shuffled indices round-robin into folds.
+  std::vector<std::vector<size_t>> fold_members(k);
+  for (int cls : {0, 1}) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < n; ++i) {
+      if (labels[i] == cls) members.push_back(i);
+    }
+    rng->Shuffle(&members);
+    for (size_t j = 0; j < members.size(); ++j) {
+      fold_members[j % k].push_back(members[j]);
+    }
+  }
+
+  std::vector<Split> splits(k);
+  for (size_t f = 0; f < k; ++f) {
+    splits[f].test = fold_members[f];
+    std::sort(splits[f].test.begin(), splits[f].test.end());
+    for (size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      splits[f].train.insert(splits[f].train.end(), fold_members[g].begin(),
+                             fold_members[g].end());
+    }
+    std::sort(splits[f].train.begin(), splits[f].train.end());
+  }
+  return splits;
+}
+
+}  // namespace rll::data

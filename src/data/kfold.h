@@ -1,0 +1,28 @@
+// Train/test splitting and stratified K-fold cross-validation, matching the
+// paper's evaluation protocol (5-fold CV, averaged metrics).
+
+#ifndef RLL_DATA_KFOLD_H_
+#define RLL_DATA_KFOLD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rll::data {
+
+struct Split {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Shuffled train/test split; test_fraction in (0, 1).
+Split TrainTestSplit(size_t n, double test_fraction, Rng* rng);
+
+/// K folds preserving the label ratio in every fold. Each example appears
+/// in exactly one test set. Requires 2 <= k <= n.
+std::vector<Split> StratifiedKFold(const std::vector<int>& labels, size_t k,
+                                   Rng* rng);
+
+}  // namespace rll::data
+
+#endif  // RLL_DATA_KFOLD_H_

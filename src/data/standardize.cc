@@ -1,0 +1,50 @@
+#include "data/standardize.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace rll::data {
+
+void Standardizer::Fit(const Matrix& x) {
+  RLL_CHECK_GT(x.rows(), 0u);
+  mean_ = ColMean(x);
+  stddev_ = Matrix(1, x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    double ss = 0.0;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      const double d = x(r, c) - mean_[c];
+      ss += d * d;
+    }
+    const double var = ss / static_cast<double>(x.rows());
+    stddev_[c] = var > 1e-24 ? std::sqrt(var) : 1.0;
+  }
+  fitted_ = true;
+}
+
+Standardizer Standardizer::FromMoments(Matrix mean, Matrix stddev) {
+  RLL_CHECK_EQ(mean.rows(), 1u);
+  RLL_CHECK(mean.SameShape(stddev));
+  for (size_t c = 0; c < stddev.cols(); ++c) RLL_CHECK_GT(stddev[c], 0.0);
+  Standardizer s;
+  s.mean_ = std::move(mean);
+  s.stddev_ = std::move(stddev);
+  s.fitted_ = true;
+  return s;
+}
+
+Matrix Standardizer::Transform(const Matrix& x) const {
+  RLL_CHECK_MSG(fitted_, "Standardizer::Transform before Fit");
+  RLL_CHECK_EQ(x.cols(), mean_.cols());
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* in = x.row_data(r);
+    double* o = out.row_data(r);
+    for (size_t c = 0; c < x.cols(); ++c) {
+      o[c] = (in[c] - mean_[c]) / stddev_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace rll::data

@@ -1,0 +1,41 @@
+// Per-feature z-score standardization. Fit on training folds only; apply
+// the same transform to test folds (avoids leakage in cross-validation).
+
+#ifndef RLL_DATA_STANDARDIZE_H_
+#define RLL_DATA_STANDARDIZE_H_
+
+#include "tensor/matrix.h"
+
+namespace rll::data {
+
+class Standardizer {
+ public:
+  /// Computes per-column mean and stddev. Constant columns get stddev 1 so
+  /// they map to zero instead of dividing by zero.
+  void Fit(const Matrix& x);
+
+  /// (x - mean) / stddev, column-wise. Requires Fit first.
+  Matrix Transform(const Matrix& x) const;
+
+  Matrix FitTransform(const Matrix& x) {
+    Fit(x);
+    return Transform(x);
+  }
+
+  /// Reconstructs a fitted standardizer from stored statistics (both
+  /// 1×dim; stddev strictly positive). Used by model-bundle loading.
+  static Standardizer FromMoments(Matrix mean, Matrix stddev);
+
+  bool fitted() const { return fitted_; }
+  const Matrix& mean() const { return mean_; }
+  const Matrix& stddev() const { return stddev_; }
+
+ private:
+  bool fitted_ = false;
+  Matrix mean_;    // 1×dim
+  Matrix stddev_;  // 1×dim
+};
+
+}  // namespace rll::data
+
+#endif  // RLL_DATA_STANDARDIZE_H_

@@ -1,0 +1,38 @@
+#include "nn/batcher.h"
+
+#include <cstddef>
+#include <numeric>
+
+namespace rll::nn {
+
+Batcher::Batcher(size_t n, size_t batch_size, Rng* rng, bool drop_last)
+    : n_(n), batch_size_(batch_size), drop_last_(drop_last), rng_(rng) {
+  RLL_CHECK_GT(batch_size, 0u);
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+  NewEpoch();
+}
+
+void Batcher::NewEpoch() {
+  rng_->Shuffle(&order_);
+  cursor_ = 0;
+}
+
+bool Batcher::Next(std::vector<size_t>* batch) {
+  batch->clear();
+  if (cursor_ >= n_) return false;
+  const size_t remaining = n_ - cursor_;
+  if (drop_last_ && remaining < batch_size_) return false;
+  const size_t take = std::min(batch_size_, remaining);
+  batch->assign(order_.begin() + static_cast<ptrdiff_t>(cursor_),
+                order_.begin() + static_cast<ptrdiff_t>(cursor_ + take));
+  cursor_ += take;
+  return true;
+}
+
+size_t Batcher::BatchesPerEpoch() const {
+  if (drop_last_) return n_ / batch_size_;
+  return (n_ + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace rll::nn

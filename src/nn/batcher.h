@@ -1,0 +1,38 @@
+// Mini-batch index iteration with per-epoch shuffling.
+
+#ifndef RLL_NN_BATCHER_H_
+#define RLL_NN_BATCHER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rll::nn {
+
+/// Yields index batches covering [0, n) in shuffled order. The final batch
+/// of an epoch may be smaller unless drop_last is set.
+class Batcher {
+ public:
+  Batcher(size_t n, size_t batch_size, Rng* rng, bool drop_last = false);
+
+  /// Reshuffles and restarts the epoch.
+  void NewEpoch();
+
+  /// Fills `batch` with the next index set; returns false at epoch end.
+  bool Next(std::vector<size_t>* batch);
+
+  /// Number of batches per epoch.
+  size_t BatchesPerEpoch() const;
+
+ private:
+  size_t n_;
+  size_t batch_size_;
+  bool drop_last_;
+  Rng* rng_;
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace rll::nn
+
+#endif  // RLL_NN_BATCHER_H_

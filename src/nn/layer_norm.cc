@@ -1,0 +1,27 @@
+#include "nn/layer_norm.h"
+
+namespace rll::nn {
+
+LayerNorm::LayerNorm(size_t features, double eps)
+    : features_(features),
+      eps_(eps),
+      gain_(ag::Parameter(Matrix(1, features, 1.0))),
+      bias_(ag::Parameter(Matrix(1, features, 0.0))) {
+  RLL_CHECK_GT(features, 0u);
+  RLL_CHECK_GT(eps, 0.0);
+}
+
+ag::Var LayerNorm::Forward(const ag::Var& x) const {
+  RLL_CHECK_EQ(x->value.cols(), features_);
+  const double inv_c = 1.0 / static_cast<double>(features_);
+  ag::Var mean = ag::Scale(ag::RowSum(x), inv_c);                  // n×1
+  ag::Var centered = ag::Sub(x, ag::BroadcastCol(mean, features_));
+  ag::Var variance =
+      ag::Scale(ag::RowSum(ag::Square(centered)), inv_c);          // n×1
+  ag::Var stddev = ag::Sqrt(ag::AddScalar(variance, eps_), 0.0);
+  ag::Var normalized =
+      ag::Div(centered, ag::BroadcastCol(stddev, features_));
+  return ag::AddRowBroadcast(ag::MulRowBroadcast(normalized, gain_), bias_);
+}
+
+}  // namespace rll::nn

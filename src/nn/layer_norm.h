@@ -1,0 +1,36 @@
+// Layer normalization (Ba et al., 2016): per-example feature normalization
+// with learned gain and bias. Stabilizes the small-data encoders this
+// library trains — an optional ingredient of the RLL encoder (see
+// MlpConfig::layer_norm) ablatable against the paper's plain architecture.
+
+#ifndef RLL_NN_LAYER_NORM_H_
+#define RLL_NN_LAYER_NORM_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace rll::nn {
+
+class LayerNorm {
+ public:
+  /// Gain initialized to 1, bias to 0.
+  explicit LayerNorm(size_t features, double eps = 1e-5);
+
+  /// y = gain ⊙ (x − μ_row)/√(σ²_row + eps) + bias, per row.
+  ag::Var Forward(const ag::Var& x) const;
+
+  std::vector<ag::Var> Parameters() const { return {gain_, bias_}; }
+  size_t features() const { return features_; }
+
+ private:
+  size_t features_;
+  double eps_;
+  ag::Var gain_;  // 1×features
+  ag::Var bias_;  // 1×features
+};
+
+}  // namespace rll::nn
+
+#endif  // RLL_NN_LAYER_NORM_H_

@@ -1,0 +1,18 @@
+#include "nn/linear.h"
+
+#include "tensor/init.h"
+
+namespace rll::nn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(ag::Parameter(XavierUniform(in_features, out_features, rng))),
+      bias_(ag::Parameter(Matrix(1, out_features))) {}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  RLL_CHECK_EQ(x->value.cols(), in_features_);
+  return ag::AddRowBroadcast(ag::Matmul(x, weight_), bias_);
+}
+
+}  // namespace rll::nn

@@ -1,0 +1,110 @@
+#include "nn/mlp.h"
+
+#include <fstream>
+
+#include "tensor/serialize.h"
+
+namespace rll::nn {
+
+ag::Var Activate(const ag::Var& x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kTanh:
+      return ag::Tanh(x);
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+  }
+  RLL_CHECK_MSG(false, "unknown activation");
+  return x;
+}
+
+Mlp::Mlp(const MlpConfig& config, Rng* rng) : config_(config) {
+  RLL_CHECK_GE(config.dims.size(), 2u);
+  layers_.reserve(config.dims.size() - 1);
+  for (size_t i = 0; i + 1 < config.dims.size(); ++i) {
+    layers_.emplace_back(config.dims[i], config.dims[i + 1], rng);
+    // LayerNorm after every hidden activation (never on the output).
+    if (config.layer_norm && i + 2 < config.dims.size()) {
+      norms_.emplace_back(config.dims[i + 1]);
+    }
+  }
+}
+
+ag::Var Mlp::Run(const ag::Var& x, bool training, Rng* rng) const {
+  const double keep = 1.0 - config_.dropout;
+  ag::Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    const bool last = (i + 1 == layers_.size());
+    h = Activate(h, last ? config_.output_activation
+                         : config_.hidden_activation);
+    if (last) break;
+    if (config_.layer_norm) h = norms_[i].Forward(h);
+    if (training && config_.dropout > 0.0) {
+      // Inverted dropout: zero with probability p, scale survivors by
+      // 1/keep so inference needs no rescaling.
+      Matrix mask(h->value.rows(), h->value.cols());
+      for (size_t j = 0; j < mask.size(); ++j) {
+        mask[j] = rng->Bernoulli(keep) ? 1.0 / keep : 0.0;
+      }
+      h = ag::Mul(h, ag::Constant(std::move(mask)));
+    }
+  }
+  return h;
+}
+
+ag::Var Mlp::Forward(const ag::Var& x) const {
+  return Run(x, /*training=*/false, nullptr);
+}
+
+ag::Var Mlp::ForwardTrain(const ag::Var& x, Rng* rng) const {
+  if (config_.dropout > 0.0) {
+    RLL_CHECK(rng != nullptr);
+    RLL_CHECK_LT(config_.dropout, 1.0);
+  }
+  return Run(x, /*training=*/true, rng);
+}
+
+Matrix Mlp::Embed(const Matrix& x) const {
+  return Forward(ag::Constant(x))->value;
+}
+
+std::vector<ag::Var> Mlp::Parameters() const {
+  std::vector<ag::Var> params;
+  for (const Linear& layer : layers_) {
+    for (const ag::Var& p : layer.Parameters()) params.push_back(p);
+  }
+  for (const LayerNorm& norm : norms_) {
+    for (const ag::Var& p : norm.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+Status Mlp::Save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open for write: " + path);
+  for (const ag::Var& p : Parameters()) {
+    RLL_RETURN_IF_ERROR(WriteMatrix(&f, p->value));
+  }
+  return Status::OK();
+}
+
+Status Mlp::Load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open for read: " + path);
+  for (const ag::Var& p : Parameters()) {
+    Result<Matrix> m = ReadMatrix(&f);
+    if (!m.ok()) return m.status();
+    if (m->rows() != p->value.rows() || m->cols() != p->value.cols()) {
+      return Status::InvalidArgument(
+          "checkpoint shape mismatch (architecture differs)");
+    }
+    p->value = std::move(*m);
+  }
+  return Status::OK();
+}
+
+}  // namespace rll::nn

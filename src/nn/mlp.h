@@ -1,0 +1,76 @@
+// Multi-layer perceptron — the "multi-layer non-linear projection" encoder
+// from Figure 1 of the paper, shared by RLL and the deep baselines.
+
+#ifndef RLL_NN_MLP_H_
+#define RLL_NN_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+
+namespace rll::nn {
+
+enum class Activation { kNone, kTanh, kRelu, kSigmoid };
+
+/// Applies an activation as an autograd op (kNone is identity).
+ag::Var Activate(const ag::Var& x, Activation activation);
+
+struct MlpConfig {
+  /// Layer widths including input and output, e.g. {60, 128, 64, 32}.
+  std::vector<size_t> dims;
+  /// Nonlinearity between hidden layers. The paper's encoder uses tanh.
+  Activation hidden_activation = Activation::kTanh;
+  /// Applied after the final layer (kTanh for bounded embeddings).
+  Activation output_activation = Activation::kTanh;
+  /// Inverted-dropout rate on hidden activations; only applied by
+  /// ForwardTrain. 0 disables dropout.
+  double dropout = 0.0;
+  /// Applies LayerNorm after each hidden activation.
+  bool layer_norm = false;
+};
+
+class Mlp {
+ public:
+  /// Requires at least 2 dims (input and output widths).
+  Mlp(const MlpConfig& config, Rng* rng);
+
+  /// x: batch×dims.front() → batch×dims.back(). Inference path: dropout
+  /// (if configured) is NOT applied.
+  ag::Var Forward(const ag::Var& x) const;
+
+  /// Training path: applies inverted dropout after each hidden activation
+  /// when config.dropout > 0. Identical to Forward when dropout == 0.
+  ag::Var ForwardTrain(const ag::Var& x, Rng* rng) const;
+
+  /// Forward pass on raw features without building graph history
+  /// (inference). Equivalent to Forward on a Constant input but documents
+  /// intent at call sites.
+  Matrix Embed(const Matrix& x) const;
+
+  /// All trainable leaves, layer by layer.
+  std::vector<ag::Var> Parameters() const;
+
+  size_t input_dim() const { return config_.dims.front(); }
+  size_t output_dim() const { return config_.dims.back(); }
+  const MlpConfig& config() const { return config_; }
+
+  /// Checkpointing: text format, one matrix per parameter.
+  Status Save(const std::string& path) const;
+  /// Loads parameter values into this (architecture must match).
+  Status Load(const std::string& path);
+
+ private:
+  /// Shared tail of Forward / ForwardTrain.
+  ag::Var Run(const ag::Var& x, bool training, Rng* rng) const;
+
+  MlpConfig config_;
+  std::vector<Linear> layers_;
+  std::vector<LayerNorm> norms_;  // One per hidden layer when enabled.
+};
+
+}  // namespace rll::nn
+
+#endif  // RLL_NN_MLP_H_

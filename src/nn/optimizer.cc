@@ -1,0 +1,117 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace rll::nn {
+
+void Optimizer::ZeroGrad() {
+  for (const ag::Var& p : params_) p->ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<ag::Var> params, SgdOptions options)
+    : Optimizer(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (const ag::Var& p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    if (p->grad.empty()) continue;
+    Matrix& vel = velocity_[i];
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      double g = p->grad[j] + options_.weight_decay * p->value[j];
+      if (options_.momentum != 0.0) {
+        vel[j] = options_.momentum * vel[j] + g;
+        g = vel[j];
+      }
+      p->value[j] -= options_.lr * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Var> params, AdamOptions options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::Var& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    if (p->grad.empty()) continue;
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      const double g = p->grad[j] + options_.weight_decay * p->value[j];
+      m[j] = options_.beta1 * m[j] + (1.0 - options_.beta1) * g;
+      v[j] = options_.beta2 * v[j] + (1.0 - options_.beta2) * g * g;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p->value[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<ag::Var> params, RmsPropOptions options)
+    : Optimizer(std::move(params)), options_(options) {
+  sq_avg_.reserve(params_.size());
+  for (const ag::Var& p : params_) {
+    sq_avg_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void RmsProp::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    if (p->grad.empty()) continue;
+    Matrix& s = sq_avg_[i];
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      const double g = p->grad[j] + options_.weight_decay * p->value[j];
+      s[j] = options_.rho * s[j] + (1.0 - options_.rho) * g * g;
+      p->value[j] -= options_.lr * g / (std::sqrt(s[j]) + options_.eps);
+    }
+  }
+}
+
+double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm) {
+  double total = 0.0;
+  for (const ag::Var& p : params) {
+    if (p->grad.empty()) continue;
+    for (size_t j = 0; j < p->grad.size(); ++j) {
+      total += p->grad[j] * p->grad[j];
+    }
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (const ag::Var& p : params) {
+      if (p->grad.empty()) continue;
+      p->grad *= scale;
+    }
+  }
+  return norm;
+}
+
+double StepDecaySchedule::LrAt(int epoch) const {
+  return base_lr_ * std::pow(gamma_, static_cast<double>(epoch / step_size_));
+}
+
+double CosineSchedule::LrAt(int epoch) const {
+  if (epoch >= total_epochs_) return min_lr_;
+  const double t = static_cast<double>(epoch) /
+                   static_cast<double>(total_epochs_);
+  return min_lr_ +
+         0.5 * (base_lr_ - min_lr_) * (1.0 + std::cos(t * 3.14159265358979));
+}
+
+}  // namespace rll::nn

@@ -1,0 +1,276 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rll {
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  RLL_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_data(k);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
+  RLL_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_data(k);
+    const double* brow = b.row_data(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row_data(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
+  RLL_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_data(i);
+    double* crow = c.row_data(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_data(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r)
+    for (size_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  return t;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c += b;
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c -= b;
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  RLL_CHECK(a.SameShape(b));
+  Matrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] * b[i];
+  return c;
+}
+
+Matrix Divide(const Matrix& a, const Matrix& b) {
+  RLL_CHECK(a.SameShape(b));
+  Matrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] / b[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, double s) {
+  Matrix c = a;
+  c *= s;
+  return c;
+}
+
+Matrix AddScalar(const Matrix& a, double s) {
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c[i] += s;
+  return c;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  RLL_CHECK_EQ(row.rows(), 1u);
+  RLL_CHECK_EQ(row.cols(), a.cols());
+  Matrix c = a;
+  for (size_t r = 0; r < c.rows(); ++r) {
+    double* crow = c.row_data(r);
+    for (size_t j = 0; j < c.cols(); ++j) crow[j] += row[j];
+  }
+  return c;
+}
+
+Matrix MulRowBroadcast(const Matrix& a, const Matrix& row) {
+  RLL_CHECK_EQ(row.rows(), 1u);
+  RLL_CHECK_EQ(row.cols(), a.cols());
+  Matrix c = a;
+  for (size_t r = 0; r < c.rows(); ++r) {
+    double* crow = c.row_data(r);
+    for (size_t j = 0; j < c.cols(); ++j) crow[j] *= row[j];
+  }
+  return c;
+}
+
+Matrix MulColBroadcast(const Matrix& a, const Matrix& col) {
+  RLL_CHECK_EQ(col.cols(), 1u);
+  RLL_CHECK_EQ(col.rows(), a.rows());
+  Matrix c = a;
+  for (size_t r = 0; r < c.rows(); ++r) {
+    const double s = col(r, 0);
+    double* crow = c.row_data(r);
+    for (size_t j = 0; j < c.cols(); ++j) crow[j] *= s;
+  }
+  return c;
+}
+
+Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
+  Matrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c[i] = f(a[i]);
+  return c;
+}
+
+double Sum(const Matrix& a) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i];
+  return s;
+}
+
+double Mean(const Matrix& a) {
+  RLL_CHECK_GT(a.size(), 0u);
+  return Sum(a) / static_cast<double>(a.size());
+}
+
+double Min(const Matrix& a) {
+  RLL_CHECK_GT(a.size(), 0u);
+  double m = a[0];
+  for (size_t i = 1; i < a.size(); ++i) m = std::min(m, a[i]);
+  return m;
+}
+
+double Max(const Matrix& a) {
+  RLL_CHECK_GT(a.size(), 0u);
+  double m = a[0];
+  for (size_t i = 1; i < a.size(); ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    double s = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) s += row[c];
+    out(r, 0) = s;
+  }
+  return out;
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    for (size_t c = 0; c < a.cols(); ++c) out[c] += row[c];
+  }
+  return out;
+}
+
+Matrix ColMean(const Matrix& a) {
+  RLL_CHECK_GT(a.rows(), 0u);
+  Matrix out = ColSum(a);
+  out *= 1.0 / static_cast<double>(a.rows());
+  return out;
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  RLL_CHECK(a.SameShape(b));
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm(const Matrix& a) { return std::sqrt(Dot(a, a)); }
+
+Matrix RowNorms(const Matrix& a, double eps) {
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    double s = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) s += row[c] * row[c];
+    out(r, 0) = std::max(std::sqrt(s), eps);
+  }
+  return out;
+}
+
+Matrix RowCosine(const Matrix& a, const Matrix& b, double eps) {
+  RLL_CHECK(a.SameShape(b));
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row_data(r);
+    const double* br = b.row_data(r);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      dot += ar[c] * br[c];
+      na += ar[c] * ar[c];
+      nb += br[c] * br[c];
+    }
+    out(r, 0) =
+        dot / (std::max(std::sqrt(na), eps) * std::max(std::sqrt(nb), eps));
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* in = a.row_data(r);
+    double* o = out.row_data(r);
+    double mx = in[0];
+    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+    double z = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      z += o[c];
+    }
+    for (size_t c = 0; c < a.cols(); ++c) o[c] /= z;
+  }
+  return out;
+}
+
+Matrix LogSumExpRows(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* in = a.row_data(r);
+    double mx = in[0];
+    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+    double z = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) z += std::exp(in[c] - mx);
+    out(r, 0) = mx + std::log(z);
+  }
+  return out;
+}
+
+std::vector<size_t> ArgmaxRows(const Matrix& a) {
+  RLL_CHECK_GT(a.cols(), 0u);
+  std::vector<size_t> out(a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    size_t best = 0;
+    for (size_t c = 1; c < a.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+}  // namespace rll

@@ -1,0 +1,77 @@
+// Free-function kernels over Matrix: BLAS-like products, elementwise maps,
+// reductions, and row-wise similarity/softmax primitives used throughout the
+// autograd layer and the classic-ML baselines.
+
+#ifndef RLL_TENSOR_OPS_H_
+#define RLL_TENSOR_OPS_H_
+
+#include <functional>
+
+#include "tensor/matrix.h"
+
+namespace rll {
+
+/// C = A·B. Requires a.cols() == b.rows().
+Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ·B without materializing the transpose.
+Matrix MatmulTransposeA(const Matrix& a, const Matrix& b);
+
+/// C = A·Bᵀ without materializing the transpose.
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b);
+
+Matrix Transpose(const Matrix& a);
+
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+/// Elementwise product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+/// Elementwise quotient; caller guarantees b has no zeros.
+Matrix Divide(const Matrix& a, const Matrix& b);
+Matrix Scale(const Matrix& a, double s);
+Matrix AddScalar(const Matrix& a, double s);
+
+/// Adds a 1×cols row vector to every row of a.
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+/// Multiplies every row of a elementwise by a 1×cols row vector.
+Matrix MulRowBroadcast(const Matrix& a, const Matrix& row);
+/// Multiplies row r of a by col(r, 0) of a rows×1 column vector.
+Matrix MulColBroadcast(const Matrix& a, const Matrix& col);
+
+/// Applies f to every element.
+Matrix Map(const Matrix& a, const std::function<double(double)>& f);
+
+double Sum(const Matrix& a);
+double Mean(const Matrix& a);
+double Min(const Matrix& a);
+double Max(const Matrix& a);
+/// Sum over columns → rows×1.
+Matrix RowSum(const Matrix& a);
+/// Sum over rows → 1×cols.
+Matrix ColSum(const Matrix& a);
+/// Mean over rows → 1×cols.
+Matrix ColMean(const Matrix& a);
+
+/// Inner product of two same-shaped matrices viewed as flat vectors.
+double Dot(const Matrix& a, const Matrix& b);
+/// Frobenius / L2 norm.
+double Norm(const Matrix& a);
+
+/// Row-wise L2 norms → rows×1. Never returns exact zeros: clamped at eps.
+Matrix RowNorms(const Matrix& a, double eps = 1e-12);
+
+/// cosine(a_r, b_r) per row → rows×1. Shapes must match.
+Matrix RowCosine(const Matrix& a, const Matrix& b, double eps = 1e-12);
+
+/// Numerically stable row-wise softmax.
+Matrix SoftmaxRows(const Matrix& a);
+
+/// log(sum(exp(row))) per row → rows×1, numerically stable.
+Matrix LogSumExpRows(const Matrix& a);
+
+/// Index of the max element in each row → vector of size rows.
+std::vector<size_t> ArgmaxRows(const Matrix& a);
+
+}  // namespace rll
+
+#endif  // RLL_TENSOR_OPS_H_

@@ -1,0 +1,56 @@
+#include "tensor/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace rll {
+
+Status WriteMatrix(std::ostream* os, const Matrix& m) {
+  (*os) << "matrix " << m.rows() << " " << m.cols() << "\n";
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row_data(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) (*os) << " ";
+      (*os) << StrFormat("%.17g", row[c]);
+    }
+    (*os) << "\n";
+  }
+  if (!os->good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Result<Matrix> ReadMatrix(std::istream* is) {
+  std::string tag;
+  size_t rows = 0, cols = 0;
+  if (!((*is) >> tag >> rows >> cols)) {
+    return Status::IOError("failed to read matrix header");
+  }
+  if (tag != "matrix") {
+    return Status::InvalidArgument("bad matrix header tag: " + tag);
+  }
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows * cols; ++i) {
+    if (!((*is) >> m[i])) {
+      return Status::IOError(
+          StrFormat("failed to read matrix element %zu of %zu", i,
+                    rows * cols));
+    }
+  }
+  return m;
+}
+
+Status SaveMatrix(const std::string& path, const Matrix& m) {
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open for write: " + path);
+  return WriteMatrix(&f, m);
+}
+
+Result<Matrix> LoadMatrix(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open for read: " + path);
+  return ReadMatrix(&f);
+}
+
+}  // namespace rll

@@ -1,0 +1,32 @@
+// Text (de)serialization of matrices — used for model checkpoints and for
+// exporting learned embeddings to downstream tooling.
+//
+// Format (line-oriented, locale-independent):
+//   matrix <rows> <cols>
+//   <row 0: cols space-separated %.17g doubles>
+//   ...
+
+#ifndef RLL_TENSOR_SERIALIZE_H_
+#define RLL_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace rll {
+
+/// Writes `m` to the stream in the text format above.
+Status WriteMatrix(std::ostream* os, const Matrix& m);
+
+/// Reads one matrix from the stream; fails on malformed headers or rows.
+Result<Matrix> ReadMatrix(std::istream* is);
+
+/// Convenience file wrappers.
+Status SaveMatrix(const std::string& path, const Matrix& m);
+Result<Matrix> LoadMatrix(const std::string& path);
+
+}  // namespace rll
+
+#endif  // RLL_TENSOR_SERIALIZE_H_

@@ -1,0 +1,116 @@
+#include "text/linguistic_features.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+
+namespace rll::text {
+
+const std::vector<std::string>& FeatureNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{
+          "token_count",        "duration_seconds",  "speech_rate",
+          "type_token_ratio",   "hapax_ratio",       "filler_ratio",
+          "pause_ratio",        "math_term_ratio",   "function_ratio",
+          "repetition_ratio",   "mean_utterance_len",
+          "utterance_len_stddev", "distinct_bigram_ratio",
+          "max_filler_run"};
+  return *names;
+}
+
+size_t NumFeatures() { return FeatureNames().size(); }
+
+std::vector<double> ExtractFeatures(const Transcript& transcript,
+                                    const Vocabulary& vocabulary) {
+  RLL_CHECK(!transcript.tokens.empty());
+  const double n = static_cast<double>(transcript.tokens.size());
+
+  // Class counts, distinct types, repetitions, filler runs, bigrams.
+  size_t fillers = 0, pauses = 0, math_terms = 0, function_words = 0;
+  size_t repetitions = 0;
+  size_t filler_run = 0, max_filler_run = 0;
+  std::set<size_t> types;
+  std::set<std::pair<size_t, size_t>> bigrams;
+  std::vector<size_t> type_counts(vocabulary.size(), 0);
+
+  size_t previous = vocabulary.size();
+  for (size_t i = 0; i < transcript.tokens.size(); ++i) {
+    const size_t t = transcript.tokens[i];
+    const TokenClass cls = vocabulary.token_class(t);
+    types.insert(t);
+    type_counts[t]++;
+    switch (cls) {
+      case TokenClass::kFiller:
+        ++fillers;
+        ++filler_run;
+        max_filler_run = std::max(max_filler_run, filler_run);
+        break;
+      case TokenClass::kPause:
+        ++pauses;
+        filler_run = 0;
+        break;
+      case TokenClass::kMathTerm:
+        ++math_terms;
+        filler_run = 0;
+        break;
+      case TokenClass::kFunction:
+        ++function_words;
+        filler_run = 0;
+        break;
+      case TokenClass::kContent:
+        filler_run = 0;
+        break;
+    }
+    if (i > 0) {
+      if (t == transcript.tokens[i - 1]) ++repetitions;
+      bigrams.insert({transcript.tokens[i - 1], t});
+    }
+    previous = t;
+  }
+  (void)previous;
+
+  size_t hapaxes = 0;
+  for (size_t c : type_counts) hapaxes += (c == 1);
+
+  // Utterance length stats.
+  double mean_len = 0.0, len_var = 0.0;
+  if (!transcript.utterance_ends.empty()) {
+    std::vector<double> lengths;
+    size_t start = 0;
+    for (size_t end : transcript.utterance_ends) {
+      lengths.push_back(static_cast<double>(end - start));
+      start = end;
+    }
+    for (double l : lengths) mean_len += l;
+    mean_len /= static_cast<double>(lengths.size());
+    for (double l : lengths) len_var += (l - mean_len) * (l - mean_len);
+    len_var /= static_cast<double>(lengths.size());
+  }
+
+  const double duration = std::max(transcript.duration_seconds, 1e-9);
+  std::vector<double> features = {
+      n,
+      transcript.duration_seconds,
+      n / duration,
+      static_cast<double>(types.size()) / n,
+      static_cast<double>(hapaxes) / n,
+      static_cast<double>(fillers) / n,
+      static_cast<double>(pauses) / n,
+      static_cast<double>(math_terms) / n,
+      static_cast<double>(function_words) / n,
+      transcript.tokens.size() > 1
+          ? static_cast<double>(repetitions) / (n - 1.0)
+          : 0.0,
+      mean_len,
+      std::sqrt(len_var),
+      transcript.tokens.size() > 1
+          ? static_cast<double>(bigrams.size()) / (n - 1.0)
+          : 0.0,
+      static_cast<double>(max_filler_run),
+  };
+  RLL_CHECK_EQ(features.size(), NumFeatures());
+  return features;
+}
+
+}  // namespace rll::text

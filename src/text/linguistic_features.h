@@ -1,0 +1,32 @@
+// Linguistic feature extraction — the "wide range of linguistic features
+// from the raw texts after automatic speech recognition" that §IV-B of the
+// paper feeds to every method. Fixed-length, order-stable vector so feature
+// matrices line up across examples.
+
+#ifndef RLL_TEXT_LINGUISTIC_FEATURES_H_
+#define RLL_TEXT_LINGUISTIC_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "text/transcript.h"
+
+namespace rll::text {
+
+/// Names of the extracted features, index-aligned with ExtractFeatures.
+const std::vector<std::string>& FeatureNames();
+
+/// Number of features (== FeatureNames().size()).
+size_t NumFeatures();
+
+/// Extracts the feature vector from one transcript:
+///   token_count, duration, speech_rate, type_token_ratio, hapax_ratio,
+///   filler_ratio, pause_ratio, math_term_ratio, function_ratio,
+///   repetition_ratio, mean_utterance_len, utterance_len_stddev,
+///   distinct_bigram_ratio, max_filler_run.
+std::vector<double> ExtractFeatures(const Transcript& transcript,
+                                    const Vocabulary& vocabulary);
+
+}  // namespace rll::text
+
+#endif  // RLL_TEXT_LINGUISTIC_FEATURES_H_

@@ -1,0 +1,74 @@
+#include "text/text_dataset.h"
+
+#include <cmath>
+
+namespace rll::text {
+
+namespace {
+
+/// Multiplies a rate by lognormal noise, clamped to a sane range.
+double Jitter(double value, double noise, double lo, double hi, Rng* rng) {
+  const double v = value * std::exp(rng->Normal(0.0, noise));
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+SpeakerProfile SampleProfile(const SpeakerProfile& prototype,
+                             double profile_noise, Rng* rng) {
+  SpeakerProfile p = prototype;
+  p.filler_rate = Jitter(prototype.filler_rate, profile_noise, 0.0, 0.4, rng);
+  p.pause_rate = Jitter(prototype.pause_rate, profile_noise, 0.0, 0.4, rng);
+  p.repetition_rate =
+      Jitter(prototype.repetition_rate, profile_noise, 0.0, 0.3, rng);
+  p.math_term_share =
+      Jitter(prototype.math_term_share, profile_noise, 0.05, 0.9, rng);
+  p.zipf_exponent =
+      Jitter(prototype.zipf_exponent, profile_noise, 0.3, 3.0, rng);
+  p.mean_utterance_length =
+      Jitter(prototype.mean_utterance_length, profile_noise, 2.0, 30.0, rng);
+  p.tokens_per_second =
+      Jitter(prototype.tokens_per_second, profile_noise, 0.8, 5.0, rng);
+  return p;
+}
+
+TextDatasetResult GenerateOralTextDataset(const TextSimConfig& config,
+                                          Rng* rng) {
+  RLL_CHECK_GT(config.num_examples, 0u);
+  RLL_CHECK(config.positive_fraction > 0.0 && config.positive_fraction < 1.0);
+  RLL_CHECK_GE(config.max_tokens, config.min_tokens);
+  RLL_CHECK_GT(config.min_tokens, 0u);
+
+  const Vocabulary& vocabulary = Vocabulary::Default();
+  const size_t n = config.num_examples;
+
+  // Exact class counts to pin the ratio.
+  const size_t num_pos = static_cast<size_t>(
+      std::lround(config.positive_fraction * static_cast<double>(n)));
+  std::vector<int> labels(n, 0);
+  for (size_t i = 0; i < num_pos && i < n; ++i) labels[i] = 1;
+  rng->Shuffle(&labels);
+
+  Matrix features(n, NumFeatures());
+  std::vector<Transcript> transcripts;
+  transcripts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const SpeakerProfile profile = SampleProfile(
+        labels[i] == 1 ? config.fluent : config.influent,
+        config.profile_noise, rng);
+    const size_t target =
+        config.min_tokens +
+        static_cast<size_t>(
+            rng->UniformInt(config.max_tokens - config.min_tokens + 1));
+    Transcript transcript =
+        GenerateTranscript(profile, vocabulary, target, rng);
+    features.SetRow(i, ExtractFeatures(transcript, vocabulary));
+    transcripts.push_back(std::move(transcript));
+  }
+
+  TextDatasetResult result{data::Dataset(std::move(features), labels),
+                           std::move(transcripts)};
+  return result;
+}
+
+}  // namespace rll::text

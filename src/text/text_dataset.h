@@ -1,0 +1,64 @@
+// End-to-end oral-fluency dataset built mechanistically: latent fluency
+// class → speaker profile → simulated transcript → linguistic features.
+// A drop-in alternative to data::GenerateSynthetic for the oral task whose
+// features come from an actual generative process instead of Gaussian
+// blocks (DESIGN.md §2 documents both substitutions).
+
+#ifndef RLL_TEXT_TEXT_DATASET_H_
+#define RLL_TEXT_TEXT_DATASET_H_
+
+#include "data/dataset.h"
+#include "text/linguistic_features.h"
+#include "text/transcript.h"
+
+namespace rll::text {
+
+struct TextSimConfig {
+  size_t num_examples = 880;
+  /// pos:neg = 1.8 like the paper's oral dataset.
+  double positive_fraction = 1.8 / 2.8;
+  /// Target transcript length range (uniform).
+  size_t min_tokens = 60;
+  size_t max_tokens = 160;
+  /// Prototype profile of a fluent speaker (class 1). The prototypes are
+  /// deliberately close — real fluency judgments are ambiguous — and the
+  /// per-speaker noise below makes the classes overlap substantially.
+  SpeakerProfile fluent = {.filler_rate = 0.055,
+                           .pause_rate = 0.045,
+                           .repetition_rate = 0.025,
+                           .math_term_share = 0.44,
+                           .zipf_exponent = 0.95,
+                           .mean_utterance_length = 9.5,
+                           .tokens_per_second = 2.35};
+  /// Prototype profile of an influent speaker (class 0).
+  SpeakerProfile influent = {.filler_rate = 0.095,
+                             .pause_rate = 0.075,
+                             .repetition_rate = 0.045,
+                             .math_term_share = 0.36,
+                             .zipf_exponent = 1.25,
+                             .mean_utterance_length = 7.5,
+                             .tokens_per_second = 2.0};
+  /// Per-speaker lognormal variation around the prototype rates — classes
+  /// overlap, so the task is noisy like real fluency judgments.
+  double profile_noise = 0.45;
+};
+
+/// Draws one speaker's profile around the class prototype.
+SpeakerProfile SampleProfile(const SpeakerProfile& prototype,
+                             double profile_noise, Rng* rng);
+
+struct TextDatasetResult {
+  data::Dataset dataset;
+  /// The generated transcripts, index-aligned with the dataset (kept for
+  /// inspection / examples).
+  std::vector<Transcript> transcripts;
+};
+
+/// Generates the dataset. Crowd annotations are added separately by
+/// crowd::WorkerPool, exactly as with the Gaussian generator.
+TextDatasetResult GenerateOralTextDataset(const TextSimConfig& config,
+                                          Rng* rng);
+
+}  // namespace rll::text
+
+#endif  // RLL_TEXT_TEXT_DATASET_H_

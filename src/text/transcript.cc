@@ -1,0 +1,110 @@
+#include "text/transcript.h"
+
+#include <cmath>
+
+namespace rll::text {
+
+namespace {
+
+/// Zipf-distributed index in [0, n): P(i) ∝ 1/(i+1)^s.
+size_t SampleZipf(size_t n, double s, Rng* rng) {
+  RLL_CHECK_GT(n, 0u);
+  // Small n: direct categorical sampling is cheapest and exact.
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  double r = rng->Uniform() * total;
+  for (size_t i = 0; i < n; ++i) {
+    r -= 1.0 / std::pow(static_cast<double>(i + 1), s);
+    if (r < 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace
+
+Transcript GenerateTranscript(const SpeakerProfile& profile,
+                              const Vocabulary& vocabulary,
+                              size_t target_tokens, Rng* rng) {
+  RLL_CHECK_GT(target_tokens, 0u);
+  RLL_CHECK(profile.mean_utterance_length >= 1.0);
+  RLL_CHECK_GT(profile.tokens_per_second, 0.0);
+
+  const auto& fillers = vocabulary.ids_of(TokenClass::kFiller);
+  const auto& pauses = vocabulary.ids_of(TokenClass::kPause);
+  const auto& math_terms = vocabulary.ids_of(TokenClass::kMathTerm);
+  const auto& content = vocabulary.ids_of(TokenClass::kContent);
+  const auto& function = vocabulary.ids_of(TokenClass::kFunction);
+  RLL_CHECK(!fillers.empty() && !pauses.empty() && !math_terms.empty() &&
+            !content.empty() && !function.empty());
+
+  Transcript transcript;
+  transcript.tokens.reserve(target_tokens + 16);
+  // Probability an utterance ends after each token: 1/mean_length.
+  const double end_prob = 1.0 / profile.mean_utterance_length;
+
+  size_t previous_word = vocabulary.size();  // Sentinel: nothing yet.
+  while (transcript.tokens.size() < target_tokens) {
+    // One utterance.
+    for (;;) {
+      const double u = rng->Uniform();
+      size_t token;
+      if (u < profile.repetition_rate && previous_word < vocabulary.size()) {
+        token = previous_word;  // Stutter: repeat the last real word.
+      } else if (u < profile.repetition_rate + profile.filler_rate) {
+        token = fillers[static_cast<size_t>(rng->UniformInt(fillers.size()))];
+      } else if (u < profile.repetition_rate + profile.filler_rate +
+                         profile.pause_rate) {
+        token = pauses[0];
+      } else {
+        // A real word: math term, content, or function word.
+        const double w = rng->Uniform();
+        if (w < profile.math_term_share) {
+          token = math_terms[SampleZipf(math_terms.size(),
+                                        profile.zipf_exponent, rng)];
+        } else if (w < profile.math_term_share +
+                           (1.0 - profile.math_term_share) * 0.6) {
+          token =
+              content[SampleZipf(content.size(), profile.zipf_exponent, rng)];
+        } else {
+          token = function[SampleZipf(function.size(),
+                                      profile.zipf_exponent, rng)];
+        }
+        previous_word = token;
+      }
+      transcript.tokens.push_back(token);
+      if (rng->Bernoulli(end_prob) ||
+          transcript.tokens.size() >= target_tokens + 8) {
+        break;
+      }
+    }
+    transcript.utterance_ends.push_back(transcript.tokens.size());
+  }
+
+  // Duration: pauses cost extra time; mild multiplicative noise.
+  size_t pause_count = 0;
+  for (size_t t : transcript.tokens) {
+    pause_count += (vocabulary.token_class(t) == TokenClass::kPause);
+  }
+  const double base = static_cast<double>(transcript.tokens.size()) /
+                      profile.tokens_per_second;
+  transcript.duration_seconds =
+      (base + 1.2 * static_cast<double>(pause_count)) *
+      std::exp(rng->Normal(0.0, 0.05));
+  return transcript;
+}
+
+std::string ToText(const Transcript& transcript,
+                   const Vocabulary& vocabulary, size_t max_tokens) {
+  std::string out;
+  const size_t limit = std::min(max_tokens, transcript.tokens.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (i > 0) out += ' ';
+    out += vocabulary.word(transcript.tokens[i]);
+  }
+  if (limit < transcript.tokens.size()) out += " ...";
+  return out;
+}
+
+}  // namespace rll::text

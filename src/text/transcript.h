@@ -1,0 +1,59 @@
+// Transcript simulator: a Markov token process driven by a speaker profile.
+// Fluent speakers produce long, varied utterances with few fillers and
+// pauses; influent speakers hesitate, repeat themselves, and drift off the
+// math topic — the latent behaviours the paper's annotators were judging.
+
+#ifndef RLL_TEXT_TRANSCRIPT_H_
+#define RLL_TEXT_TRANSCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "text/vocabulary.h"
+
+namespace rll::text {
+
+/// Generative parameters of one speaker on one recording.
+struct SpeakerProfile {
+  /// Probability that the next token is a hesitation filler.
+  double filler_rate = 0.05;
+  /// Probability of a pause marker.
+  double pause_rate = 0.04;
+  /// Probability of repeating the previous (non-pause) token.
+  double repetition_rate = 0.03;
+  /// Among real words, the share that are math terms (topic focus).
+  double math_term_share = 0.4;
+  /// Zipf exponent for word choice inside a class; higher → fewer distinct
+  /// words dominate (poorer vocabulary).
+  double zipf_exponent = 1.0;
+  /// Mean utterance length in tokens (geometric-ish).
+  double mean_utterance_length = 9.0;
+  /// Speaking speed in tokens per second (drives duration).
+  double tokens_per_second = 2.2;
+};
+
+struct Transcript {
+  /// Token ids into the generating vocabulary.
+  std::vector<size_t> tokens;
+  /// Utterance boundary offsets (end index of each utterance, exclusive).
+  std::vector<size_t> utterance_ends;
+  /// Simulated audio length in seconds.
+  double duration_seconds = 0.0;
+
+  size_t size() const { return tokens.size(); }
+  size_t num_utterances() const { return utterance_ends.size(); }
+};
+
+/// Samples a transcript of approximately `target_tokens` tokens.
+Transcript GenerateTranscript(const SpeakerProfile& profile,
+                              const Vocabulary& vocabulary,
+                              size_t target_tokens, Rng* rng);
+
+/// Renders tokens as a space-separated string (debugging / examples).
+std::string ToText(const Transcript& transcript,
+                   const Vocabulary& vocabulary, size_t max_tokens = 40);
+
+}  // namespace rll::text
+
+#endif  // RLL_TEXT_TRANSCRIPT_H_

@@ -1,0 +1,56 @@
+#include "text/vocabulary.h"
+
+namespace rll::text {
+
+namespace {
+
+std::vector<Vocabulary::Entry> DefaultEntries() {
+  std::vector<Vocabulary::Entry> entries;
+  auto add = [&entries](TokenClass cls,
+                        std::initializer_list<const char*> words) {
+    for (const char* w : words) entries.push_back({w, cls});
+  };
+  add(TokenClass::kContent,
+      {"apples",  "candies", "marbles", "pencils", "stickers", "books",
+       "friends", "box",     "bag",     "basket",  "table",    "class",
+       "teacher", "mom",     "store",   "gave",    "took",     "bought",
+       "shared",  "counted", "left",    "more",    "fewer",    "each",
+       "group",   "puts",    "needs",   "finds",   "makes",    "keeps",
+       "red",     "blue",    "big",     "small",   "first",    "then",
+       "because", "answer",  "question", "story"});
+  add(TokenClass::kFunction,
+      {"the", "a",  "an",  "i",   "we",  "he",  "she", "it",  "and",
+       "so",  "to", "of",  "in",  "on",  "at",  "is",  "are", "was",
+       "has", "had", "that", "this", "with", "for"});
+  add(TokenClass::kMathTerm,
+      {"one",      "two",     "three",  "four",   "five",     "six",
+       "seven",    "eight",   "nine",   "ten",    "twenty",   "hundred",
+       "plus",     "minus",   "times",  "divide", "equals",   "sum",
+       "total",    "add",     "subtract", "count", "number",  "half",
+       "double",   "tens",    "ones",   "carry",  "borrow",   "groups"});
+  add(TokenClass::kFiller, {"um", "uh", "er", "hmm", "like", "well", "so-um"});
+  add(TokenClass::kPause, {"<pause>"});
+  return entries;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  RLL_CHECK(!entries_.empty());
+  by_class_.resize(5);
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    by_class_[static_cast<size_t>(entries_[id].token_class)].push_back(id);
+  }
+}
+
+const Vocabulary& Vocabulary::Default() {
+  static const Vocabulary* instance = new Vocabulary(DefaultEntries());
+  return *instance;
+}
+
+const std::vector<size_t>& Vocabulary::ids_of(TokenClass token_class) const {
+  return by_class_[static_cast<size_t>(token_class)];
+}
+
+}  // namespace rll::text

@@ -1,0 +1,56 @@
+// Token vocabulary for the transcript simulator. The paper's oral dataset
+// consists of grade-2 students explaining math solutions; the built-in
+// vocabulary mirrors that register: math terms, everyday content words,
+// function words, hesitation fillers, and an explicit pause marker (what an
+// ASR system emits for silence).
+
+#ifndef RLL_TEXT_VOCABULARY_H_
+#define RLL_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rll::text {
+
+enum class TokenClass {
+  kContent,   // Everyday content words.
+  kFunction,  // Articles, prepositions, pronouns.
+  kMathTerm,  // Domain vocabulary ("plus", "hundred", "equals").
+  kFiller,    // Hesitations ("um", "uh", "like").
+  kPause,     // Silence marker from the ASR.
+};
+
+class Vocabulary {
+ public:
+  struct Entry {
+    std::string word;
+    TokenClass token_class;
+  };
+
+  /// The built-in grade-2 math register (shared instance).
+  static const Vocabulary& Default();
+
+  /// Builds from explicit entries (tests / custom registers).
+  explicit Vocabulary(std::vector<Entry> entries);
+
+  size_t size() const { return entries_.size(); }
+  const Entry& entry(size_t id) const {
+    RLL_DCHECK(id < entries_.size());
+    return entries_[id];
+  }
+  const std::string& word(size_t id) const { return entry(id).word; }
+  TokenClass token_class(size_t id) const { return entry(id).token_class; }
+
+  /// Token ids of one class, in vocabulary order.
+  const std::vector<size_t>& ids_of(TokenClass token_class) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<std::vector<size_t>> by_class_;
+};
+
+}  // namespace rll::text
+
+#endif  // RLL_TEXT_VOCABULARY_H_

@@ -1,0 +1,415 @@
+// Tests for the classic-ML layer: metrics against hand-computed values and
+// logistic regression behaviour (convergence, soft targets, weights,
+// input validation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/logistic_regression.h"
+#include "classify/metrics.h"
+#include "classify/pca.h"
+#include "classify/ranking_metrics.h"
+#include "classify/softmax_regression.h"
+#include "common/rng.h"
+#include "tensor/init.h"
+
+namespace rll::classify {
+namespace {
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, ConfusionHandValues) {
+  //            truth:  1  1  0  0  1  0
+  //            pred:   1  0  1  0  1  0
+  const std::vector<int> truth = {1, 1, 0, 0, 1, 0};
+  const std::vector<int> pred = {1, 0, 1, 0, 1, 0};
+  const ConfusionMatrix cm = Confusion(truth, pred);
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 2u);
+  EXPECT_DOUBLE_EQ(Accuracy(cm), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(Precision(cm), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Recall(cm), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(F1(cm), 2.0 / 3.0);
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  const std::vector<int> y = {1, 0, 1, 1, 0};
+  const EvalMetrics m = Evaluate(y, y);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, DegenerateCasesReturnZeroNotNan) {
+  // No positive predictions → precision undefined → 0.
+  const ConfusionMatrix cm = Confusion({1, 1}, {0, 0});
+  EXPECT_DOUBLE_EQ(Precision(cm), 0.0);
+  EXPECT_DOUBLE_EQ(F1(cm), 0.0);
+  // No positives in truth → recall undefined → 0.
+  const ConfusionMatrix cm2 = Confusion({0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(Recall(cm2), 0.0);
+  EXPECT_FALSE(std::isnan(F1(cm2)));
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  // tp=1, fp=1 → p=0.5; tp=1, fn=3 → r=0.25; F1 = 2pr/(p+r) = 1/3.
+  ConfusionMatrix cm;
+  cm.tp = 1;
+  cm.fp = 1;
+  cm.fn = 3;
+  EXPECT_NEAR(F1(cm), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, MeanAndStdAcrossFolds) {
+  std::vector<EvalMetrics> folds(2);
+  folds[0].accuracy = 0.8;
+  folds[1].accuracy = 0.9;
+  folds[0].f1 = 0.7;
+  folds[1].f1 = 0.7;
+  const EvalMetrics mean = MeanMetrics(folds);
+  EXPECT_NEAR(mean.accuracy, 0.85, 1e-12);
+  EXPECT_NEAR(mean.f1, 0.7, 1e-12);
+  const EvalMetrics sd = StdDevMetrics(folds);
+  EXPECT_NEAR(sd.accuracy, std::sqrt(0.005 / 1.0 * 1.0), 1e-9);
+  EXPECT_NEAR(sd.f1, 0.0, 1e-12);
+}
+
+TEST(MetricsTest, ToStringFormatsAllFields) {
+  EvalMetrics m;
+  m.accuracy = 0.888;
+  m.f1 = 0.915;
+  const std::string s = ToString(m);
+  EXPECT_NE(s.find("0.888"), std::string::npos);
+  EXPECT_NE(s.find("0.915"), std::string::npos);
+}
+
+// ---------------------------------------------------- LogisticRegression
+
+Matrix SeparableData(std::vector<int>* labels, Rng* rng, size_t n = 200) {
+  Matrix x(n, 2);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int y = rng->Bernoulli(0.5) ? 1 : 0;
+    (*labels)[i] = y;
+    x(i, 0) = rng->Normal(y == 1 ? 2.0 : -2.0, 0.5);
+    x(i, 1) = rng->Normal(0.0, 1.0);
+  }
+  return x;
+}
+
+TEST(LogisticRegressionTest, SeparatesLinearlySeparableData) {
+  Rng rng(1);
+  std::vector<int> labels;
+  Matrix x = SeparableData(&labels, &rng);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, labels).ok());
+  const std::vector<int> pred = lr.Predict(x);
+  EXPECT_GT(Evaluate(labels, pred).accuracy, 0.97);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreCalibratedDirectionally) {
+  Rng rng(2);
+  std::vector<int> labels;
+  Matrix x = SeparableData(&labels, &rng);
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, labels).ok());
+  Matrix probe = {{3.0, 0.0}, {-3.0, 0.0}};
+  const std::vector<double> p = lr.PredictProba(probe);
+  EXPECT_GT(p[0], 0.9);
+  EXPECT_LT(p[1], 0.1);
+}
+
+TEST(LogisticRegressionTest, SoftTargetsShiftDecision) {
+  // Same feature, target 0.9 vs 0.1 → predicted prob near the target.
+  Matrix x(100, 1, 1.0);
+  std::vector<double> targets(100, 0.9);
+  LogisticRegression lr({.learning_rate = 0.5, .max_epochs = 2000, .l2 = 0.0});
+  ASSERT_TRUE(lr.Fit(x, targets).ok());
+  EXPECT_NEAR(lr.PredictProba(x)[0], 0.9, 0.02);
+}
+
+TEST(LogisticRegressionTest, SampleWeightsTiltTheFit) {
+  // Conflicting labels on the same point; weights decide the majority.
+  Matrix x(4, 1, 1.0);
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const std::vector<double> weights = {5.0, 5.0, 1.0, 1.0};
+  LogisticRegression lr({.learning_rate = 0.5, .max_epochs = 2000, .l2 = 0.0});
+  ASSERT_TRUE(lr.Fit(x, labels, weights).ok());
+  EXPECT_GT(lr.PredictProba(x)[0], 0.5);
+}
+
+TEST(LogisticRegressionTest, RejectsBadInputs) {
+  LogisticRegression lr;
+  Matrix x(3, 2);
+  EXPECT_FALSE(lr.Fit(Matrix(), std::vector<int>{}).ok());
+  EXPECT_FALSE(lr.Fit(x, std::vector<int>{1, 0}).ok());        // Size mismatch.
+  EXPECT_FALSE(lr.Fit(x, std::vector<int>{1, 0, 2}).ok());     // Bad label.
+  EXPECT_FALSE(
+      lr.Fit(x, std::vector<double>{0.5, 1.5, 0.0}).ok());     // Target > 1.
+  EXPECT_FALSE(lr.Fit(x, std::vector<int>{1, 0, 1},
+                      std::vector<double>{1.0, -1.0, 1.0})
+                   .ok());                                     // Negative w.
+  EXPECT_FALSE(lr.Fit(x, std::vector<int>{1, 0, 1},
+                      std::vector<double>{0.0, 0.0, 0.0})
+                   .ok());                                     // All-zero w.
+}
+
+TEST(LogisticRegressionTest, PredictBeforeFitDies) {
+  LogisticRegression lr;
+  Matrix x(1, 1, 0.0);
+  EXPECT_DEATH(lr.Predict(x), "before Fit");
+}
+
+TEST(LogisticRegressionTest, L2ShrinksWeights) {
+  Rng rng(3);
+  std::vector<int> labels;
+  Matrix x = SeparableData(&labels, &rng);
+  LogisticRegression weak({.l2 = 1e-4});
+  LogisticRegression strong({.l2 = 1.0});
+  ASSERT_TRUE(weak.Fit(x, labels).ok());
+  ASSERT_TRUE(strong.Fit(x, labels).ok());
+  EXPECT_LT(std::fabs(strong.weights()(0, 0)),
+            std::fabs(weak.weights()(0, 0)));
+}
+
+TEST(LogisticRegressionTest, HandlesClassImbalanceGracefully) {
+  Rng rng(4);
+  const size_t n = 300;
+  Matrix x(n, 1);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int y = i < 270 ? 1 : 0;  // 90% positive.
+    labels[i] = y;
+    x(i, 0) = rng.Normal(y == 1 ? 1.0 : -1.0, 0.6);
+  }
+  LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(x, labels).ok());
+  EXPECT_GT(Evaluate(labels, lr.Predict(x)).accuracy, 0.9);
+}
+
+// ------------------------------------------------------ SoftmaxRegression
+
+TEST(SoftmaxRegressionTest, SeparatesThreeGaussianBlobs) {
+  Rng rng(30);
+  const size_t n = 300;
+  Matrix x(n, 2);
+  std::vector<int> labels(n);
+  const double centers[3][2] = {{0, 3}, {-3, -2}, {3, -2}};
+  for (size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % 3);
+    labels[i] = c;
+    x(i, 0) = rng.Normal(centers[c][0], 0.6);
+    x(i, 1) = rng.Normal(centers[c][1], 0.6);
+  }
+  SoftmaxRegression sr;
+  ASSERT_TRUE(sr.Fit(x, labels).ok());
+  EXPECT_EQ(sr.num_classes(), 3u);
+  const std::vector<int> pred = sr.Predict(x);
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) correct += (pred[i] == labels[i]);
+  EXPECT_GT(static_cast<double>(correct) / n, 0.97);
+}
+
+TEST(SoftmaxRegressionTest, ProbabilityRowsSumToOne) {
+  Rng rng(31);
+  Matrix x = RandomNormal(50, 3, &rng);
+  std::vector<int> labels(50);
+  for (size_t i = 0; i < 50; ++i) labels[i] = static_cast<int>(i % 4);
+  SoftmaxRegression sr;
+  ASSERT_TRUE(sr.Fit(x, labels).ok());
+  const Matrix probs = sr.PredictProba(x);
+  EXPECT_EQ(probs.cols(), 4u);
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < probs.cols(); ++c) {
+      EXPECT_GE(probs(r, c), 0.0);
+      total += probs(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SoftmaxRegressionTest, BinaryCaseAgreesWithLogisticRegression) {
+  Rng rng(32);
+  std::vector<int> labels;
+  Matrix x = SeparableData(&labels, &rng);
+  SoftmaxRegression sr;
+  LogisticRegression lr;
+  ASSERT_TRUE(sr.Fit(x, labels).ok());
+  ASSERT_TRUE(lr.Fit(x, labels).ok());
+  const std::vector<int> sr_pred = sr.Predict(x);
+  const std::vector<int> lr_pred = lr.Predict(x);
+  size_t agree = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    agree += (sr_pred[i] == lr_pred[i]);
+  }
+  EXPECT_GT(static_cast<double>(agree) / labels.size(), 0.98);
+}
+
+TEST(SoftmaxRegressionTest, RejectsBadInputs) {
+  SoftmaxRegression sr;
+  Matrix x(4, 2);
+  EXPECT_FALSE(sr.Fit(Matrix(), {}).ok());
+  EXPECT_FALSE(sr.Fit(x, {0, 1}).ok());            // Size mismatch.
+  EXPECT_FALSE(sr.Fit(x, {0, -1, 0, 1}).ok());     // Negative label.
+  EXPECT_FALSE(sr.Fit(x, {0, 0, 0, 0}).ok());      // Single class.
+  EXPECT_FALSE(sr.Fit(x, {0, 1, 2, 1}, 2).ok());   // Label ≥ num_classes.
+}
+
+TEST(SoftmaxRegressionTest, ExplicitNumClassesAllowsUnseenClasses) {
+  // Training data only has classes 0 and 2, but K = 4 is declared: the
+  // model must fit and emit 4-way posteriors.
+  Matrix x = {{-2, 0}, {-2.2, 0}, {2, 0}, {2.2, 0}};
+  SoftmaxRegression sr;
+  ASSERT_TRUE(sr.Fit(x, {0, 0, 2, 2}, 4).ok());
+  EXPECT_EQ(sr.num_classes(), 4u);
+  const std::vector<int> pred = sr.Predict(x);
+  EXPECT_EQ(pred[0], 0);
+  EXPECT_EQ(pred[3], 2);
+}
+
+// -------------------------------------------------------------------- PCA
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data varies along (1,1)/√2 with tiny orthogonal noise.
+  Rng rng(5);
+  Matrix x(300, 2);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double t = rng.Normal(0.0, 3.0);
+    const double noise = rng.Normal(0.0, 0.05);
+    x(i, 0) = t + noise;
+    x(i, 1) = t - noise;
+  }
+  Pca pca({.num_components = 1});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  const double c0 = pca.components()(0, 0);
+  const double c1 = pca.components()(0, 1);
+  EXPECT_NEAR(std::fabs(c0), std::sqrt(0.5), 0.02);
+  EXPECT_NEAR(std::fabs(c1), std::sqrt(0.5), 0.02);
+  EXPECT_GT(c0 * c1, 0.0);  // Same sign: the (1,1) direction.
+}
+
+TEST(PcaTest, ComponentsAreOrthonormal) {
+  Rng rng(6);
+  Matrix x = RandomNormal(100, 6, &rng);
+  Pca pca({.num_components = 4});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  const Matrix& c = pca.components();
+  for (size_t a = 0; a < 4; ++a) {
+    for (size_t b = a; b < 4; ++b) {
+      double dot = 0.0;
+      for (size_t j = 0; j < 6; ++j) dot += c(a, j) * c(b, j);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-6) << a << "," << b;
+    }
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceDescendsAndMatchesData) {
+  Rng rng(7);
+  // Independent coordinates with variances 9, 4, 1.
+  Matrix x(2000, 3);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = rng.Normal(0.0, 3.0);
+    x(i, 1) = rng.Normal(0.0, 2.0);
+    x(i, 2) = rng.Normal(0.0, 1.0);
+  }
+  Pca pca({.num_components = 3});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  const auto& ev = pca.explained_variance();
+  EXPECT_NEAR(ev[0], 9.0, 0.8);
+  EXPECT_NEAR(ev[1], 4.0, 0.5);
+  EXPECT_NEAR(ev[2], 1.0, 0.2);
+  EXPECT_GE(ev[0], ev[1]);
+  EXPECT_GE(ev[1], ev[2]);
+}
+
+TEST(PcaTest, TransformCentersAndProjects) {
+  Matrix x = {{1, 10}, {3, 10}};  // Mean (2, 10); variance only in dim 0.
+  Pca pca({.num_components = 1});
+  ASSERT_TRUE(pca.Fit(x).ok());
+  Matrix proj = pca.Transform(x);
+  EXPECT_EQ(proj.rows(), 2u);
+  EXPECT_EQ(proj.cols(), 1u);
+  EXPECT_NEAR(proj(0, 0) + proj(1, 0), 0.0, 1e-9);  // Centered.
+  EXPECT_NEAR(std::fabs(proj(0, 0)), 1.0, 1e-6);
+}
+
+TEST(PcaTest, RejectsBadConfig) {
+  Matrix x(10, 3);
+  EXPECT_FALSE(Pca({.num_components = 0}).Fit(x).ok());
+  EXPECT_FALSE(Pca({.num_components = 4}).Fit(x).ok());
+  EXPECT_FALSE(Pca({.num_components = 1}).Fit(Matrix(1, 3)).ok());
+}
+
+// ------------------------------------------------------- Ranking metrics
+
+TEST(RankingMetricsTest, PerfectRankingGivesAucOne) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(RocAuc(truth, scores), 1.0);
+}
+
+TEST(RankingMetricsTest, ReversedRankingGivesAucZero) {
+  const std::vector<int> truth = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(RocAuc(truth, scores), 0.0);
+}
+
+TEST(RankingMetricsTest, ConstantScoresGiveHalf) {
+  const std::vector<int> truth = {1, 0, 1, 0};
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(RocAuc(truth, scores), 0.5);
+}
+
+TEST(RankingMetricsTest, SingleClassGivesHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1}, {0.2, 0.9}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0, 0}, {0.2, 0.9}), 0.5);
+}
+
+TEST(RankingMetricsTest, HandComputedAucWithTie) {
+  // truth 1,0,1 scores 0.9, 0.5, 0.5 → pairs: (1:0.9 vs 0:0.5)=1,
+  // (1:0.5 vs 0:0.5)=0.5 → AUC = 1.5/2.
+  EXPECT_DOUBLE_EQ(RocAuc({1, 0, 1}, {0.9, 0.5, 0.5}), 0.75);
+}
+
+TEST(RankingMetricsTest, AucInvariantToMonotoneTransform) {
+  Rng rng(10);
+  std::vector<int> truth(50);
+  std::vector<double> scores(50), squashed(50);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.Bernoulli(0.5);
+    scores[i] = rng.Normal();
+    squashed[i] = std::tanh(scores[i]);  // Strictly monotone.
+  }
+  EXPECT_NEAR(RocAuc(truth, scores), RocAuc(truth, squashed), 1e-12);
+}
+
+TEST(RankingMetricsTest, LogLossHandValues) {
+  // -log(0.8) for a correct confident positive.
+  EXPECT_NEAR(LogLoss({1}, {0.8}), -std::log(0.8), 1e-12);
+  // Symmetric for negatives.
+  EXPECT_NEAR(LogLoss({0}, {0.2}), -std::log(0.8), 1e-12);
+}
+
+TEST(RankingMetricsTest, LogLossClampsExtremeProbabilities) {
+  const double loss = LogLoss({1}, {0.0});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 20.0);  // -log(1e-12) ≈ 27.6.
+}
+
+TEST(RankingMetricsTest, BrierScoreHandValues) {
+  EXPECT_NEAR(BrierScore({1, 0}, {0.8, 0.3}), (0.04 + 0.09) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(BrierScore({1}, {1.0}), 0.0);
+}
+
+TEST(RankingMetricsTest, CalibratedBeatsMiscalibratedOnLogLoss) {
+  const std::vector<int> truth = {1, 1, 1, 0};
+  const std::vector<double> calibrated = {0.75, 0.75, 0.75, 0.25};
+  const std::vector<double> overconfident = {0.99, 0.99, 0.99, 0.99};
+  EXPECT_LT(LogLoss(truth, calibrated), LogLoss(truth, overconfident));
+}
+
+}  // namespace
+}  // namespace rll::classify

@@ -1,0 +1,568 @@
+// Tests for the RLL core: group sampler invariants, the confidence-weighted
+// group loss (values + gradients), trainer behaviour, and the CV pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "autograd/gradcheck.h"
+#include "core/embedding_eval.h"
+#include "core/embedding_index.h"
+#include "core/group_sampler.h"
+#include "core/model_bundle.h"
+#include "core/pipeline.h"
+#include "core/rll_model.h"
+#include "core/rll_trainer.h"
+#include "crowd/worker_pool.h"
+#include "data/synthetic.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace rll::core {
+namespace {
+
+// Small, fast synthetic dataset with crowd annotations.
+data::Dataset SmallAnnotatedDataset(Rng* rng, size_t n = 160) {
+  data::SyntheticConfig config;
+  config.num_examples = n;
+  config.positive_fraction = 0.6;
+  config.linear_dims = 4;
+  config.xor_dims = 2;
+  config.noise_dims = 4;
+  config.clusters_per_class = 2;
+  config.linear_sep = 1.6;
+  config.xor_sep = 2.6;
+  config.cluster_spread = 0.8;
+  data::Dataset d = GenerateSynthetic(config, rng);
+  crowd::WorkerPool pool({.num_workers = 12}, rng);
+  pool.Annotate(&d, 5, rng);
+  return d;
+}
+
+RllTrainerOptions FastTrainerOptions() {
+  RllTrainerOptions options;
+  options.model.hidden_dims = {16, 8};
+  options.epochs = 6;
+  options.groups_per_epoch = 256;
+  options.batch_size = 32;
+  return options;
+}
+
+// ------------------------------------------------------------ GroupSampler
+
+TEST(GroupSamplerTest, GroupInvariants) {
+  Rng rng(1);
+  std::vector<int> labels(50);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = i % 3 == 0;
+  GroupSampler sampler(labels, {.negatives_per_group = 4});
+  auto groups = sampler.Sample(500, &rng);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 500u);
+  for (const Group& g : *groups) {
+    EXPECT_NE(g.anchor, g.positive);
+    EXPECT_EQ(labels[g.anchor], 1);
+    EXPECT_EQ(labels[g.positive], 1);
+    EXPECT_EQ(g.negatives.size(), 4u);
+    std::set<size_t> negs(g.negatives.begin(), g.negatives.end());
+    EXPECT_EQ(negs.size(), 4u);  // Distinct negatives.
+    for (size_t neg : g.negatives) EXPECT_EQ(labels[neg], 0);
+  }
+}
+
+TEST(GroupSamplerTest, CoversAllPositivesAsAnchors) {
+  Rng rng(2);
+  std::vector<int> labels = {1, 1, 1, 1, 0, 0, 0, 0};
+  GroupSampler sampler(labels, {.negatives_per_group = 2});
+  auto groups = sampler.Sample(400, &rng);
+  ASSERT_TRUE(groups.ok());
+  std::set<size_t> anchors;
+  for (const Group& g : *groups) anchors.insert(g.anchor);
+  EXPECT_EQ(anchors.size(), 4u);
+}
+
+TEST(GroupSamplerTest, FailsWithTooFewPositives) {
+  Rng rng(3);
+  GroupSampler sampler({1, 0, 0, 0}, {.negatives_per_group = 2});
+  EXPECT_EQ(sampler.Sample(1, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GroupSamplerTest, FailsWithTooFewNegatives) {
+  Rng rng(4);
+  GroupSampler sampler({1, 1, 0}, {.negatives_per_group = 2});
+  EXPECT_EQ(sampler.Sample(1, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GroupSamplerTest, LogGroupSpaceMatchesFormula) {
+  GroupSampler sampler({1, 1, 1, 0, 0, 0, 0}, {.negatives_per_group = 3});
+  // |D+| = 3, |D−| = 4, k = 3 → log(9·64).
+  EXPECT_NEAR(sampler.LogGroupSpace(), std::log(9.0 * 64.0), 1e-12);
+}
+
+TEST(GroupSamplerTest, LogGroupSpaceInfeasibleIsMinusInf) {
+  GroupSampler sampler({1, 0}, {.negatives_per_group = 1});
+  EXPECT_TRUE(std::isinf(sampler.LogGroupSpace()));
+  EXPECT_LT(sampler.LogGroupSpace(), 0);
+}
+
+// ------------------------------------------------------------ GroupNllLoss
+
+TEST(GroupLossTest, PerfectRetrievalGivesLowLoss) {
+  // Anchor identical to the positive, orthogonal to negatives → with high
+  // η the softmax should put almost all mass on slot 0.
+  Matrix anchor = {{1.0, 0.0}, {0.0, 1.0}};
+  Matrix pos = anchor;
+  Matrix neg = {{-1.0, 0.0}, {0.0, -1.0}};
+  std::vector<Matrix> conf(2, Matrix(2, 1, 1.0));
+  ag::Var loss = GroupNllLoss(ag::Constant(anchor),
+                              {ag::Constant(pos), ag::Constant(neg)}, conf,
+                              /*eta=*/10.0);
+  EXPECT_LT(loss->value(0, 0), 1e-6);
+}
+
+TEST(GroupLossTest, UniformScoresGiveLogK1) {
+  // All candidates equally similar → loss = log(#candidates).
+  Matrix anchor = {{1.0, 0.0}};
+  Matrix cand = {{1.0, 0.0}};
+  std::vector<Matrix> conf(4, Matrix(1, 1, 1.0));
+  ag::Var loss = GroupNllLoss(
+      ag::Constant(anchor),
+      {ag::Constant(cand), ag::Constant(cand), ag::Constant(cand),
+       ag::Constant(cand)},
+      conf, 10.0);
+  EXPECT_NEAR(loss->value(0, 0), std::log(4.0), 1e-9);
+}
+
+TEST(GroupLossTest, LowConfidencePositiveRaisesItsWeightInLossLess) {
+  // Down-weighting the positive slot's δ shrinks its score, making the
+  // same geometry yield a larger loss.
+  Matrix anchor = {{1.0, 0.2}};
+  Matrix pos = {{0.9, 0.3}};
+  Matrix neg = {{-0.5, 1.0}};
+  std::vector<Matrix> full_conf = {Matrix(1, 1, 1.0), Matrix(1, 1, 1.0)};
+  std::vector<Matrix> weak_conf = {Matrix(1, 1, 0.3), Matrix(1, 1, 1.0)};
+  ag::Var strong = GroupNllLoss(
+      ag::Constant(anchor), {ag::Constant(pos), ag::Constant(neg)},
+      full_conf, 5.0);
+  ag::Var weak = GroupNllLoss(
+      ag::Constant(anchor), {ag::Constant(pos), ag::Constant(neg)},
+      weak_conf, 5.0);
+  EXPECT_GT(weak->value(0, 0), strong->value(0, 0));
+}
+
+TEST(GroupLossTest, GradCheckThroughEmbeddings) {
+  Rng rng(5);
+  ag::Var anchor = ag::Parameter(RandomNormal(3, 4, &rng));
+  ag::Var pos = ag::Parameter(RandomNormal(3, 4, &rng));
+  ag::Var neg1 = ag::Parameter(RandomNormal(3, 4, &rng));
+  ag::Var neg2 = ag::Parameter(RandomNormal(3, 4, &rng));
+  std::vector<Matrix> conf;
+  for (int s = 0; s < 3; ++s) {
+    Matrix c(3, 1);
+    for (size_t i = 0; i < 3; ++i) c(i, 0) = 0.3 + 0.2 * (s + 1);
+    conf.push_back(c);
+  }
+  auto r = ag::CheckGradients({anchor, pos, neg1, neg2}, [&] {
+    return GroupNllLoss(anchor, {pos, neg1, neg2}, conf, 8.0);
+  });
+  EXPECT_LT(r.max_relative_error, 1e-5);
+}
+
+// ---------------------------------------------------------------- RllModel
+
+TEST(RllModelTest, EmbedShapeAndBounds) {
+  Rng rng(6);
+  RllModel model({.input_dim = 10, .hidden_dims = {8, 4}}, &rng);
+  EXPECT_EQ(model.embedding_dim(), 4u);
+  Matrix x = RandomNormal(5, 10, &rng);
+  Matrix e = model.Embed(x);
+  EXPECT_EQ(e.rows(), 5u);
+  EXPECT_EQ(e.cols(), 4u);
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_GE(e[i], -1.0);
+    EXPECT_LE(e[i], 1.0);
+  }
+}
+
+TEST(RllModelTest, SaveLoadRoundTrip) {
+  Rng rng(7);
+  RllModel a({.input_dim = 6, .hidden_dims = {4}}, &rng);
+  RllModel b({.input_dim = 6, .hidden_dims = {4}}, &rng);
+  const std::string path = ::testing::TempDir() + "/rll_model.ckpt";
+  ASSERT_TRUE(a.Save(path).ok());
+  ASSERT_TRUE(b.Load(path).ok());
+  Matrix x = RandomNormal(3, 6, &rng);
+  EXPECT_TRUE(a.Embed(x).AllClose(b.Embed(x)));
+}
+
+// --------------------------------------------------------------- RllTrainer
+
+TEST(RllTrainerTest, LossDecreasesOverTraining) {
+  Rng rng(8);
+  data::Dataset d = SmallAnnotatedDataset(&rng);
+  RllTrainer trainer(FastTrainerOptions(), &rng);
+  auto summary = trainer.Train(d.features(), d.MajorityVoteLabels(),
+                               std::vector<double>(d.size(), 1.0));
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(summary->epoch_losses.size(), 6u);
+  EXPECT_LT(summary->epoch_losses.back(), summary->epoch_losses.front());
+}
+
+TEST(RllTrainerTest, TrainedEmbeddingsSeparateClasses) {
+  Rng rng(9);
+  data::Dataset d = SmallAnnotatedDataset(&rng);
+  RllTrainerOptions options = FastTrainerOptions();
+  options.epochs = 10;
+  RllTrainer trainer(options, &rng);
+  const std::vector<int> labels = d.MajorityVoteLabels();
+  ASSERT_TRUE(trainer
+                  .Train(d.features(), labels,
+                         std::vector<double>(d.size(), 1.0))
+                  .ok());
+  // Mean intra-class cosine must exceed mean inter-class cosine.
+  const Matrix emb = trainer.model().Embed(d.features());
+  double intra = 0.0, inter = 0.0;
+  size_t intra_n = 0, inter_n = 0;
+  for (size_t i = 0; i < d.size(); i += 3) {
+    for (size_t j = i + 1; j < d.size(); j += 3) {
+      Matrix a = emb.Row(i);
+      Matrix b = emb.Row(j);
+      const double cos = RowCosine(a, b)(0, 0);
+      if (d.true_label(i) == d.true_label(j)) {
+        intra += cos;
+        ++intra_n;
+      } else {
+        inter += cos;
+        ++inter_n;
+      }
+    }
+  }
+  EXPECT_GT(intra / intra_n, inter / inter_n + 0.2);
+}
+
+TEST(RllTrainerTest, ValidationTracksAndRestoresBest) {
+  Rng rng(60);
+  data::Dataset d = SmallAnnotatedDataset(&rng, 200);
+  RllTrainerOptions options = FastTrainerOptions();
+  options.epochs = 12;
+  options.validation_fraction = 0.25;
+  options.patience = 3;
+  options.validation_groups = 128;
+  RllTrainer trainer(options, &rng);
+  auto summary = trainer.Train(d.features(), d.MajorityVoteLabels(),
+                               std::vector<double>(d.size(), 1.0));
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  ASSERT_FALSE(summary->validation_losses.empty());
+  EXPECT_EQ(summary->validation_losses.size(),
+            summary->epoch_losses.size());
+  // best_epoch is the argmin of the validation curve.
+  size_t argmin = 0;
+  for (size_t e = 1; e < summary->validation_losses.size(); ++e) {
+    if (summary->validation_losses[e] <
+        summary->validation_losses[argmin]) {
+      argmin = e;
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(summary->best_epoch), argmin);
+  if (summary->stopped_early) {
+    EXPECT_LT(summary->epoch_losses.size(),
+              static_cast<size_t>(options.epochs));
+  }
+}
+
+TEST(RllTrainerTest, ValidationRejectsTinyDatasets) {
+  Rng rng(61);
+  RllTrainerOptions options = FastTrainerOptions();
+  options.validation_fraction = 0.2;
+  RllTrainer trainer(options, &rng);
+  // 10 examples → 2-example validation split cannot form groups.
+  Matrix x(10, 4);
+  std::vector<int> labels = {1, 1, 1, 1, 1, 0, 0, 0, 0, 0};
+  EXPECT_EQ(trainer.Train(x, labels, std::vector<double>(10, 1.0))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RllTrainerTest, ValidationFractionBoundsChecked) {
+  Rng rng(62);
+  RllTrainerOptions options = FastTrainerOptions();
+  options.validation_fraction = 1.0;
+  RllTrainer trainer(options, &rng);
+  Matrix x(20, 4);
+  std::vector<int> labels(20, 0);
+  for (size_t i = 0; i < 10; ++i) labels[i] = 1;
+  EXPECT_EQ(trainer.Train(x, labels, std::vector<double>(20, 1.0))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GroupSamplerTest, ExcludedLabelsNeverSampled) {
+  Rng rng(63);
+  // Index 2 and 5 are held out (-1): they must appear in no group.
+  std::vector<int> labels = {1, 1, -1, 0, 0, -1, 1, 0};
+  GroupSampler sampler(labels, {.negatives_per_group = 2});
+  auto groups = sampler.Sample(200, &rng);
+  ASSERT_TRUE(groups.ok());
+  for (const Group& g : *groups) {
+    EXPECT_NE(g.anchor, 2u);
+    EXPECT_NE(g.anchor, 5u);
+    EXPECT_NE(g.positive, 2u);
+    EXPECT_NE(g.positive, 5u);
+    for (size_t neg : g.negatives) {
+      EXPECT_NE(neg, 2u);
+      EXPECT_NE(neg, 5u);
+    }
+  }
+}
+
+TEST(RllTrainerTest, ValidatesInputSizes) {
+  Rng rng(10);
+  RllTrainer trainer(FastTrainerOptions(), &rng);
+  Matrix x(10, 4);
+  EXPECT_FALSE(trainer.Train(x, std::vector<int>(9, 1),
+                             std::vector<double>(10, 1.0))
+                   .ok());
+  EXPECT_FALSE(trainer.Train(x, std::vector<int>(10, 1),
+                             std::vector<double>(10, 2.0))
+                   .ok());  // Confidence > 1.
+  EXPECT_FALSE(
+      trainer.Train(Matrix(), {}, {}).ok());
+}
+
+TEST(RllTrainerTest, FailsWhenGroupsInfeasible) {
+  Rng rng(11);
+  RllTrainer trainer(FastTrainerOptions(), &rng);
+  Matrix x(5, 3);
+  // All positive: no negatives to sample.
+  EXPECT_FALSE(trainer.Train(x, std::vector<int>(5, 1),
+                             std::vector<double>(5, 1.0))
+                   .ok());
+}
+
+// ----------------------------------------------------------- EmbeddingEval
+
+TEST(EmbeddingEvalTest, PerfectlySeparatedClusters) {
+  // Class 1 along +x, class 0 along −x: margin ≈ 2, silhouette ≈ 1.
+  Matrix emb = {{1, 0.01}, {1, -0.01}, {-1, 0.01}, {-1, -0.01}};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const EmbeddingQuality q = EvaluateEmbeddings(emb, labels);
+  EXPECT_GT(q.intra_class_cosine, 0.99);
+  EXPECT_LT(q.inter_class_cosine, -0.99);
+  EXPECT_GT(q.cosine_margin, 1.9);
+  EXPECT_GT(q.silhouette, 0.9);
+  EXPECT_DOUBLE_EQ(KnnAccuracy(emb, labels, 1), 1.0);
+}
+
+TEST(EmbeddingEvalTest, RandomEmbeddingsHaveNoMargin) {
+  Rng rng(40);
+  Matrix emb = RandomNormal(60, 8, &rng);
+  std::vector<int> labels(60);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = rng.Bernoulli(0.5);
+  const EmbeddingQuality q = EvaluateEmbeddings(emb, labels);
+  EXPECT_NEAR(q.cosine_margin, 0.0, 0.1);
+  EXPECT_NEAR(q.silhouette, 0.0, 0.1);
+  EXPECT_NEAR(KnnAccuracy(emb, labels, 5), 0.5, 0.2);
+}
+
+TEST(EmbeddingEvalTest, TrainingImprovesIntrinsicQuality) {
+  Rng rng(41);
+  data::Dataset d = SmallAnnotatedDataset(&rng);
+  RllTrainerOptions options = FastTrainerOptions();
+  options.epochs = 10;
+  RllTrainer trainer(options, &rng);
+  const std::vector<int> labels = d.MajorityVoteLabels();
+  ASSERT_TRUE(trainer
+                  .Train(d.features(), labels,
+                         std::vector<double>(d.size(), 1.0))
+                  .ok());
+  const EmbeddingQuality before =
+      EvaluateEmbeddings(d.features(), d.true_labels());
+  const EmbeddingQuality after =
+      EvaluateEmbeddings(trainer.model().Embed(d.features()),
+                         d.true_labels());
+  EXPECT_GT(after.cosine_margin, before.cosine_margin);
+}
+
+// ---------------------------------------------------------- EmbeddingIndex
+
+TEST(EmbeddingIndexTest, ExactSelfMatch) {
+  Rng rng(42);
+  Matrix corpus = RandomNormal(20, 6, &rng);
+  EmbeddingIndex index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  for (size_t q : {0u, 7u, 19u}) {
+    auto neighbors = index.Query(corpus.Row(q), 1);
+    ASSERT_TRUE(neighbors.ok());
+    EXPECT_EQ((*neighbors)[0].index, q);
+    EXPECT_NEAR((*neighbors)[0].similarity, 1.0, 1e-9);
+  }
+}
+
+TEST(EmbeddingIndexTest, ResultsSortedBySimilarity) {
+  Rng rng(43);
+  Matrix corpus = RandomNormal(30, 4, &rng);
+  EmbeddingIndex index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  auto neighbors = index.Query(RandomNormal(1, 4, &rng), 10);
+  ASSERT_TRUE(neighbors.ok());
+  ASSERT_EQ(neighbors->size(), 10u);
+  for (size_t i = 1; i < neighbors->size(); ++i) {
+    EXPECT_GE((*neighbors)[i - 1].similarity, (*neighbors)[i].similarity);
+  }
+}
+
+TEST(EmbeddingIndexTest, KClampedToCorpusSize) {
+  Matrix corpus = {{1, 0}, {0, 1}};
+  EmbeddingIndex index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  auto neighbors = index.Query(Matrix({{1, 1}}), 99);
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ(neighbors->size(), 2u);
+}
+
+TEST(EmbeddingIndexTest, CosineIsScaleInvariant) {
+  Matrix corpus = {{2, 0}, {0, 5}};
+  EmbeddingIndex index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  auto neighbors = index.Query(Matrix({{100, 1}}), 1);
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ((*neighbors)[0].index, 0u);  // Direction, not magnitude.
+}
+
+TEST(EmbeddingIndexTest, AddGrowsCorpus) {
+  Matrix corpus = {{1, 0}};
+  EmbeddingIndex index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  auto added = index.Add(Matrix({{0, 1}}));
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 1u);
+  EXPECT_EQ(index.size(), 2u);
+  auto neighbors = index.Query(Matrix({{0, 2}}), 1);
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ((*neighbors)[0].index, 1u);
+}
+
+TEST(EmbeddingIndexTest, ErrorContracts) {
+  EmbeddingIndex index;
+  EXPECT_EQ(index.Query(Matrix({{1.0}}), 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(index.Build(Matrix()).ok());
+  ASSERT_TRUE(index.Build(Matrix({{1, 0}})).ok());
+  EXPECT_FALSE(index.Query(Matrix({{1, 0, 0}}), 1).ok());  // Dim mismatch.
+  EXPECT_FALSE(index.Query(Matrix({{1, 0}}), 0).ok());     // k = 0.
+  EXPECT_FALSE(index.Add(Matrix({{1, 0, 0}})).ok());
+}
+
+// -------------------------------------------------------------- ModelBundle
+
+TEST(ModelBundleTest, SaveLoadEmbedRoundTrip) {
+  Rng rng(50);
+  Matrix raw = RandomNormal(20, 6, &rng, 5.0, 2.0);
+  data::Standardizer standardizer;
+  standardizer.Fit(raw);
+  RllModel model({.input_dim = 6, .hidden_dims = {5, 3}}, &rng);
+
+  auto bundle = ModelBundle::Create(standardizer, model, &rng);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  const std::string path = ::testing::TempDir() + "/bundle.ckpt";
+  ASSERT_TRUE(bundle->Save(path).ok());
+
+  auto loaded = ModelBundle::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->input_dim(), 6u);
+  EXPECT_EQ(loaded->embedding_dim(), 3u);
+
+  auto original = bundle->Embed(raw);
+  auto restored = loaded->Embed(raw);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(original->AllClose(*restored));
+  // And the bundle path equals manual standardize + embed.
+  EXPECT_TRUE(
+      original->AllClose(model.Embed(standardizer.Transform(raw))));
+}
+
+TEST(ModelBundleTest, CreateRejectsMismatchedDims) {
+  Rng rng(51);
+  data::Standardizer standardizer;
+  standardizer.Fit(Matrix(4, 7));
+  RllModel model({.input_dim = 6, .hidden_dims = {3}}, &rng);
+  EXPECT_FALSE(ModelBundle::Create(standardizer, model, &rng).ok());
+}
+
+TEST(ModelBundleTest, CreateRejectsUnfittedStandardizer) {
+  Rng rng(52);
+  RllModel model({.input_dim = 6, .hidden_dims = {3}}, &rng);
+  EXPECT_FALSE(
+      ModelBundle::Create(data::Standardizer(), model, &rng).ok());
+}
+
+TEST(ModelBundleTest, LoadRejectsCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/corrupt.ckpt";
+  {
+    std::ofstream f(path);
+    f << "matrix 1 2\n0 0\nmatrix 1 2\n1 1\nmatrix 2 3\n1 2 3 4 5 6\n";
+    // Weight without its bias: odd parameter count.
+  }
+  EXPECT_FALSE(ModelBundle::Load(path).ok());
+  EXPECT_FALSE(ModelBundle::Load("/nonexistent/bundle").ok());
+}
+
+TEST(ModelBundleTest, EmbedRejectsWrongWidth) {
+  Rng rng(53);
+  data::Standardizer standardizer;
+  standardizer.Fit(Matrix(4, 6, 1.0));
+  RllModel model({.input_dim = 6, .hidden_dims = {3}}, &rng);
+  auto bundle = ModelBundle::Create(standardizer, model, &rng);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_FALSE(bundle->Embed(Matrix(2, 5)).ok());
+}
+
+// ----------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, CrossValidationProducesFoldMetrics) {
+  Rng rng(12);
+  data::Dataset d = SmallAnnotatedDataset(&rng, 120);
+  RllPipelineOptions options;
+  options.trainer = FastTrainerOptions();
+  options.folds = 3;
+  auto outcome = RunRllCrossValidation(d, options, &rng);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->per_fold.size(), 3u);
+  EXPECT_GT(outcome->mean.accuracy, 0.5);  // Far above chance on easy data.
+  EXPECT_LE(outcome->mean.accuracy, 1.0);
+}
+
+TEST(PipelineTest, RequiresAnnotations) {
+  Rng rng(13);
+  data::SyntheticConfig config;
+  config.num_examples = 60;
+  data::Dataset d = GenerateSynthetic(config, &rng);
+  RllPipelineOptions options;
+  options.trainer = FastTrainerOptions();
+  EXPECT_EQ(RunRllCrossValidation(d, options, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PipelineTest, DeterministicGivenSeed) {
+  RllPipelineOptions options;
+  options.trainer = FastTrainerOptions();
+  options.folds = 3;
+  auto run = [&options](uint64_t seed) {
+    Rng rng(seed);
+    data::Dataset d = SmallAnnotatedDataset(&rng, 120);
+    Rng eval_rng(seed + 1);
+    auto outcome = RunRllCrossValidation(d, options, &eval_rng);
+    EXPECT_TRUE(outcome.ok());
+    return outcome->mean.accuracy;
+  };
+  EXPECT_DOUBLE_EQ(run(99), run(99));
+}
+
+}  // namespace
+}  // namespace rll::core

@@ -1,0 +1,470 @@
+// Tests for the neural-network layer: Linear/Mlp forward semantics and
+// checkpointing, optimizer convergence, schedules, and the batcher.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/batcher.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace rll::nn {
+namespace {
+
+// ---------------------------------------------------------------- Linear
+
+TEST(LinearTest, ForwardMatchesManualAffine) {
+  Rng rng(1);
+  Linear layer(3, 2, &rng);
+  Matrix x = RandomNormal(5, 3, &rng);
+  ag::Var out = layer.Forward(ag::Constant(x));
+  Matrix expected = AddRowBroadcast(Matmul(x, layer.weight()->value),
+                                    layer.bias()->value);
+  EXPECT_TRUE(out->value.AllClose(expected));
+}
+
+TEST(LinearTest, ParametersAreTrainableLeaves) {
+  Rng rng(2);
+  Linear layer(4, 4, &rng);
+  const auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  for (const auto& p : params) EXPECT_TRUE(p->requires_grad);
+}
+
+TEST(LinearTest, BiasStartsAtZero) {
+  Rng rng(3);
+  Linear layer(4, 6, &rng);
+  for (size_t i = 0; i < layer.bias()->value.size(); ++i) {
+    EXPECT_DOUBLE_EQ(layer.bias()->value[i], 0.0);
+  }
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(4);
+  Linear layer(3, 2, &rng);
+  Matrix x = RandomNormal(4, 3, &rng);
+  auto r = ag::CheckGradients(layer.Parameters(), [&] {
+    return ag::Mean(ag::Square(layer.Forward(ag::Constant(x))));
+  });
+  EXPECT_LT(r.max_relative_error, 1e-5);
+}
+
+// ------------------------------------------------------------------- Mlp
+
+TEST(MlpTest, OutputShape) {
+  Rng rng(5);
+  Mlp mlp({.dims = {10, 8, 4}}, &rng);
+  EXPECT_EQ(mlp.input_dim(), 10u);
+  EXPECT_EQ(mlp.output_dim(), 4u);
+  Matrix x = RandomNormal(6, 10, &rng);
+  EXPECT_EQ(mlp.Embed(x).rows(), 6u);
+  EXPECT_EQ(mlp.Embed(x).cols(), 4u);
+}
+
+TEST(MlpTest, TanhOutputBounded) {
+  Rng rng(6);
+  Mlp mlp({.dims = {5, 8, 3},
+           .hidden_activation = Activation::kTanh,
+           .output_activation = Activation::kTanh},
+          &rng);
+  Matrix x = RandomNormal(20, 5, &rng, 0.0, 10.0);
+  Matrix e = mlp.Embed(x);
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_GE(e[i], -1.0);
+    EXPECT_LE(e[i], 1.0);
+  }
+}
+
+TEST(MlpTest, ParameterCount) {
+  Rng rng(7);
+  Mlp mlp({.dims = {10, 8, 4}}, &rng);
+  // 2 layers × (weight + bias).
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+}
+
+TEST(MlpTest, GradCheckTwoLayerTanh) {
+  Rng rng(8);
+  Mlp mlp({.dims = {4, 5, 3}}, &rng);
+  Matrix x = RandomNormal(3, 4, &rng);
+  auto r = ag::CheckGradients(mlp.Parameters(), [&] {
+    return ag::Mean(ag::Square(mlp.Forward(ag::Constant(x))));
+  });
+  EXPECT_LT(r.max_relative_error, 1e-5);
+}
+
+TEST(MlpTest, SaveLoadRoundTrip) {
+  Rng rng(9);
+  Mlp a({.dims = {6, 5, 2}}, &rng);
+  Mlp b({.dims = {6, 5, 2}}, &rng);  // Different random init.
+  const std::string path = ::testing::TempDir() + "/mlp.ckpt";
+  ASSERT_TRUE(a.Save(path).ok());
+  ASSERT_TRUE(b.Load(path).ok());
+  Matrix x = RandomNormal(4, 6, &rng);
+  EXPECT_TRUE(a.Embed(x).AllClose(b.Embed(x)));
+}
+
+TEST(MlpTest, LoadRejectsArchitectureMismatch) {
+  Rng rng(10);
+  Mlp a({.dims = {6, 5, 2}}, &rng);
+  Mlp b({.dims = {6, 4, 2}}, &rng);
+  const std::string path = ::testing::TempDir() + "/mlp2.ckpt";
+  ASSERT_TRUE(a.Save(path).ok());
+  EXPECT_FALSE(b.Load(path).ok());
+}
+
+TEST(MlpTest, IdentityActivationIsAffine) {
+  Rng rng(11);
+  Mlp mlp({.dims = {3, 2},
+           .hidden_activation = Activation::kNone,
+           .output_activation = Activation::kNone},
+          &rng);
+  // Single linear layer, no activation: additivity must hold.
+  Matrix x1 = RandomNormal(1, 3, &rng);
+  Matrix x2 = RandomNormal(1, 3, &rng);
+  Matrix sum = Add(x1, x2);
+  Matrix lhs = mlp.Embed(sum);
+  Matrix rhs = Sub(Add(mlp.Embed(x1), mlp.Embed(x2)),
+                   mlp.Embed(Matrix(1, 3, 0.0)));
+  EXPECT_TRUE(lhs.AllClose(rhs, 1e-9, 1e-9));
+}
+
+// -------------------------------------------------------------- LayerNorm
+
+TEST(LayerNormTest, NormalizesRowsToZeroMeanUnitVariance) {
+  Rng rng(70);
+  LayerNorm norm(8);
+  Matrix x = RandomNormal(5, 8, &rng, 3.0, 2.0);
+  const Matrix y = norm.Forward(ag::Constant(x))->value;
+  for (size_t r = 0; r < y.rows(); ++r) {
+    double mean = 0.0, var = 0.0;
+    for (size_t c = 0; c < y.cols(); ++c) mean += y(r, c);
+    mean /= 8.0;
+    for (size_t c = 0; c < y.cols(); ++c) {
+      var += (y(r, c) - mean) * (y(r, c) - mean);
+    }
+    var /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);  // eps slightly shrinks the variance.
+  }
+}
+
+TEST(LayerNormTest, GainAndBiasApply) {
+  LayerNorm norm(2);
+  norm.Parameters()[0]->value = Matrix({{2.0, 2.0}});  // gain
+  norm.Parameters()[1]->value = Matrix({{1.0, 1.0}});  // bias
+  Matrix x = {{-1.0, 1.0}};
+  const Matrix y = norm.Forward(ag::Constant(x))->value;
+  // Normalized row ≈ (−1, 1) → scaled to (−2, 2) → shifted to (−1, 3).
+  EXPECT_NEAR(y(0, 0), -1.0, 1e-2);
+  EXPECT_NEAR(y(0, 1), 3.0, 1e-2);
+}
+
+TEST(LayerNormTest, GradCheckThroughNormalization) {
+  Rng rng(71);
+  LayerNorm norm(5);
+  ag::Var x = ag::Parameter(RandomNormal(4, 5, &rng));
+  std::vector<ag::Var> params = norm.Parameters();
+  params.push_back(x);
+  auto r = ag::CheckGradients(
+      params, [&] { return ag::Mean(ag::Square(norm.Forward(x))); });
+  EXPECT_LT(r.max_relative_error, 1e-4);
+}
+
+TEST(LayerNormTest, MlpIntegration) {
+  Rng rng(72);
+  Mlp mlp({.dims = {6, 10, 10, 3}, .layer_norm = true}, &rng);
+  // 3 layers × 2 params + 2 hidden norms × 2 params.
+  EXPECT_EQ(mlp.Parameters().size(), 10u);
+  Matrix x = RandomNormal(4, 6, &rng);
+  EXPECT_EQ(mlp.Embed(x).cols(), 3u);
+  // Checkpoint round-trip covers the norm parameters too.
+  const std::string path = ::testing::TempDir() + "/mlp_ln.ckpt";
+  ASSERT_TRUE(mlp.Save(path).ok());
+  Mlp other({.dims = {6, 10, 10, 3}, .layer_norm = true}, &rng);
+  ASSERT_TRUE(other.Load(path).ok());
+  EXPECT_TRUE(mlp.Embed(x).AllClose(other.Embed(x)));
+}
+
+TEST(LayerNormTest, TrainableInXorTask) {
+  Rng rng(73);
+  Mlp mlp({.dims = {2, 8, 1},
+           .hidden_activation = Activation::kTanh,
+           .output_activation = Activation::kSigmoid,
+           .layer_norm = true},
+          &rng);
+  Matrix x = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  Matrix y = {{0}, {1}, {1}, {0}};
+  Adam adam(mlp.Parameters(), {.lr = 0.05});
+  for (int step = 0; step < 2000; ++step) {
+    adam.ZeroGrad();
+    ag::Var out = mlp.Forward(ag::Constant(x));
+    ag::Var loss = ag::Mean(ag::Square(ag::Sub(out, ag::Constant(y))));
+    ag::Backward(loss);
+    adam.Step();
+  }
+  Matrix pred = mlp.Embed(x);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(pred(i, 0), y(i, 0), 0.25) << "example " << i;
+  }
+}
+
+// -------------------------------------------------------------- Optimizer
+
+// Minimize ||x - target||² — any reasonable optimizer reaches the optimum.
+void RunOptimizerConvergence(Optimizer* opt, const ag::Var& x,
+                             const Matrix& target, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    ag::Var loss = ag::Mean(ag::Square(ag::Sub(x, ag::Constant(target))));
+    ag::Backward(loss);
+    opt->Step();
+  }
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  Matrix target = {{1.0, -2.0, 3.0}};
+  ag::Var x = ag::Parameter(Matrix(1, 3, 0.0));
+  Sgd sgd({x}, {.lr = 0.3});
+  RunOptimizerConvergence(&sgd, x, target, 200);
+  EXPECT_TRUE(x->value.AllClose(target, 1e-4, 1e-4));
+}
+
+TEST(OptimizerTest, MomentumMatchesHandComputedUpdates) {
+  // v ← μ·v + g;  θ ← θ − lr·v, with constant gradient g = 1.
+  ag::Var x = ag::Parameter(Matrix(1, 1, 0.0));
+  Sgd sgd({x}, {.lr = 0.1, .momentum = 0.5});
+  double theta = 0.0, v = 0.0;
+  for (int step = 0; step < 5; ++step) {
+    sgd.ZeroGrad();
+    x->AccumulateGrad(Matrix(1, 1, 1.0));
+    sgd.Step();
+    v = 0.5 * v + 1.0;
+    theta -= 0.1 * v;
+    EXPECT_NEAR(x->value(0, 0), theta, 1e-12) << "step " << step;
+  }
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  Matrix target = {{1.0, -1.0}};
+  ag::Var x = ag::Parameter(Matrix(1, 2, 10.0));
+  Adam adam({x}, {.lr = 0.1});
+  RunOptimizerConvergence(&adam, x, target, 500);
+  EXPECT_TRUE(x->value.AllClose(target, 1e-3, 1e-3));
+}
+
+TEST(OptimizerTest, WeightDecayShrinksParameters) {
+  ag::Var x = ag::Parameter(Matrix(1, 1, 4.0));
+  Sgd sgd({x}, {.lr = 0.1, .weight_decay = 1.0});
+  // Zero-gradient loss: only decay acts.
+  for (int i = 0; i < 10; ++i) {
+    sgd.ZeroGrad();
+    x->AccumulateGrad(Matrix(1, 1, 0.0));
+    sgd.Step();
+  }
+  EXPECT_LT(std::fabs(x->value(0, 0)), 4.0);
+}
+
+TEST(OptimizerTest, SkipsParametersWithoutGradients) {
+  ag::Var x = ag::Parameter(Matrix(1, 1, 1.0));
+  Adam adam({x}, {.lr = 0.5});
+  adam.Step();  // No gradient accumulated: must be a no-op.
+  EXPECT_DOUBLE_EQ(x->value(0, 0), 1.0);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  ag::Var x = ag::Parameter(Matrix(1, 1, 1.0));
+  x->AccumulateGrad(Matrix(1, 1, 5.0));
+  Sgd sgd({x}, {});
+  sgd.ZeroGrad();
+  EXPECT_TRUE(x->grad.empty());
+}
+
+TEST(OptimizerTest, RmsPropConvergesOnQuadratic) {
+  Matrix target = {{-3.0, 2.0}};
+  ag::Var x = ag::Parameter(Matrix(1, 2, 5.0));
+  RmsProp rms({x}, {.lr = 0.05});
+  RunOptimizerConvergence(&rms, x, target, 800);
+  EXPECT_TRUE(x->value.AllClose(target, 1e-2, 1e-2));
+}
+
+TEST(OptimizerTest, RmsPropAdaptsPerCoordinate) {
+  // Ill-conditioned quadratic: loss = x0² + 100·x1². RMSProp normalizes by
+  // the gradient scale, so both coordinates shrink at comparable rates.
+  ag::Var x = ag::Parameter(Matrix{{1.0, 1.0}});
+  RmsProp rms({x}, {.lr = 0.02});
+  for (int i = 0; i < 100; ++i) {
+    rms.ZeroGrad();
+    Matrix g(1, 2);
+    g(0, 0) = 2.0 * x->value(0, 0);
+    g(0, 1) = 200.0 * x->value(0, 1);
+    x->AccumulateGrad(g);
+    rms.Step();
+  }
+  EXPECT_LT(std::fabs(x->value(0, 1)), 0.2);
+  EXPECT_LT(std::fabs(x->value(0, 0)), 0.6);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDownLargeGradients) {
+  ag::Var a = ag::Parameter(Matrix(1, 1, 0.0));
+  ag::Var b = ag::Parameter(Matrix(1, 1, 0.0));
+  a->AccumulateGrad(Matrix(1, 1, 3.0));
+  b->AccumulateGrad(Matrix(1, 1, 4.0));  // Global norm = 5.
+  const double norm = ClipGradNorm({a, b}, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(a->grad(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(b->grad(0, 0), 0.8, 1e-12);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradientsAlone) {
+  ag::Var a = ag::Parameter(Matrix(1, 1, 0.0));
+  a->AccumulateGrad(Matrix(1, 1, 0.5));
+  ClipGradNorm({a}, 1.0);
+  EXPECT_DOUBLE_EQ(a->grad(0, 0), 0.5);
+}
+
+TEST(ScheduleTest, CosineAnnealsToMinimum) {
+  CosineSchedule sched(1.0, 0.1, 100);
+  EXPECT_DOUBLE_EQ(sched.LrAt(0), 1.0);
+  EXPECT_NEAR(sched.LrAt(50), 0.55, 1e-9);  // Midpoint of [0.1, 1.0].
+  EXPECT_NEAR(sched.LrAt(100), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(sched.LrAt(200), 0.1);  // Clamped past the horizon.
+  // Monotone decreasing on the way down.
+  for (int e = 1; e <= 100; ++e) {
+    EXPECT_LE(sched.LrAt(e), sched.LrAt(e - 1) + 1e-12);
+  }
+}
+
+TEST(MlpDropoutTest, ForwardTrainEqualsForwardWithoutDropout) {
+  Rng rng(20);
+  Mlp mlp({.dims = {4, 8, 2}}, &rng);
+  Matrix x = RandomNormal(3, 4, &rng);
+  Rng drop_rng(1);
+  EXPECT_TRUE(mlp.ForwardTrain(ag::Constant(x), &drop_rng)
+                  ->value.AllClose(mlp.Forward(ag::Constant(x))->value));
+}
+
+TEST(MlpDropoutTest, DropoutZeroesAndRescales) {
+  Rng rng(21);
+  Mlp mlp({.dims = {4, 64, 2}, .dropout = 0.5}, &rng);
+  Matrix x = RandomNormal(8, 4, &rng);
+  Rng drop_rng(2);
+  Matrix a = mlp.ForwardTrain(ag::Constant(x), &drop_rng)->value;
+  Matrix b = mlp.ForwardTrain(ag::Constant(x), &drop_rng)->value;
+  // Stochastic masks differ between calls.
+  EXPECT_FALSE(a.AllClose(b));
+  // Inference path is deterministic and mask-free.
+  EXPECT_TRUE(mlp.Embed(x).AllClose(mlp.Embed(x)));
+}
+
+TEST(MlpDropoutTest, InvertedScalingKeepsExpectationRoughly) {
+  // With a linear network (no activation), E[dropout output] equals the
+  // plain output; check the empirical mean over many masks.
+  Rng rng(22);
+  Mlp mlp({.dims = {4, 64, 1},
+           .hidden_activation = Activation::kNone,
+           .output_activation = Activation::kNone,
+           .dropout = 0.3},
+          &rng);
+  Matrix x = RandomNormal(1, 4, &rng);
+  const double reference = mlp.Embed(x)(0, 0);
+  Rng drop_rng(3);
+  double total = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    total += mlp.ForwardTrain(ag::Constant(x), &drop_rng)->value(0, 0);
+  }
+  EXPECT_NEAR(total / trials, reference,
+              0.15 * std::max(1.0, std::fabs(reference)));
+}
+
+TEST(ScheduleTest, StepDecay) {
+  StepDecaySchedule sched(1.0, 0.5, 10);
+  EXPECT_DOUBLE_EQ(sched.LrAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.LrAt(9), 1.0);
+  EXPECT_DOUBLE_EQ(sched.LrAt(10), 0.5);
+  EXPECT_DOUBLE_EQ(sched.LrAt(25), 0.25);
+}
+
+// ---------------------------------------------------------------- Batcher
+
+TEST(BatcherTest, CoversAllIndicesOncePerEpoch) {
+  Rng rng(12);
+  Batcher batcher(10, 3, &rng);
+  std::vector<size_t> batch;
+  std::multiset<size_t> seen;
+  size_t batches = 0;
+  while (batcher.Next(&batch)) {
+    seen.insert(batch.begin(), batch.end());
+    ++batches;
+  }
+  EXPECT_EQ(batches, 4u);  // 3+3+3+1.
+  EXPECT_EQ(seen.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(BatcherTest, DropLastSkipsRaggedBatch) {
+  Rng rng(13);
+  Batcher batcher(10, 3, &rng, /*drop_last=*/true);
+  std::vector<size_t> batch;
+  size_t total = 0, batches = 0;
+  while (batcher.Next(&batch)) {
+    total += batch.size();
+    ++batches;
+  }
+  EXPECT_EQ(batches, 3u);
+  EXPECT_EQ(total, 9u);
+  EXPECT_EQ(batcher.BatchesPerEpoch(), 3u);
+}
+
+TEST(BatcherTest, NewEpochReshuffles) {
+  Rng rng(14);
+  Batcher batcher(64, 64, &rng);
+  std::vector<size_t> first, second;
+  batcher.Next(&first);
+  batcher.NewEpoch();
+  batcher.Next(&second);
+  EXPECT_NE(first, second);  // 64! orderings; collision is negligible.
+}
+
+TEST(BatcherTest, BatchesPerEpochRoundsUp) {
+  Rng rng(15);
+  Batcher batcher(10, 4, &rng);
+  EXPECT_EQ(batcher.BatchesPerEpoch(), 3u);
+}
+
+// --------------------------------------- Training an MLP end-to-end (XOR)
+
+TEST(MlpTrainingTest, LearnsXor) {
+  Rng rng(16);
+  Mlp mlp({.dims = {2, 8, 1},
+           .hidden_activation = Activation::kTanh,
+           .output_activation = Activation::kSigmoid},
+          &rng);
+  Matrix x = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  Matrix y = {{0}, {1}, {1}, {0}};
+  Adam adam(mlp.Parameters(), {.lr = 0.05});
+  for (int step = 0; step < 2000; ++step) {
+    adam.ZeroGrad();
+    ag::Var out = mlp.Forward(ag::Constant(x));
+    ag::Var loss = ag::Mean(ag::Square(ag::Sub(out, ag::Constant(y))));
+    ag::Backward(loss);
+    adam.Step();
+  }
+  Matrix pred = mlp.Embed(x);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(pred(i, 0), y(i, 0), 0.2) << "example " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rll::nn

@@ -1,0 +1,332 @@
+// Unit tests for the Matrix type and its kernels, including parameterized
+// property sweeps (linearity, softmax identities) over random shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace rll {
+namespace {
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m[1], -2.0);  // Row-major flat access.
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, RowColVector) {
+  Matrix col = Matrix::ColVector({1, 2, 3});
+  EXPECT_EQ(col.rows(), 3u);
+  EXPECT_EQ(col.cols(), 1u);
+  Matrix row = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.cols(), 3u);
+}
+
+TEST(MatrixTest, RowExtractAndSet) {
+  Matrix m = {{1, 2}, {3, 4}};
+  Matrix r = m.Row(1);
+  EXPECT_EQ(r, Matrix({{3, 4}}));
+  m.SetRow(0, r);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  m.SetRow(0, std::vector<double>{9, 8});
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+}
+
+TEST(MatrixTest, GatherRows) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix g = m.GatherRows({2, 0, 2});
+  EXPECT_EQ(g, Matrix({{5, 6}, {1, 2}, {5, 6}}));
+}
+
+TEST(MatrixTest, CompoundOpsShapeChecked) {
+  Matrix a = {{1, 2}};
+  Matrix b = {{3, 4}};
+  a += b;
+  EXPECT_EQ(a, Matrix({{4, 6}}));
+  a -= b;
+  EXPECT_EQ(a, Matrix({{1, 2}}));
+  a *= 2.0;
+  EXPECT_EQ(a, Matrix({{2, 4}}));
+}
+
+TEST(MatrixTest, AllClose) {
+  Matrix a = {{1.0, 2.0}};
+  Matrix b = {{1.0 + 1e-13, 2.0}};
+  EXPECT_TRUE(a.AllClose(b));
+  EXPECT_FALSE(a.AllClose(Matrix({{1.1, 2.0}})));
+  EXPECT_FALSE(a.AllClose(Matrix({{1.0}, {2.0}})));  // Shape mismatch.
+}
+
+TEST(MatrixTest, ToString) {
+  EXPECT_EQ(Matrix({{1, 2}}).ToString(), "[[1, 2]]");
+}
+
+// ------------------------------------------------------------------- Ops
+
+TEST(OpsTest, MatmulHandValues) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  EXPECT_EQ(Matmul(a, b), Matrix({{19, 22}, {43, 50}}));
+}
+
+TEST(OpsTest, MatmulIdentity) {
+  Rng rng(1);
+  Matrix a = RandomNormal(4, 4, &rng);
+  EXPECT_TRUE(Matmul(a, Matrix::Identity(4)).AllClose(a));
+  EXPECT_TRUE(Matmul(Matrix::Identity(4), a).AllClose(a));
+}
+
+TEST(OpsTest, TransposedMatmulsAgreeWithExplicitTranspose) {
+  Rng rng(2);
+  Matrix a = RandomNormal(3, 5, &rng);
+  Matrix b = RandomNormal(3, 4, &rng);
+  EXPECT_TRUE(MatmulTransposeA(a, b).AllClose(Matmul(Transpose(a), b)));
+  Matrix c = RandomNormal(4, 5, &rng);
+  EXPECT_TRUE(MatmulTransposeB(a, c).AllClose(Matmul(a, Transpose(c))));
+}
+
+TEST(OpsTest, ElementwiseOps) {
+  Matrix a = {{1, -2}, {3, 4}};
+  Matrix b = {{2, 2}, {2, 2}};
+  EXPECT_EQ(Add(a, b), Matrix({{3, 0}, {5, 6}}));
+  EXPECT_EQ(Sub(a, b), Matrix({{-1, -4}, {1, 2}}));
+  EXPECT_EQ(Hadamard(a, b), Matrix({{2, -4}, {6, 8}}));
+  EXPECT_EQ(Divide(a, b), Matrix({{0.5, -1}, {1.5, 2}}));
+  EXPECT_EQ(Scale(a, -1), Matrix({{-1, 2}, {-3, -4}}));
+  EXPECT_EQ(AddScalar(a, 1), Matrix({{2, -1}, {4, 5}}));
+}
+
+TEST(OpsTest, Broadcasts) {
+  Matrix a = {{1, 2}, {3, 4}};
+  EXPECT_EQ(AddRowBroadcast(a, Matrix({{10, 20}})),
+            Matrix({{11, 22}, {13, 24}}));
+  EXPECT_EQ(MulRowBroadcast(a, Matrix({{2, 0}})), Matrix({{2, 0}, {6, 0}}));
+  EXPECT_EQ(MulColBroadcast(a, Matrix({{2}, {3}})),
+            Matrix({{2, 4}, {9, 12}}));
+}
+
+TEST(OpsTest, Reductions) {
+  Matrix a = {{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(Sum(a), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(a), 2.5);
+  EXPECT_DOUBLE_EQ(Min(a), 1.0);
+  EXPECT_DOUBLE_EQ(Max(a), 4.0);
+  EXPECT_EQ(RowSum(a), Matrix({{3}, {7}}));
+  EXPECT_EQ(ColSum(a), Matrix({{4, 6}}));
+  EXPECT_EQ(ColMean(a), Matrix({{2, 3}}));
+}
+
+TEST(OpsTest, DotAndNorm) {
+  Matrix a = {{3, 4}};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 5.0);
+}
+
+TEST(OpsTest, RowNormsClampedAtEps) {
+  Matrix a = {{0, 0}, {3, 4}};
+  Matrix norms = RowNorms(a, 1e-12);
+  EXPECT_DOUBLE_EQ(norms(0, 0), 1e-12);
+  EXPECT_DOUBLE_EQ(norms(1, 0), 5.0);
+}
+
+TEST(OpsTest, RowCosineHandValues) {
+  Matrix a = {{1, 0}, {1, 1}};
+  Matrix b = {{0, 1}, {1, 1}};
+  Matrix cos = RowCosine(a, b);
+  EXPECT_NEAR(cos(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(cos(1, 0), 1.0, 1e-12);
+}
+
+TEST(OpsTest, RowCosineOppositeVectors) {
+  Matrix a = {{2, 0}};
+  Matrix b = {{-5, 0}};
+  EXPECT_NEAR(RowCosine(a, b)(0, 0), -1.0, 1e-12);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Matrix a = {{1, 2, 3}, {-5, 0, 5}};
+  Matrix s = SoftmaxRows(a);
+  for (size_t r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(s(r, c), 0.0);
+      total += s(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+  // Monotone in the logits.
+  EXPECT_LT(s(0, 0), s(0, 2));
+}
+
+TEST(OpsTest, SoftmaxStableForHugeLogits) {
+  Matrix a = {{1000.0, 1000.0}};
+  Matrix s = SoftmaxRows(a);
+  EXPECT_NEAR(s(0, 0), 0.5, 1e-12);
+  EXPECT_TRUE(std::isfinite(s(0, 1)));
+}
+
+TEST(OpsTest, LogSumExpMatchesDirectComputationWhenSafe) {
+  Matrix a = {{0.1, 0.2, 0.3}};
+  const double direct =
+      std::log(std::exp(0.1) + std::exp(0.2) + std::exp(0.3));
+  EXPECT_NEAR(LogSumExpRows(a)(0, 0), direct, 1e-12);
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  Matrix a = {{1, 5, 2}, {7, 0, 3}};
+  const std::vector<size_t> idx = ArgmaxRows(a);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(OpsTest, MapAppliesFunction) {
+  Matrix a = {{1, 4}};
+  Matrix b = Map(a, [](double x) { return x * x; });
+  EXPECT_EQ(b, Matrix({{1, 16}}));
+}
+
+// ------------------------------------------------------ Property sweeps
+
+class MatmulPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulPropertyTest, AssociativityAndDistributivity) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t m = 1 + rng.UniformInt(6u);
+  const size_t k = 1 + rng.UniformInt(6u);
+  const size_t n = 1 + rng.UniformInt(6u);
+  const size_t p = 1 + rng.UniformInt(6u);
+  Matrix a = RandomNormal(m, k, &rng);
+  Matrix b = RandomNormal(k, n, &rng);
+  Matrix c = RandomNormal(n, p, &rng);
+  Matrix d = RandomNormal(k, n, &rng);
+  EXPECT_TRUE(Matmul(Matmul(a, b), c).AllClose(Matmul(a, Matmul(b, c)),
+                                               1e-9, 1e-9));
+  EXPECT_TRUE(Matmul(a, Add(b, d)).AllClose(
+      Add(Matmul(a, b), Matmul(a, d)), 1e-9, 1e-9));
+}
+
+TEST_P(MatmulPropertyTest, TransposeReversesProduct) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  const size_t m = 1 + rng.UniformInt(6u);
+  const size_t k = 1 + rng.UniformInt(6u);
+  const size_t n = 1 + rng.UniformInt(6u);
+  Matrix a = RandomNormal(m, k, &rng);
+  Matrix b = RandomNormal(k, n, &rng);
+  EXPECT_TRUE(Transpose(Matmul(a, b))
+                  .AllClose(Matmul(Transpose(b), Transpose(a)), 1e-9, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, MatmulPropertyTest,
+                         ::testing::Range(0, 10));
+
+class SoftmaxPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxPropertyTest, ShiftInvariance) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 99);
+  Matrix a = RandomNormal(3, 5, &rng, 0.0, 3.0);
+  Matrix shifted = AddScalar(a, rng.Uniform(-10.0, 10.0));
+  EXPECT_TRUE(SoftmaxRows(a).AllClose(SoftmaxRows(shifted), 1e-9, 1e-12));
+}
+
+TEST_P(SoftmaxPropertyTest, LogSumExpDominatesMax) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 7);
+  Matrix a = RandomNormal(4, 6, &rng, 0.0, 5.0);
+  Matrix lse = LogSumExpRows(a);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    double mx = a(r, 0);
+    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, a(r, c));
+    EXPECT_GE(lse(r, 0), mx);
+    EXPECT_LE(lse(r, 0), mx + std::log(static_cast<double>(a.cols())) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInputs, SoftmaxPropertyTest,
+                         ::testing::Range(0, 10));
+
+TEST(InitTest, XavierWithinLimit) {
+  Rng rng(3);
+  const size_t fan_in = 30, fan_out = 20;
+  Matrix w = XavierUniform(fan_in, fan_out, &rng);
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w[i]), limit);
+  }
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(4);
+  const size_t fan_in = 100;
+  Matrix w = HeNormal(fan_in, 400, &rng);
+  double sumsq = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) sumsq += w[i] * w[i];
+  EXPECT_NEAR(sumsq / static_cast<double>(w.size()), 2.0 / fan_in,
+              0.2 / fan_in);
+}
+
+// ------------------------------------------------------------- Serialize
+
+TEST(SerializeTest, StreamRoundTrip) {
+  Rng rng(5);
+  Matrix m = RandomNormal(4, 7, &rng);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteMatrix(&ss, m).ok());
+  Result<Matrix> back = ReadMatrix(&ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->AllClose(m, 0.0, 0.0));  // %.17g is lossless.
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(6);
+  Matrix m = RandomNormal(3, 3, &rng);
+  const std::string path = ::testing::TempDir() + "/mat.txt";
+  ASSERT_TRUE(SaveMatrix(path, m).ok());
+  Result<Matrix> back = LoadMatrix(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->AllClose(m, 0.0, 0.0));
+}
+
+TEST(SerializeTest, RejectsBadHeader) {
+  std::stringstream ss("garbage 2 2\n1 2\n3 4\n");
+  EXPECT_FALSE(ReadMatrix(&ss).ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedBody) {
+  std::stringstream ss("matrix 2 2\n1 2 3\n");
+  EXPECT_FALSE(ReadMatrix(&ss).ok());
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadMatrix("/nonexistent/path/m.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace rll

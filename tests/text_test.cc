@@ -1,0 +1,322 @@
+// Tests for the transcript/linguistic-feature substrate: vocabulary
+// integrity, generative statistics of the transcript simulator, feature
+// extraction on hand-built transcripts, and the end-to-end text dataset.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "classify/logistic_regression.h"
+#include "classify/metrics.h"
+#include "data/kfold.h"
+#include "data/standardize.h"
+#include "text/linguistic_features.h"
+#include "text/text_dataset.h"
+#include "text/transcript.h"
+#include "text/vocabulary.h"
+
+namespace rll::text {
+namespace {
+
+// -------------------------------------------------------------- Vocabulary
+
+TEST(VocabularyTest, DefaultCoversAllClasses) {
+  const Vocabulary& v = Vocabulary::Default();
+  EXPECT_GT(v.size(), 50u);
+  for (TokenClass cls :
+       {TokenClass::kContent, TokenClass::kFunction, TokenClass::kMathTerm,
+        TokenClass::kFiller, TokenClass::kPause}) {
+    EXPECT_FALSE(v.ids_of(cls).empty());
+  }
+}
+
+TEST(VocabularyTest, ClassPartitionIsConsistent) {
+  const Vocabulary& v = Vocabulary::Default();
+  size_t total = 0;
+  std::set<size_t> seen;
+  for (TokenClass cls :
+       {TokenClass::kContent, TokenClass::kFunction, TokenClass::kMathTerm,
+        TokenClass::kFiller, TokenClass::kPause}) {
+    for (size_t id : v.ids_of(cls)) {
+      EXPECT_EQ(v.token_class(id), cls);
+      seen.insert(id);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, v.size());
+  EXPECT_EQ(seen.size(), v.size());  // Partition: no id in two classes.
+}
+
+TEST(VocabularyTest, WordsAreNonEmptyAndDistinct) {
+  const Vocabulary& v = Vocabulary::Default();
+  std::set<std::string> words;
+  for (size_t id = 0; id < v.size(); ++id) {
+    EXPECT_FALSE(v.word(id).empty());
+    words.insert(v.word(id));
+  }
+  EXPECT_EQ(words.size(), v.size());
+}
+
+// -------------------------------------------------------------- Transcript
+
+TEST(TranscriptTest, ApproximatesTargetLength) {
+  Rng rng(1);
+  SpeakerProfile profile;
+  for (size_t target : {50u, 120u, 300u}) {
+    const Transcript t =
+        GenerateTranscript(profile, Vocabulary::Default(), target, &rng);
+    EXPECT_GE(t.size(), target);
+    EXPECT_LE(t.size(), target + 40);
+    EXPECT_GT(t.num_utterances(), 0u);
+    EXPECT_EQ(t.utterance_ends.back(), t.size());
+    EXPECT_GT(t.duration_seconds, 0.0);
+  }
+}
+
+TEST(TranscriptTest, FillerRateIsHonoured) {
+  Rng rng(2);
+  SpeakerProfile profile;
+  profile.filler_rate = 0.2;
+  profile.pause_rate = 0.0;
+  profile.repetition_rate = 0.0;
+  const Vocabulary& v = Vocabulary::Default();
+  const Transcript t = GenerateTranscript(profile, v, 5000, &rng);
+  size_t fillers = 0;
+  for (size_t tok : t.tokens) {
+    fillers += (v.token_class(tok) == TokenClass::kFiller);
+  }
+  EXPECT_NEAR(static_cast<double>(fillers) / t.size(), 0.2, 0.02);
+}
+
+TEST(TranscriptTest, ZeroRatesProduceNoSpecialTokens) {
+  Rng rng(3);
+  SpeakerProfile profile;
+  profile.filler_rate = 0.0;
+  profile.pause_rate = 0.0;
+  profile.repetition_rate = 0.0;
+  const Vocabulary& v = Vocabulary::Default();
+  const Transcript t = GenerateTranscript(profile, v, 1000, &rng);
+  for (size_t tok : t.tokens) {
+    const TokenClass cls = v.token_class(tok);
+    EXPECT_NE(cls, TokenClass::kFiller);
+    EXPECT_NE(cls, TokenClass::kPause);
+  }
+}
+
+TEST(TranscriptTest, HigherZipfExponentLowersVocabularyRichness) {
+  Rng rng(4);
+  SpeakerProfile rich;
+  rich.zipf_exponent = 0.5;
+  SpeakerProfile poor;
+  poor.zipf_exponent = 2.5;
+  const Vocabulary& v = Vocabulary::Default();
+  auto distinct = [&v](const Transcript& t) {
+    std::set<size_t> types(t.tokens.begin(), t.tokens.end());
+    return types.size();
+  };
+  const size_t rich_types =
+      distinct(GenerateTranscript(rich, v, 2000, &rng));
+  const size_t poor_types =
+      distinct(GenerateTranscript(poor, v, 2000, &rng));
+  EXPECT_GT(rich_types, poor_types);
+}
+
+TEST(TranscriptTest, SlowerSpeakersTakeLonger) {
+  Rng rng(5);
+  SpeakerProfile fast;
+  fast.tokens_per_second = 3.0;
+  SpeakerProfile slow;
+  slow.tokens_per_second = 1.2;
+  const Vocabulary& v = Vocabulary::Default();
+  const Transcript a = GenerateTranscript(fast, v, 400, &rng);
+  const Transcript b = GenerateTranscript(slow, v, 400, &rng);
+  EXPECT_LT(a.duration_seconds, b.duration_seconds);
+}
+
+TEST(TranscriptTest, ToTextRendersWords) {
+  Rng rng(6);
+  const Vocabulary& v = Vocabulary::Default();
+  const Transcript t = GenerateTranscript(SpeakerProfile{}, v, 50, &rng);
+  const std::string text = ToText(t, v, 10);
+  EXPECT_FALSE(text.empty());
+  EXPECT_NE(text.find(' '), std::string::npos);
+  EXPECT_NE(text.find("..."), std::string::npos);  // Truncated marker.
+}
+
+// ---------------------------------------------------------------- Features
+
+// A tiny vocabulary where every id is predictable.
+Vocabulary TinyVocab() {
+  return Vocabulary({{"cat", TokenClass::kContent},
+                     {"dog", TokenClass::kContent},
+                     {"the", TokenClass::kFunction},
+                     {"two", TokenClass::kMathTerm},
+                     {"um", TokenClass::kFiller},
+                     {"<p>", TokenClass::kPause}});
+}
+
+TEST(FeatureTest, NamesAlignWithVectorLength) {
+  EXPECT_EQ(FeatureNames().size(), NumFeatures());
+  std::set<std::string> names(FeatureNames().begin(), FeatureNames().end());
+  EXPECT_EQ(names.size(), NumFeatures());  // No duplicate names.
+}
+
+TEST(FeatureTest, HandComputedValues) {
+  const Vocabulary v = TinyVocab();
+  Transcript t;
+  // "the cat um um <p> two two" — 7 tokens, 2 utterances (4 + 3).
+  t.tokens = {2, 0, 4, 4, 5, 3, 3};
+  t.utterance_ends = {4, 7};
+  t.duration_seconds = 3.5;
+  const std::vector<double> f = ExtractFeatures(t, v);
+  const auto& names = FeatureNames();
+  auto get = [&](const std::string& name) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return f[i];
+    }
+    ADD_FAILURE() << "missing feature " << name;
+    return 0.0;
+  };
+  EXPECT_DOUBLE_EQ(get("token_count"), 7.0);
+  EXPECT_DOUBLE_EQ(get("duration_seconds"), 3.5);
+  EXPECT_DOUBLE_EQ(get("speech_rate"), 2.0);
+  EXPECT_DOUBLE_EQ(get("type_token_ratio"), 5.0 / 7.0);
+  EXPECT_DOUBLE_EQ(get("filler_ratio"), 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(get("pause_ratio"), 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(get("math_term_ratio"), 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(get("function_ratio"), 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(get("repetition_ratio"), 2.0 / 6.0);  // um-um, two-two.
+  EXPECT_DOUBLE_EQ(get("mean_utterance_len"), 3.5);
+  EXPECT_DOUBLE_EQ(get("max_filler_run"), 2.0);
+  // Hapaxes: the, <p>, cat → 3/7.
+  EXPECT_DOUBLE_EQ(get("hapax_ratio"), 3.0 / 7.0);
+  // Bigrams: (2,0)(0,4)(4,4)(4,5)(5,3)(3,3) all distinct → 6/6.
+  EXPECT_DOUBLE_EQ(get("distinct_bigram_ratio"), 1.0);
+}
+
+TEST(FeatureTest, SingleTokenTranscriptIsSafe) {
+  const Vocabulary v = TinyVocab();
+  Transcript t;
+  t.tokens = {0};
+  t.utterance_ends = {1};
+  t.duration_seconds = 0.5;
+  const std::vector<double> f = ExtractFeatures(t, v);
+  for (double value : f) EXPECT_TRUE(std::isfinite(value));
+}
+
+// ----------------------------------------------------------- Text dataset
+
+TEST(TextDatasetTest, ShapesAndRatio) {
+  Rng rng(7);
+  TextSimConfig config;
+  config.num_examples = 300;
+  const TextDatasetResult result = GenerateOralTextDataset(config, &rng);
+  EXPECT_EQ(result.dataset.size(), 300u);
+  EXPECT_EQ(result.dataset.dim(), NumFeatures());
+  EXPECT_EQ(result.transcripts.size(), 300u);
+  EXPECT_NEAR(result.dataset.PositiveFraction(), 1.8 / 2.8, 0.01);
+}
+
+TEST(TextDatasetTest, FluentSpeakersFillLess) {
+  Rng rng(8);
+  TextSimConfig config;
+  config.num_examples = 400;
+  const TextDatasetResult result = GenerateOralTextDataset(config, &rng);
+  // filler_ratio is feature index 5.
+  double fluent_filler = 0.0, influent_filler = 0.0;
+  size_t nf = 0, ni = 0;
+  for (size_t i = 0; i < result.dataset.size(); ++i) {
+    const double filler = result.dataset.features()(i, 5);
+    if (result.dataset.true_label(i) == 1) {
+      fluent_filler += filler;
+      ++nf;
+    } else {
+      influent_filler += filler;
+      ++ni;
+    }
+  }
+  EXPECT_LT(fluent_filler / nf, influent_filler / ni);
+}
+
+TEST(TextDatasetTest, ClassesOverlap) {
+  // The task must be noisy (profiles overlap), not trivially separable:
+  // a threshold on any single feature should leave errors.
+  Rng rng(9);
+  TextSimConfig config;
+  config.num_examples = 500;
+  const TextDatasetResult result = GenerateOralTextDataset(config, &rng);
+  for (size_t feature : {2u, 5u, 10u}) {
+    // Best single-feature threshold accuracy (coarse scan).
+    double best = 0.0;
+    for (int step = 1; step < 40; ++step) {
+      double lo = 1e18, hi = -1e18;
+      for (size_t i = 0; i < result.dataset.size(); ++i) {
+        lo = std::min(lo, result.dataset.features()(i, feature));
+        hi = std::max(hi, result.dataset.features()(i, feature));
+      }
+      const double thr = lo + (hi - lo) * step / 40.0;
+      size_t correct_up = 0;
+      for (size_t i = 0; i < result.dataset.size(); ++i) {
+        const int pred = result.dataset.features()(i, feature) >= thr;
+        correct_up += (pred == result.dataset.true_label(i));
+      }
+      const double acc = std::max(
+          static_cast<double>(correct_up) / result.dataset.size(),
+          1.0 - static_cast<double>(correct_up) / result.dataset.size());
+      best = std::max(best, acc);
+    }
+    EXPECT_LT(best, 0.97) << "feature " << feature
+                          << " is a trivial separator";
+  }
+}
+
+TEST(TextDatasetTest, FeaturesSupportClassification) {
+  // End-to-end sanity: LR on the extracted features beats chance by a wide
+  // margin (the signal survives extraction).
+  Rng rng(10);
+  TextSimConfig config;
+  config.num_examples = 500;
+  const TextDatasetResult result = GenerateOralTextDataset(config, &rng);
+  const data::Split split =
+      data::TrainTestSplit(result.dataset.size(), 0.3, &rng);
+  data::Dataset train = result.dataset.Subset(split.train);
+  data::Dataset test = result.dataset.Subset(split.test);
+  data::Standardizer standardizer;
+  const Matrix train_features = standardizer.FitTransform(train.features());
+  const Matrix test_features = standardizer.Transform(test.features());
+  classify::LogisticRegression lr;
+  ASSERT_TRUE(lr.Fit(train_features, train.true_labels()).ok());
+  const double acc =
+      classify::Evaluate(test.true_labels(), lr.Predict(test_features))
+          .accuracy;
+  EXPECT_GT(acc, 0.75);
+}
+
+TEST(TextDatasetTest, DeterministicGivenSeed) {
+  TextSimConfig config;
+  config.num_examples = 50;
+  Rng a(11), b(11);
+  const TextDatasetResult r1 = GenerateOralTextDataset(config, &a);
+  const TextDatasetResult r2 = GenerateOralTextDataset(config, &b);
+  EXPECT_TRUE(r1.dataset.features().AllClose(r2.dataset.features(), 0, 0));
+  EXPECT_EQ(r1.dataset.true_labels(), r2.dataset.true_labels());
+}
+
+TEST(SampleProfileTest, JitterStaysInBounds) {
+  Rng rng(12);
+  TextSimConfig config;
+  for (int t = 0; t < 200; ++t) {
+    const SpeakerProfile p =
+        SampleProfile(config.influent, config.profile_noise, &rng);
+    EXPECT_GE(p.filler_rate, 0.0);
+    EXPECT_LE(p.filler_rate, 0.4);
+    EXPECT_GE(p.zipf_exponent, 0.3);
+    EXPECT_LE(p.zipf_exponent, 3.0);
+    EXPECT_GE(p.mean_utterance_length, 2.0);
+    EXPECT_GE(p.tokens_per_second, 0.8);
+  }
+}
+
+}  // namespace
+}  // namespace rll::text

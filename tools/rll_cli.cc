@@ -1,0 +1,520 @@
+// rll_cli — command-line front end for the RLL library.
+//
+//   rll_cli synth     --preset oral|class --features F.csv --annotations A.csv
+//                     [--seed N] [--votes D] [--workers W]
+//   rll_cli describe  --features F.csv [--annotations A.csv]
+//   rll_cli aggregate --features F.csv --annotations A.csv
+//                     [--method mv|em|glad|iwmv]
+//   rll_cli evaluate  --features F.csv --annotations A.csv
+//                     [--mode none|mle|bayesian|worker] [--folds K]
+//                     [--epochs E] [--k-negatives K] [--eta X] [--seed N]
+//   rll_cli tune      --features F.csv --annotations A.csv [--epochs E]
+//   rll_cli train     --features F.csv --annotations A.csv --model OUT
+//                     [--mode ...] [--epochs E] [--seed N]
+//   rll_cli embed     --features F.csv --model M --output EMB.csv
+//   rll_cli retrieve  --features F.csv --model M --query ROW [--k K]
+//
+// The features CSV is "f0,...,fN,label" (label = expert ground truth, used
+// only for evaluation); annotations are long-format
+// "example_id,worker_id,label". `synth` writes both files from the
+// simulated paper datasets so the whole flow is runnable offline.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "baselines/label_source.h"
+#include "classify/metrics.h"
+#include "classify/ranking_metrics.h"
+#include "common/strings.h"
+#include "core/embedding_index.h"
+#include "core/model_bundle.h"
+#include "core/tuning.h"
+#include "core/pipeline.h"
+#include "crowd/agreement.h"
+#include "crowd/dawid_skene.h"
+#include "crowd/glad.h"
+#include "crowd/iwmv.h"
+#include "crowd/majority_vote.h"
+#include "crowd/worker_pool.h"
+#include "data/csv.h"
+#include "data/standardize.h"
+#include "data/synthetic.h"
+#include "tensor/serialize.h"
+
+namespace rll::cli {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    double v = fallback;
+    if (it != flags.end() && !ParseDouble(it->second, &v)) return fallback;
+    return v;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    int64_t v = fallback;
+    if (it != flags.end() && !ParseInt(it->second, &v)) return fallback;
+    return v;
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rll_cli <command> [--flag value]\n"
+      "  synth     --preset oral|class --features F --annotations A\n"
+      "            [--seed N] [--votes D] [--workers W]\n"
+      "  describe  --features F [--annotations A]\n"
+      "  aggregate --features F --annotations A [--method mv|em|glad|iwmv]\n"
+      "  evaluate  --features F --annotations A [--mode "
+      "none|mle|bayesian|worker]\n"
+      "            [--folds K] [--epochs E] [--k-negatives K] [--eta X] "
+      "[--seed N]\n"
+      "  tune      --features F --annotations A [--epochs E] [--seed N]\n"
+      "  train     --features F --annotations A --model OUT [--mode ...] "
+      "[--epochs E]\n"
+      "  embed     --features F --model M --output EMB\n"
+      "  retrieve  --features F --model M --query ROW [--k K]\n");
+  return 2;
+}
+
+Result<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --flag, got: " + flag);
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag needs a value: " + flag);
+    }
+    args.flags[flag.substr(2)] = argv[++i];
+  }
+  return args;
+}
+
+Result<data::Dataset> LoadAnnotatedDataset(const Args& args) {
+  const std::string features = args.Get("features", "");
+  const std::string annotations = args.Get("annotations", "");
+  if (features.empty() || annotations.empty()) {
+    return Status::InvalidArgument(
+        "--features and --annotations are required");
+  }
+  RLL_ASSIGN_OR_RETURN(data::Dataset dataset,
+                       data::LoadFeaturesCsv(features));
+  RLL_RETURN_IF_ERROR(data::LoadAnnotationsCsv(annotations, &dataset));
+  return dataset;
+}
+
+Result<crowd::ConfidenceMode> ParseMode(const std::string& mode) {
+  if (mode == "none") return crowd::ConfidenceMode::kNone;
+  if (mode == "mle") return crowd::ConfidenceMode::kMle;
+  if (mode == "bayesian") return crowd::ConfidenceMode::kBayesian;
+  if (mode == "worker") return crowd::ConfidenceMode::kWorkerAware;
+  return Status::InvalidArgument("unknown --mode: " + mode);
+}
+
+core::RllPipelineOptions PipelineOptionsFrom(const Args& args,
+                                             crowd::ConfidenceMode mode) {
+  core::RllPipelineOptions options;
+  options.trainer.model.hidden_dims = {64, 32};
+  options.trainer.epochs = static_cast<int>(args.GetInt("epochs", 15));
+  options.trainer.groups_per_epoch =
+      static_cast<size_t>(args.GetInt("groups", 1024));
+  options.trainer.negatives_per_group =
+      static_cast<size_t>(args.GetInt("k-negatives", 3));
+  options.trainer.eta = args.GetDouble("eta", 10.0);
+  options.trainer.confidence_mode = mode;
+  options.folds = static_cast<size_t>(args.GetInt("folds", 5));
+  return options;
+}
+
+// ------------------------------------------------------------------ synth
+
+int RunSynth(const Args& args) {
+  const std::string preset = args.Get("preset", "oral");
+  data::SyntheticConfig config;
+  if (preset == "oral") {
+    config = data::OralSimConfig();
+  } else if (preset == "class") {
+    config = data::ClassSimConfig();
+  } else {
+    std::fprintf(stderr, "unknown --preset: %s\n", preset.c_str());
+    return 2;
+  }
+  const std::string features = args.Get("features", "");
+  const std::string annotations = args.Get("annotations", "");
+  if (features.empty() || annotations.empty()) {
+    std::fprintf(stderr, "--features and --annotations are required\n");
+    return 2;
+  }
+
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  data::Dataset dataset = GenerateSynthetic(config, &rng);
+  crowd::WorkerPool pool(
+      {.num_workers = static_cast<size_t>(args.GetInt("workers", 25))},
+      &rng);
+  pool.Annotate(&dataset, static_cast<size_t>(args.GetInt("votes", 5)),
+                &rng);
+
+  Status status = data::SaveFeaturesCsv(features, dataset);
+  if (status.ok()) status = data::SaveAnnotationsCsv(annotations, dataset);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu examples (%zu features, pos fraction %.3f) to %s\n",
+              dataset.size(), dataset.dim(), dataset.PositiveFraction(),
+              features.c_str());
+  std::printf("wrote %zu-vote annotations to %s\n",
+              static_cast<size_t>(args.GetInt("votes", 5)),
+              annotations.c_str());
+  return 0;
+}
+
+// -------------------------------------------------------------- aggregate
+
+int RunAggregate(const Args& args) {
+  auto dataset = LoadAnnotatedDataset(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::string method = args.Get("method", "mv");
+  std::unique_ptr<crowd::Aggregator> aggregator;
+  if (method == "mv") {
+    aggregator = std::make_unique<crowd::MajorityVote>();
+  } else if (method == "em") {
+    aggregator = std::make_unique<crowd::DawidSkene>();
+  } else if (method == "glad") {
+    aggregator = std::make_unique<crowd::Glad>();
+  } else if (method == "iwmv") {
+    aggregator = std::make_unique<crowd::Iwmv>();
+  } else {
+    std::fprintf(stderr, "unknown --method: %s\n", method.c_str());
+    return 2;
+  }
+
+  auto result = aggregator->Run(*dataset);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const auto metrics =
+      classify::Evaluate(dataset->true_labels(), result->labels);
+  std::printf("%s on %zu examples (%d iterations%s):\n",
+              aggregator->name().c_str(), dataset->size(),
+              result->iterations, result->converged ? "" : ", NOT converged");
+  std::printf("  label recovery: %s\n", ToString(metrics).c_str());
+  std::printf("  AUC of posterior: %.3f\n",
+              classify::RocAuc(dataset->true_labels(),
+                               result->prob_positive));
+  auto agreement = crowd::ComputeAgreement(*dataset);
+  if (agreement.ok()) {
+    std::printf("  inter-annotator: kappa=%.3f unanimous=%.1f%%\n",
+                agreement->fleiss_kappa,
+                100.0 * agreement->unanimous_fraction);
+  }
+  if (!result->worker_quality.empty()) {
+    std::printf("  worker quality:");
+    for (size_t w = 0; w < result->worker_quality.size(); ++w) {
+      std::printf(" %zu:%.2f", w, result->worker_quality[w]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- evaluate
+
+int RunEvaluate(const Args& args) {
+  auto dataset = LoadAnnotatedDataset(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto mode = ParseMode(args.Get("mode", "bayesian"));
+  if (!mode.ok()) {
+    std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+    return 2;
+  }
+  const core::RllPipelineOptions options = PipelineOptionsFrom(args, *mode);
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  auto outcome = core::RunRllCrossValidation(*dataset, options, &rng);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("RLL (%s confidence), %zu-fold CV on %zu examples:\n",
+              crowd::ConfidenceModeName(*mode), options.folds,
+              dataset->size());
+  std::printf("  mean : %s\n", ToString(outcome->mean).c_str());
+  std::printf("  std  : %s\n", ToString(outcome->stddev).c_str());
+  for (size_t f = 0; f < outcome->per_fold.size(); ++f) {
+    std::printf("  fold %zu: %s\n", f, ToString(outcome->per_fold[f]).c_str());
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ train
+
+// Model bundle file: standardizer mean, standardizer stddev, then the
+// encoder parameter matrices (all in tensor text format).
+int RunTrain(const Args& args) {
+  auto dataset = LoadAnnotatedDataset(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::string model_path = args.Get("model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "--model is required\n");
+    return 2;
+  }
+  auto mode = ParseMode(args.Get("mode", "bayesian"));
+  if (!mode.ok()) {
+    std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+    return 2;
+  }
+  const core::RllPipelineOptions options = PipelineOptionsFrom(args, *mode);
+
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  data::Standardizer standardizer;
+  const Matrix features = standardizer.FitTransform(dataset->features());
+  const std::vector<int> labels = dataset->MajorityVoteLabels();
+  const std::vector<double> confidence = crowd::LabelConfidence(
+      *dataset, labels, *mode, options.trainer.prior_strength);
+
+  core::RllTrainer trainer(options.trainer, &rng);
+  auto summary = trainer.Train(features, labels, confidence);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+
+  auto bundle = core::ModelBundle::Create(standardizer, trainer.model(),
+                                          &rng);
+  Status status =
+      bundle.ok() ? bundle->Save(model_path) : bundle.status();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %d epochs (final group NLL %.4f) on %zu examples\n",
+              options.trainer.epochs, summary->epoch_losses.back(),
+              dataset->size());
+  std::printf("model bundle written to %s\n", model_path.c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------------ embed
+
+int RunEmbed(const Args& args) {
+  const std::string features_path = args.Get("features", "");
+  const std::string model_path = args.Get("model", "");
+  const std::string output_path = args.Get("output", "");
+  if (features_path.empty() || model_path.empty() || output_path.empty()) {
+    std::fprintf(stderr, "--features, --model and --output are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadFeaturesCsv(features_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  auto bundle = core::ModelBundle::Load(model_path);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  auto embedded = bundle->Embed(dataset->features());
+  if (!embedded.ok()) {
+    std::fprintf(stderr, "%s\n", embedded.status().ToString().c_str());
+    return 1;
+  }
+  const Matrix& embeddings = *embedded;
+
+  std::ofstream out(output_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s for write\n", output_path.c_str());
+    return 1;
+  }
+  for (size_t c = 0; c < embeddings.cols(); ++c) out << "e" << c << ",";
+  out << "label\n";
+  for (size_t r = 0; r < embeddings.rows(); ++r) {
+    for (size_t c = 0; c < embeddings.cols(); ++c) {
+      out << StrFormat("%.8g", embeddings(r, c)) << ",";
+    }
+    out << dataset->true_label(r) << "\n";
+  }
+  std::printf("wrote %zu %zu-dim embeddings to %s\n", embeddings.rows(),
+              embeddings.cols(), output_path.c_str());
+  return 0;
+}
+
+// --------------------------------------------------------------- describe
+
+int RunDescribe(const Args& args) {
+  const std::string features_path = args.Get("features", "");
+  if (features_path.empty()) {
+    std::fprintf(stderr, "--features is required\n");
+    return 2;
+  }
+  auto dataset = data::LoadFeaturesCsv(features_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu examples, %zu features, positive fraction %.3f "
+              "(pos:neg = %.2f)\n",
+              dataset->size(), dataset->dim(), dataset->PositiveFraction(),
+              dataset->PositiveFraction() /
+                  std::max(1e-9, 1.0 - dataset->PositiveFraction()));
+
+  const std::string annotations_path = args.Get("annotations", "");
+  if (annotations_path.empty()) return 0;
+  Status status = data::LoadAnnotationsCsv(annotations_path,
+                                           &dataset.value());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu distinct workers\n", dataset->NumWorkers());
+  auto agreement = crowd::ComputeAgreement(*dataset);
+  if (agreement.ok()) {
+    std::printf("agreement: kappa=%.3f observed=%.3f unanimous=%.1f%% "
+                "MV-accuracy=%.3f\n",
+                agreement->fleiss_kappa, agreement->observed_agreement,
+                100.0 * agreement->unanimous_fraction,
+                agreement->majority_vote_accuracy);
+    std::printf("positive-vote histogram:");
+    for (size_t v = 0; v < agreement->vote_histogram.size(); ++v) {
+      std::printf(" %zu:%zu", v, agreement->vote_histogram[v]);
+    }
+    std::printf("\n");
+  } else {
+    std::printf("(agreement stats unavailable: %s)\n",
+                agreement.status().ToString().c_str());
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------- tune
+
+int RunTune(const Args& args) {
+  auto dataset = LoadAnnotatedDataset(args);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  core::TuningOptions options;
+  options.pipeline =
+      PipelineOptionsFrom(args, crowd::ConfidenceMode::kBayesian);
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
+  auto result = core::TuneEta(*dataset, options, &rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<double> grid = {1.0, 2.0, 5.0, 10.0, 20.0};
+  std::printf("held-out eta selection (%.0f%% holdout, majority-vote "
+              "target):\n",
+              100.0 * options.held_out_fraction);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    std::printf("  eta=%-5.1f held-out acc=%.3f%s\n", grid[i],
+                result->held_out_accuracy[i],
+                grid[i] == result->best_value ? "  <-- selected" : "");
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- retrieve
+
+int RunRetrieve(const Args& args) {
+  const std::string features_path = args.Get("features", "");
+  const std::string model_path = args.Get("model", "");
+  if (features_path.empty() || model_path.empty() || !args.Has("query")) {
+    std::fprintf(stderr, "--features, --model and --query are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadFeaturesCsv(features_path);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t query = args.GetInt("query", 0);
+  if (query < 0 || static_cast<size_t>(query) >= dataset->size()) {
+    std::fprintf(stderr, "--query out of range [0, %zu)\n", dataset->size());
+    return 2;
+  }
+  auto bundle = core::ModelBundle::Load(model_path);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+  auto embeddings = bundle->Embed(dataset->features());
+  if (!embeddings.ok()) {
+    std::fprintf(stderr, "%s\n", embeddings.status().ToString().c_str());
+    return 1;
+  }
+  core::EmbeddingIndex index;
+  if (!index.Build(*embeddings).ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+  const size_t k = static_cast<size_t>(args.GetInt("k", 5));
+  auto neighbors = index.Query(
+      embeddings->Row(static_cast<size_t>(query)), k + 1);
+  if (!neighbors.ok()) {
+    std::fprintf(stderr, "%s\n", neighbors.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("nearest neighbours of example %lld (label %d):\n",
+              static_cast<long long>(query),
+              dataset->true_label(static_cast<size_t>(query)));
+  for (const core::Neighbor& n : *neighbors) {
+    if (n.index == static_cast<size_t>(query)) continue;
+    std::printf("  example %-6zu label %d  cosine %.4f\n", n.index,
+                dataset->true_label(n.index), n.similarity);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto args = Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return Usage();
+  }
+  if (args->command == "synth") return RunSynth(*args);
+  if (args->command == "describe") return RunDescribe(*args);
+  if (args->command == "aggregate") return RunAggregate(*args);
+  if (args->command == "evaluate") return RunEvaluate(*args);
+  if (args->command == "tune") return RunTune(*args);
+  if (args->command == "train") return RunTrain(*args);
+  if (args->command == "embed") return RunEmbed(*args);
+  if (args->command == "retrieve") return RunRetrieve(*args);
+  std::fprintf(stderr, "unknown command: %s\n", args->command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rll::cli
+
+int main(int argc, char** argv) { return rll::cli::Main(argc, argv); }
