@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dim.dir/ablation_dim.cc.o"
+  "CMakeFiles/ablation_dim.dir/ablation_dim.cc.o.d"
+  "ablation_dim"
+  "ablation_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prior.dir/ablation_prior.cc.o"
+  "CMakeFiles/ablation_prior.dir/ablation_prior.cc.o.d"
+  "ablation_prior"
+  "ablation_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regularization.dir/ablation_regularization.cc.o"
+  "CMakeFiles/ablation_regularization.dir/ablation_regularization.cc.o.d"
+  "ablation_regularization"
+  "ablation_regularization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_text_pipeline.dir/appendix_text_pipeline.cc.o"
+  "CMakeFiles/appendix_text_pipeline.dir/appendix_text_pipeline.cc.o.d"
+  "appendix_text_pipeline"
+  "appendix_text_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_text_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_worker_aware.dir/extension_worker_aware.cc.o"
+  "CMakeFiles/extension_worker_aware.dir/extension_worker_aware.cc.o.d"
+  "extension_worker_aware"
+  "extension_worker_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_worker_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

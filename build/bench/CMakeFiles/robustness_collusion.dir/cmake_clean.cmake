@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_collusion.dir/robustness_collusion.cc.o"
+  "CMakeFiles/robustness_collusion.dir/robustness_collusion.cc.o.d"
+  "robustness_collusion"
+  "robustness_collusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_methods.dir/table1_methods.cc.o"
+  "CMakeFiles/table1_methods.dir/table1_methods.cc.o.d"
+  "table1_methods"
+  "table1_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_k_sweep.dir/table2_k_sweep.cc.o"
+  "CMakeFiles/table2_k_sweep.dir/table2_k_sweep.cc.o.d"
+  "table2_k_sweep"
+  "table2_k_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_k_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_d_sweep.dir/table3_d_sweep.cc.o"
+  "CMakeFiles/table3_d_sweep.dir/table3_d_sweep.cc.o.d"
+  "table3_d_sweep"
+  "table3_d_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_d_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

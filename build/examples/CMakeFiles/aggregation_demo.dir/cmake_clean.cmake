@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_demo.dir/aggregation_demo.cc.o"
+  "CMakeFiles/aggregation_demo.dir/aggregation_demo.cc.o.d"
+  "aggregation_demo"
+  "aggregation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_quality.dir/class_quality.cc.o"
+  "CMakeFiles/class_quality.dir/class_quality.cc.o.d"
+  "class_quality"
+  "class_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

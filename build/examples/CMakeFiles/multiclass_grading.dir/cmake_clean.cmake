@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_grading.dir/multiclass_grading.cc.o"
+  "CMakeFiles/multiclass_grading.dir/multiclass_grading.cc.o.d"
+  "multiclass_grading"
+  "multiclass_grading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_grading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oral_fluency.dir/oral_fluency.cc.o"
+  "CMakeFiles/oral_fluency.dir/oral_fluency.cc.o.d"
+  "oral_fluency"
+  "oral_fluency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oral_fluency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

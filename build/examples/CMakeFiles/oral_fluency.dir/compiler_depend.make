@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for oral_fluency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for oral_fluency.
+# This may be replaced when dependencies are built.

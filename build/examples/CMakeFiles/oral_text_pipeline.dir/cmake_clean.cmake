@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oral_text_pipeline.dir/oral_text_pipeline.cc.o"
+  "CMakeFiles/oral_text_pipeline.dir/oral_text_pipeline.cc.o.d"
+  "oral_text_pipeline"
+  "oral_text_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oral_text_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

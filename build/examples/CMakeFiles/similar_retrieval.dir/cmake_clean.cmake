@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similar_retrieval.dir/similar_retrieval.cc.o"
+  "CMakeFiles/similar_retrieval.dir/similar_retrieval.cc.o.d"
+  "similar_retrieval"
+  "similar_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similar_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

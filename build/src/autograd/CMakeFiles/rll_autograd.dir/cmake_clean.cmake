@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_autograd.dir/gradcheck.cc.o"
+  "CMakeFiles/rll_autograd.dir/gradcheck.cc.o.d"
+  "CMakeFiles/rll_autograd.dir/ops.cc.o"
+  "CMakeFiles/rll_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/rll_autograd.dir/variable.cc.o"
+  "CMakeFiles/rll_autograd.dir/variable.cc.o.d"
+  "librll_autograd.a"
+  "librll_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rll_autograd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aggregated_lr.cc" "src/baselines/CMakeFiles/rll_baselines.dir/aggregated_lr.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/aggregated_lr.cc.o.d"
+  "/root/repo/src/baselines/deep_baseline.cc" "src/baselines/CMakeFiles/rll_baselines.dir/deep_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/deep_baseline.cc.o.d"
+  "/root/repo/src/baselines/label_source.cc" "src/baselines/CMakeFiles/rll_baselines.dir/label_source.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/label_source.cc.o.d"
+  "/root/repo/src/baselines/method.cc" "src/baselines/CMakeFiles/rll_baselines.dir/method.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/method.cc.o.d"
+  "/root/repo/src/baselines/pca_method.cc" "src/baselines/CMakeFiles/rll_baselines.dir/pca_method.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/pca_method.cc.o.d"
+  "/root/repo/src/baselines/raykar.cc" "src/baselines/CMakeFiles/rll_baselines.dir/raykar.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/raykar.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/rll_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/relation.cc" "src/baselines/CMakeFiles/rll_baselines.dir/relation.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/relation.cc.o.d"
+  "/root/repo/src/baselines/rll_method.cc" "src/baselines/CMakeFiles/rll_baselines.dir/rll_method.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/rll_method.cc.o.d"
+  "/root/repo/src/baselines/siamese.cc" "src/baselines/CMakeFiles/rll_baselines.dir/siamese.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/siamese.cc.o.d"
+  "/root/repo/src/baselines/softprob.cc" "src/baselines/CMakeFiles/rll_baselines.dir/softprob.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/softprob.cc.o.d"
+  "/root/repo/src/baselines/triplet.cc" "src/baselines/CMakeFiles/rll_baselines.dir/triplet.cc.o" "gcc" "src/baselines/CMakeFiles/rll_baselines.dir/triplet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rll_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rll_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/rll_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/rll_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rll_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rll_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_baselines.dir/aggregated_lr.cc.o"
+  "CMakeFiles/rll_baselines.dir/aggregated_lr.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/deep_baseline.cc.o"
+  "CMakeFiles/rll_baselines.dir/deep_baseline.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/label_source.cc.o"
+  "CMakeFiles/rll_baselines.dir/label_source.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/method.cc.o"
+  "CMakeFiles/rll_baselines.dir/method.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/pca_method.cc.o"
+  "CMakeFiles/rll_baselines.dir/pca_method.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/raykar.cc.o"
+  "CMakeFiles/rll_baselines.dir/raykar.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/registry.cc.o"
+  "CMakeFiles/rll_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/relation.cc.o"
+  "CMakeFiles/rll_baselines.dir/relation.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/rll_method.cc.o"
+  "CMakeFiles/rll_baselines.dir/rll_method.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/siamese.cc.o"
+  "CMakeFiles/rll_baselines.dir/siamese.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/softprob.cc.o"
+  "CMakeFiles/rll_baselines.dir/softprob.cc.o.d"
+  "CMakeFiles/rll_baselines.dir/triplet.cc.o"
+  "CMakeFiles/rll_baselines.dir/triplet.cc.o.d"
+  "librll_baselines.a"
+  "librll_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/logistic_regression.cc" "src/classify/CMakeFiles/rll_classify.dir/logistic_regression.cc.o" "gcc" "src/classify/CMakeFiles/rll_classify.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/classify/metrics.cc" "src/classify/CMakeFiles/rll_classify.dir/metrics.cc.o" "gcc" "src/classify/CMakeFiles/rll_classify.dir/metrics.cc.o.d"
+  "/root/repo/src/classify/pca.cc" "src/classify/CMakeFiles/rll_classify.dir/pca.cc.o" "gcc" "src/classify/CMakeFiles/rll_classify.dir/pca.cc.o.d"
+  "/root/repo/src/classify/ranking_metrics.cc" "src/classify/CMakeFiles/rll_classify.dir/ranking_metrics.cc.o" "gcc" "src/classify/CMakeFiles/rll_classify.dir/ranking_metrics.cc.o.d"
+  "/root/repo/src/classify/softmax_regression.cc" "src/classify/CMakeFiles/rll_classify.dir/softmax_regression.cc.o" "gcc" "src/classify/CMakeFiles/rll_classify.dir/softmax_regression.cc.o.d"
+  "/root/repo/src/classify/stats.cc" "src/classify/CMakeFiles/rll_classify.dir/stats.cc.o" "gcc" "src/classify/CMakeFiles/rll_classify.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/rll_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rll_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_classify.dir/logistic_regression.cc.o"
+  "CMakeFiles/rll_classify.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/rll_classify.dir/metrics.cc.o"
+  "CMakeFiles/rll_classify.dir/metrics.cc.o.d"
+  "CMakeFiles/rll_classify.dir/pca.cc.o"
+  "CMakeFiles/rll_classify.dir/pca.cc.o.d"
+  "CMakeFiles/rll_classify.dir/ranking_metrics.cc.o"
+  "CMakeFiles/rll_classify.dir/ranking_metrics.cc.o.d"
+  "CMakeFiles/rll_classify.dir/softmax_regression.cc.o"
+  "CMakeFiles/rll_classify.dir/softmax_regression.cc.o.d"
+  "CMakeFiles/rll_classify.dir/stats.cc.o"
+  "CMakeFiles/rll_classify.dir/stats.cc.o.d"
+  "librll_classify.a"
+  "librll_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_common.dir/logging.cc.o"
+  "CMakeFiles/rll_common.dir/logging.cc.o.d"
+  "CMakeFiles/rll_common.dir/rng.cc.o"
+  "CMakeFiles/rll_common.dir/rng.cc.o.d"
+  "CMakeFiles/rll_common.dir/status.cc.o"
+  "CMakeFiles/rll_common.dir/status.cc.o.d"
+  "CMakeFiles/rll_common.dir/strings.cc.o"
+  "CMakeFiles/rll_common.dir/strings.cc.o.d"
+  "librll_common.a"
+  "librll_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

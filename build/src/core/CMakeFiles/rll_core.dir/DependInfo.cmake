@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/embedding_eval.cc" "src/core/CMakeFiles/rll_core.dir/embedding_eval.cc.o" "gcc" "src/core/CMakeFiles/rll_core.dir/embedding_eval.cc.o.d"
+  "/root/repo/src/core/embedding_index.cc" "src/core/CMakeFiles/rll_core.dir/embedding_index.cc.o" "gcc" "src/core/CMakeFiles/rll_core.dir/embedding_index.cc.o.d"
+  "/root/repo/src/core/group_sampler.cc" "src/core/CMakeFiles/rll_core.dir/group_sampler.cc.o" "gcc" "src/core/CMakeFiles/rll_core.dir/group_sampler.cc.o.d"
+  "/root/repo/src/core/model_bundle.cc" "src/core/CMakeFiles/rll_core.dir/model_bundle.cc.o" "gcc" "src/core/CMakeFiles/rll_core.dir/model_bundle.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/rll_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/rll_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/rll_model.cc" "src/core/CMakeFiles/rll_core.dir/rll_model.cc.o" "gcc" "src/core/CMakeFiles/rll_core.dir/rll_model.cc.o.d"
+  "/root/repo/src/core/rll_trainer.cc" "src/core/CMakeFiles/rll_core.dir/rll_trainer.cc.o" "gcc" "src/core/CMakeFiles/rll_core.dir/rll_trainer.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/core/CMakeFiles/rll_core.dir/tuning.cc.o" "gcc" "src/core/CMakeFiles/rll_core.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rll_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rll_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/rll_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/rll_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rll_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rll_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

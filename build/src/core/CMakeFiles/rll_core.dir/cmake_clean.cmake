@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_core.dir/embedding_eval.cc.o"
+  "CMakeFiles/rll_core.dir/embedding_eval.cc.o.d"
+  "CMakeFiles/rll_core.dir/embedding_index.cc.o"
+  "CMakeFiles/rll_core.dir/embedding_index.cc.o.d"
+  "CMakeFiles/rll_core.dir/group_sampler.cc.o"
+  "CMakeFiles/rll_core.dir/group_sampler.cc.o.d"
+  "CMakeFiles/rll_core.dir/model_bundle.cc.o"
+  "CMakeFiles/rll_core.dir/model_bundle.cc.o.d"
+  "CMakeFiles/rll_core.dir/pipeline.cc.o"
+  "CMakeFiles/rll_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/rll_core.dir/rll_model.cc.o"
+  "CMakeFiles/rll_core.dir/rll_model.cc.o.d"
+  "CMakeFiles/rll_core.dir/rll_trainer.cc.o"
+  "CMakeFiles/rll_core.dir/rll_trainer.cc.o.d"
+  "CMakeFiles/rll_core.dir/tuning.cc.o"
+  "CMakeFiles/rll_core.dir/tuning.cc.o.d"
+  "librll_core.a"
+  "librll_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

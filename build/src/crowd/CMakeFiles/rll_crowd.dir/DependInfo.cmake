@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crowd/adaptive_annotation.cc" "src/crowd/CMakeFiles/rll_crowd.dir/adaptive_annotation.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/adaptive_annotation.cc.o.d"
+  "/root/repo/src/crowd/agreement.cc" "src/crowd/CMakeFiles/rll_crowd.dir/agreement.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/agreement.cc.o.d"
+  "/root/repo/src/crowd/collusion.cc" "src/crowd/CMakeFiles/rll_crowd.dir/collusion.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/collusion.cc.o.d"
+  "/root/repo/src/crowd/confidence.cc" "src/crowd/CMakeFiles/rll_crowd.dir/confidence.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/confidence.cc.o.d"
+  "/root/repo/src/crowd/dawid_skene.cc" "src/crowd/CMakeFiles/rll_crowd.dir/dawid_skene.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/dawid_skene.cc.o.d"
+  "/root/repo/src/crowd/glad.cc" "src/crowd/CMakeFiles/rll_crowd.dir/glad.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/glad.cc.o.d"
+  "/root/repo/src/crowd/iwmv.cc" "src/crowd/CMakeFiles/rll_crowd.dir/iwmv.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/iwmv.cc.o.d"
+  "/root/repo/src/crowd/majority_vote.cc" "src/crowd/CMakeFiles/rll_crowd.dir/majority_vote.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/majority_vote.cc.o.d"
+  "/root/repo/src/crowd/multiclass.cc" "src/crowd/CMakeFiles/rll_crowd.dir/multiclass.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/multiclass.cc.o.d"
+  "/root/repo/src/crowd/worker_pool.cc" "src/crowd/CMakeFiles/rll_crowd.dir/worker_pool.cc.o" "gcc" "src/crowd/CMakeFiles/rll_crowd.dir/worker_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/rll_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rll_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

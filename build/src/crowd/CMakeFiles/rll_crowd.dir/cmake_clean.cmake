@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_crowd.dir/adaptive_annotation.cc.o"
+  "CMakeFiles/rll_crowd.dir/adaptive_annotation.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/agreement.cc.o"
+  "CMakeFiles/rll_crowd.dir/agreement.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/collusion.cc.o"
+  "CMakeFiles/rll_crowd.dir/collusion.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/confidence.cc.o"
+  "CMakeFiles/rll_crowd.dir/confidence.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/dawid_skene.cc.o"
+  "CMakeFiles/rll_crowd.dir/dawid_skene.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/glad.cc.o"
+  "CMakeFiles/rll_crowd.dir/glad.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/iwmv.cc.o"
+  "CMakeFiles/rll_crowd.dir/iwmv.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/majority_vote.cc.o"
+  "CMakeFiles/rll_crowd.dir/majority_vote.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/multiclass.cc.o"
+  "CMakeFiles/rll_crowd.dir/multiclass.cc.o.d"
+  "CMakeFiles/rll_crowd.dir/worker_pool.cc.o"
+  "CMakeFiles/rll_crowd.dir/worker_pool.cc.o.d"
+  "librll_crowd.a"
+  "librll_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_data.dir/csv.cc.o"
+  "CMakeFiles/rll_data.dir/csv.cc.o.d"
+  "CMakeFiles/rll_data.dir/dataset.cc.o"
+  "CMakeFiles/rll_data.dir/dataset.cc.o.d"
+  "CMakeFiles/rll_data.dir/kfold.cc.o"
+  "CMakeFiles/rll_data.dir/kfold.cc.o.d"
+  "CMakeFiles/rll_data.dir/standardize.cc.o"
+  "CMakeFiles/rll_data.dir/standardize.cc.o.d"
+  "CMakeFiles/rll_data.dir/synthetic.cc.o"
+  "CMakeFiles/rll_data.dir/synthetic.cc.o.d"
+  "librll_data.a"
+  "librll_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

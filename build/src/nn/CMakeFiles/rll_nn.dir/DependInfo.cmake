@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batcher.cc" "src/nn/CMakeFiles/rll_nn.dir/batcher.cc.o" "gcc" "src/nn/CMakeFiles/rll_nn.dir/batcher.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/rll_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/rll_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/rll_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/rll_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/rll_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/rll_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/rll_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/rll_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/rll_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rll_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

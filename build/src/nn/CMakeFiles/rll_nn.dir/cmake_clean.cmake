@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_nn.dir/batcher.cc.o"
+  "CMakeFiles/rll_nn.dir/batcher.cc.o.d"
+  "CMakeFiles/rll_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/rll_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/rll_nn.dir/linear.cc.o"
+  "CMakeFiles/rll_nn.dir/linear.cc.o.d"
+  "CMakeFiles/rll_nn.dir/mlp.cc.o"
+  "CMakeFiles/rll_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/rll_nn.dir/optimizer.cc.o"
+  "CMakeFiles/rll_nn.dir/optimizer.cc.o.d"
+  "librll_nn.a"
+  "librll_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

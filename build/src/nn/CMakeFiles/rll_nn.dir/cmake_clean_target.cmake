@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librll_nn.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for rll_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_tensor.dir/init.cc.o"
+  "CMakeFiles/rll_tensor.dir/init.cc.o.d"
+  "CMakeFiles/rll_tensor.dir/matrix.cc.o"
+  "CMakeFiles/rll_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/rll_tensor.dir/ops.cc.o"
+  "CMakeFiles/rll_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/rll_tensor.dir/serialize.cc.o"
+  "CMakeFiles/rll_tensor.dir/serialize.cc.o.d"
+  "librll_tensor.a"
+  "librll_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

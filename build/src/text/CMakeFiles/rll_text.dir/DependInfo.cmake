@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/linguistic_features.cc" "src/text/CMakeFiles/rll_text.dir/linguistic_features.cc.o" "gcc" "src/text/CMakeFiles/rll_text.dir/linguistic_features.cc.o.d"
+  "/root/repo/src/text/text_dataset.cc" "src/text/CMakeFiles/rll_text.dir/text_dataset.cc.o" "gcc" "src/text/CMakeFiles/rll_text.dir/text_dataset.cc.o.d"
+  "/root/repo/src/text/transcript.cc" "src/text/CMakeFiles/rll_text.dir/transcript.cc.o" "gcc" "src/text/CMakeFiles/rll_text.dir/transcript.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/rll_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/rll_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/rll_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rll_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

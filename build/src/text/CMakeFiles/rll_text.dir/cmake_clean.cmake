@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_text.dir/linguistic_features.cc.o"
+  "CMakeFiles/rll_text.dir/linguistic_features.cc.o.d"
+  "CMakeFiles/rll_text.dir/text_dataset.cc.o"
+  "CMakeFiles/rll_text.dir/text_dataset.cc.o.d"
+  "CMakeFiles/rll_text.dir/transcript.cc.o"
+  "CMakeFiles/rll_text.dir/transcript.cc.o.d"
+  "CMakeFiles/rll_text.dir/vocabulary.cc.o"
+  "CMakeFiles/rll_text.dir/vocabulary.cc.o.d"
+  "librll_text.a"
+  "librll_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

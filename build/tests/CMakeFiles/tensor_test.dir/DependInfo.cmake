@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/rll_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rll_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rll_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/rll_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/rll_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/rll_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rll_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rll_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rll_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rll_cli.dir/rll_cli.cc.o"
+  "CMakeFiles/rll_cli.dir/rll_cli.cc.o.d"
+  "rll_cli"
+  "rll_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rll_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
