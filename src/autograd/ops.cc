@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/finite_check.h"
 #include "tensor/ops.h"
 
 namespace rll::ag {
@@ -13,6 +14,9 @@ namespace {
 /// when gradients are needed.
 Var MakeOp(Matrix value, std::vector<Var> parents,
            std::function<void(Node*)> backward) {
+  // Every autograd op funnels through here: a NaN/Inf forward value aborts
+  // (debug builds) at the op that produced it.
+  RLL_DCHECK_FINITE(value);
   bool needs_grad = false;
   for (const Var& p : parents) needs_grad = needs_grad || p->requires_grad;
   Var out = std::make_shared<Node>(std::move(value), needs_grad);
@@ -86,6 +90,7 @@ Var Div(const Var& a, const Var& b, double eps) {
         const double d = safe(b->value[i]);
         gb[i] = -n->grad[i] * a->value[i] / (d * d);
       }
+      RLL_DCHECK_FINITE(gb);
       b->AccumulateGrad(gb);
     }
   });
@@ -313,6 +318,8 @@ Var RowCosine(const Var& a, const Var& b, double eps) {
             gbr[c] = g * (ar[c] / (na * nb) - cosv * br[c] / (nb * nb));
           }
         }
+        RLL_DCHECK_FINITE(ga);
+        RLL_DCHECK_FINITE(gb);
         if (a->requires_grad) a->AccumulateGrad(ga);
         if (b->requires_grad) b->AccumulateGrad(gb);
       });

@@ -2,10 +2,33 @@
 
 #include <unordered_set>
 
+#include "common/finite_check.h"
+
 namespace rll::ag {
+
+Node::~Node() {
+  // Move the parent list out, then drain it with an explicit stack. Any
+  // node we hold the last reference to gets its own parents stolen before
+  // its (now shallow) destructor runs, so destruction never recurses
+  // deeper than one node regardless of graph depth.
+  std::vector<Var> pending = std::move(parents);
+  while (!pending.empty()) {
+    Var node = std::move(pending.back());
+    pending.pop_back();
+    if (node.use_count() == 1) {
+      for (Var& parent : node->parents) {
+        pending.push_back(std::move(parent));
+      }
+      node->parents.clear();
+    }
+  }
+}
 
 void Node::AccumulateGrad(const Matrix& g) {
   RLL_CHECK(g.rows() == value.rows() && g.cols() == value.cols());
+  // Gradients enter every node through here, so a NaN produced by any
+  // backward_fn is caught while the producing op is still on the stack.
+  RLL_DCHECK_FINITE(g);
   if (grad.empty()) {
     grad = g;
   } else {

@@ -26,6 +26,12 @@ class Node {
   Node(Matrix value, bool requires_grad)
       : value(std::move(value)), requires_grad(requires_grad) {}
 
+  // Destroying the head of a long op chain must not recurse node-by-node
+  // through shared_ptr parents — a 20k-op training graph overflows the
+  // stack that way (caught by the asan-ubsan build, where stack frames are
+  // large enough to trip it). Tear the chain down iteratively instead.
+  ~Node();
+
   /// Forward value.
   Matrix value;
   /// Accumulated gradient dLoss/dvalue; empty until first accumulation.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/finite_check.h"
+
 namespace rll::classify {
 
 namespace {
@@ -75,6 +77,11 @@ Status LogisticRegression::Fit(const Matrix& x,
     }
     vel_b = options_.momentum * vel_b - options_.learning_rate * grad_b;
     bias_ += vel_b;
+    // A diverging fit (lr too high, degenerate features) shows up as
+    // NaN/Inf weights; trip at the epoch that produced them.
+    RLL_DCHECK_FINITE(grad_w);
+    RLL_DCHECK_FINITE(weights_);
+    RLL_DCHECK_FINITE(bias_);
     if (max_grad < options_.tolerance) break;
   }
   fitted_ = true;
@@ -102,6 +109,7 @@ std::vector<double> LogisticRegression::PredictProba(const Matrix& x) const {
     double z = bias_;
     for (size_t j = 0; j < x.cols(); ++j) z += row[j] * weights_(j, 0);
     out[i] = StableSigmoid(z);
+    RLL_DCHECK_PROB(out[i]);
   }
   return out;
 }

@@ -39,12 +39,27 @@ namespace rll::internal {
 #define RLL_CHECK_GT(a, b) RLL_CHECK((a) > (b))
 #define RLL_CHECK_GE(a, b) RLL_CHECK((a) >= (b))
 
+// In NDEBUG builds the condition must still be parsed, type-checked, and
+// odr-visible — otherwise variables referenced only in a DCHECK draw
+// unused-variable warnings in Release, and a side-effecting condition
+// would silently change behavior between build types (it is a bug either
+// way, but it should fail to compile the same in both). sizeof over the
+// negated condition does exactly that at zero runtime cost: the operand
+// is unevaluated, so nothing runs, but every name in it is used.
 #ifdef NDEBUG
-#define RLL_DCHECK(cond) \
-  do {                   \
+#define RLL_DCHECK(cond)               \
+  do {                                 \
+    static_cast<void>(sizeof(!(cond))); \
   } while (false)
 #else
 #define RLL_DCHECK(cond) RLL_CHECK(cond)
 #endif
+
+#define RLL_DCHECK_EQ(a, b) RLL_DCHECK((a) == (b))
+#define RLL_DCHECK_NE(a, b) RLL_DCHECK((a) != (b))
+#define RLL_DCHECK_LT(a, b) RLL_DCHECK((a) < (b))
+#define RLL_DCHECK_LE(a, b) RLL_DCHECK((a) <= (b))
+#define RLL_DCHECK_GT(a, b) RLL_DCHECK((a) > (b))
+#define RLL_DCHECK_GE(a, b) RLL_DCHECK((a) >= (b))
 
 #endif  // RLL_COMMON_CHECK_H_

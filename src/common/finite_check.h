@@ -1,0 +1,141 @@
+// Numeric-invariant tripwires for the float-heavy pipeline.
+//
+//   RLL_DCHECK_FINITE(x)      x (scalar, Matrix, vector, span — anything
+//                             indexable) contains no NaN/Inf; reports the
+//                             first offending index and value.
+//   RLL_DCHECK_PROB(p)        p is finite and in [0, 1] — confidences,
+//                             softmax outputs, Beta posteriors.
+//   RLL_DCHECK_SHAPE(m, r, c) m is exactly r x c.
+//
+// These are debug tripwires, not error handling: they are wired into the
+// ops that *produce* values (matmul/softmax outputs, backward gradients,
+// per-step losses) so a NaN aborts at its source instead of surfacing
+// three tables later as a quietly degraded AUC. In NDEBUG builds every
+// macro compiles to an unevaluated sizeof — zero instructions in Release,
+// but the expression stays parsed, type-checked, and odr-used (same
+// contract as RLL_DCHECK in common/check.h).
+//
+// Policy recap (see DESIGN.md "Correctness tooling"): user input and I/O
+// failures return Status; violated internal preconditions that are cheap
+// to test use RLL_CHECK; numeric invariants on hot paths use these
+// RLL_DCHECK_* tripwires.
+
+#ifndef RLL_COMMON_FINITE_CHECK_H_
+#define RLL_COMMON_FINITE_CHECK_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace rll::internal {
+
+template <typename T>
+concept FiniteScalar = std::is_arithmetic_v<std::remove_cvref_t<T>>;
+
+/// Anything with size() and operator[] yielding numbers: Matrix,
+/// std::vector<double>, std::span<const double>, ...
+template <typename C>
+concept FiniteIndexable = requires(const C& c) {
+  { c.size() } -> std::convertible_to<std::size_t>;
+  { c[std::size_t{0}] } -> std::convertible_to<double>;
+};
+
+template <FiniteScalar T>
+inline bool AllFinite(T v) {
+  return std::isfinite(static_cast<double>(v));
+}
+
+template <FiniteIndexable C>
+inline bool AllFinite(const C& c) {
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(static_cast<double>(c[i]))) return false;
+  }
+  return true;
+}
+
+[[noreturn]] inline void FiniteCheckFailed(const char* file, int line,
+                                           const char* expr, double value) {
+  char msg[128];
+  std::snprintf(msg, sizeof(msg), "non-finite value %g", value);
+  CheckFailed(file, line, expr, msg);
+}
+
+[[noreturn]] inline void FiniteCheckFailedAt(const char* file, int line,
+                                             const char* expr,
+                                             std::size_t index, double value) {
+  char msg[128];
+  std::snprintf(msg, sizeof(msg), "non-finite value %g at flat index %zu",
+                value, index);
+  CheckFailed(file, line, expr, msg);
+}
+
+template <FiniteScalar T>
+inline void DcheckFinite(T v, const char* file, int line, const char* expr) {
+  if (!std::isfinite(static_cast<double>(v))) {
+    FiniteCheckFailed(file, line, expr, static_cast<double>(v));
+  }
+}
+
+template <FiniteIndexable C>
+inline void DcheckFinite(const C& c, const char* file, int line,
+                         const char* expr) {
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(c[i]);
+    if (!std::isfinite(v)) FiniteCheckFailedAt(file, line, expr, i, v);
+  }
+}
+
+inline void DcheckProb(double p, const char* file, int line,
+                       const char* expr) {
+  if (!(std::isfinite(p) && p >= 0.0 && p <= 1.0)) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg), "value %g is not a probability in [0, 1]",
+                  p);
+    CheckFailed(file, line, expr, msg);
+  }
+}
+
+template <typename M>
+inline void DcheckShape(const M& m, std::size_t rows, std::size_t cols,
+                        const char* file, int line, const char* expr) {
+  if (m.rows() != rows || m.cols() != cols) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg), "shape %zux%zu, expected %zux%zu",
+                  static_cast<std::size_t>(m.rows()),
+                  static_cast<std::size_t>(m.cols()), rows, cols);
+    CheckFailed(file, line, expr, msg);
+  }
+}
+
+}  // namespace rll::internal
+
+#ifdef NDEBUG
+#define RLL_DCHECK_FINITE(x)                                   \
+  do {                                                         \
+    static_cast<void>(sizeof(::rll::internal::AllFinite(x)));  \
+  } while (false)
+#define RLL_DCHECK_PROB(x)                                       \
+  do {                                                           \
+    static_cast<void>(sizeof(static_cast<double>(x) >= 0.0));    \
+  } while (false)
+#define RLL_DCHECK_SHAPE(m, r, c)                                         \
+  do {                                                                    \
+    static_cast<void>(sizeof((m).rows() + (m).cols() + (r) + (c)));       \
+  } while (false)
+#else
+#define RLL_DCHECK_FINITE(x) \
+  ::rll::internal::DcheckFinite((x), __FILE__, __LINE__, #x)
+#define RLL_DCHECK_PROB(x) \
+  ::rll::internal::DcheckProb((x), __FILE__, __LINE__, #x)
+#define RLL_DCHECK_SHAPE(m, r, c)                                      \
+  ::rll::internal::DcheckShape((m), static_cast<std::size_t>(r),       \
+                               static_cast<std::size_t>(c), __FILE__,  \
+                               __LINE__, #m)
+#endif
+
+#endif  // RLL_COMMON_FINITE_CHECK_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "autograd/ops.h"
+#include "common/finite_check.h"
 #include "common/logging.h"
 
 namespace rll::core {
@@ -127,6 +128,9 @@ Result<RllTrainSummary> RllTrainer::Train(
          start += options_.batch_size) {
       const size_t end = std::min(start + options_.batch_size, groups.size());
       ag::Var loss = build_loss(groups, start, end, /*training=*/true);
+      // The confidence-weighted group NLL must stay finite every step; a
+      // NaN here means an upstream op or a bad confidence slipped through.
+      RLL_DCHECK_FINITE(loss->value(0, 0));
       optimizer.ZeroGrad();
       ag::Backward(loss);
       optimizer.Step();
@@ -136,6 +140,13 @@ Result<RllTrainSummary> RllTrainer::Train(
     summary.epoch_losses.push_back(epoch_loss /
                                    static_cast<double>(batches));
     summary.groups_trained += groups.size();
+#ifndef NDEBUG
+    // Embedding-layer weights (and thus embedding norms) stay finite after
+    // each optimizer epoch — diverging training aborts here, not at eval.
+    for (const ag::Var& p : model_->Parameters()) {
+      RLL_DCHECK_FINITE(p->value);
+    }
+#endif
     if (validation_groups.empty()) summary.best_epoch = epoch;
 
     if (!validation_groups.empty()) {
@@ -143,6 +154,7 @@ Result<RllTrainSummary> RllTrainer::Train(
           build_loss(validation_groups, 0, validation_groups.size(),
                      /*training=*/false)
               ->value(0, 0);
+      RLL_DCHECK_FINITE(val_loss);
       summary.validation_losses.push_back(val_loss);
       if (best_params.empty() || val_loss < best_val_loss) {
         best_val_loss = val_loss;

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/check.h"
+#include "common/finite_check.h"
 #include "crowd/dawid_skene.h"
 
 namespace rll::crowd {
@@ -46,7 +47,9 @@ std::vector<double> LabelPositiveness(const data::Dataset& dataset,
     DawidSkene ds;
     Result<AggregationResult> result = ds.Run(dataset);
     RLL_CHECK_MSG(result.ok(), "Dawid-Skene inference failed");
-    return std::move(*result).prob_positive;
+    std::vector<double> posterior = std::move(*result).prob_positive;
+    for (double p : posterior) RLL_DCHECK_PROB(p);
+    return posterior;
   }
   std::vector<double> out(dataset.size());
   double alpha = 0.0, beta = 0.0;
@@ -67,6 +70,7 @@ std::vector<double> LabelPositiveness(const data::Dataset& dataset,
       case ConfidenceMode::kWorkerAware:
         break;  // Handled above.
     }
+    RLL_DCHECK_PROB(out[i]);  // δᵢ (eq. 1/2) is a posterior probability.
   }
   return out;
 }
@@ -83,6 +87,7 @@ std::vector<double> LabelConfidence(const data::Dataset& dataset,
   std::vector<double> out(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {
     out[i] = labels[i] == 1 ? pos[i] : 1.0 - pos[i];
+    RLL_DCHECK_PROB(out[i]);
   }
   return out;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/finite_check.h"
+
 namespace rll::nn {
 
 void Optimizer::ZeroGrad() {
@@ -59,6 +61,9 @@ void Adam::Step() {
       const double vhat = v[j] / bc2;
       p->value[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
     }
+    // Parameters leave each Adam step finite; a blown-up update points at
+    // the gradient (or eps/lr config) that produced it.
+    RLL_DCHECK_FINITE(p->value);
   }
 }
 

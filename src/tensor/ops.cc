@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/finite_check.h"
+
 namespace rll {
 
 Matrix Matmul(const Matrix& a, const Matrix& b) {
@@ -19,6 +21,7 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
       for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
     }
   }
+  RLL_DCHECK_FINITE(c);
   return c;
 }
 
@@ -35,6 +38,7 @@ Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
       for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
     }
   }
+  RLL_DCHECK_FINITE(c);
   return c;
 }
 
@@ -51,6 +55,7 @@ Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
       crow[j] = acc;
     }
   }
+  RLL_DCHECK_FINITE(c);
   return c;
 }
 
@@ -226,6 +231,7 @@ Matrix RowCosine(const Matrix& a, const Matrix& b, double eps) {
     out(r, 0) =
         dot / (std::max(std::sqrt(na), eps) * std::max(std::sqrt(nb), eps));
   }
+  RLL_DCHECK_FINITE(out);
   return out;
 }
 
@@ -241,7 +247,10 @@ Matrix SoftmaxRows(const Matrix& a) {
       o[c] = std::exp(in[c] - mx);
       z += o[c];
     }
-    for (size_t c = 0; c < a.cols(); ++c) o[c] /= z;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      o[c] /= z;
+      RLL_DCHECK_PROB(o[c]);
+    }
   }
   return out;
 }
@@ -256,6 +265,7 @@ Matrix LogSumExpRows(const Matrix& a) {
     for (size_t c = 0; c < a.cols(); ++c) z += std::exp(in[c] - mx);
     out(r, 0) = mx + std::log(z);
   }
+  RLL_DCHECK_FINITE(out);
   return out;
 }
 

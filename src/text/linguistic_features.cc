@@ -8,15 +8,14 @@
 namespace rll::text {
 
 const std::vector<std::string>& FeatureNames() {
-  static const std::vector<std::string>* names =
-      new std::vector<std::string>{
-          "token_count",        "duration_seconds",  "speech_rate",
-          "type_token_ratio",   "hapax_ratio",       "filler_ratio",
-          "pause_ratio",        "math_term_ratio",   "function_ratio",
-          "repetition_ratio",   "mean_utterance_len",
-          "utterance_len_stddev", "distinct_bigram_ratio",
-          "max_filler_run"};
-  return *names;
+  static const std::vector<std::string> names{
+      "token_count",        "duration_seconds",  "speech_rate",
+      "type_token_ratio",   "hapax_ratio",       "filler_ratio",
+      "pause_ratio",        "math_term_ratio",   "function_ratio",
+      "repetition_ratio",   "mean_utterance_len",
+      "utterance_len_stddev", "distinct_bigram_ratio",
+      "max_filler_run"};
+  return names;
 }
 
 size_t NumFeatures() { return FeatureNames().size(); }

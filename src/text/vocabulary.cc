@@ -45,8 +45,10 @@ Vocabulary::Vocabulary(std::vector<Entry> entries)
 }
 
 const Vocabulary& Vocabulary::Default() {
-  static const Vocabulary* instance = new Vocabulary(DefaultEntries());
-  return *instance;
+  // Meyers singleton: construct-on-first-use without a heap allocation, so
+  // leak-checked (ASan/LSan) builds run clean without suppressions.
+  static const Vocabulary instance(DefaultEntries());
+  return instance;
 }
 
 const std::vector<size_t>& Vocabulary::ids_of(TokenClass token_class) const {

@@ -1,0 +1,128 @@
+// Death tests for the numeric-invariant tripwires (common/finite_check.h)
+// and the RLL_DCHECK comparison family. In debug builds every tripwire must
+// abort with a message naming the offending value; in NDEBUG builds the
+// same expressions must compile to no-ops (exercised by the Release CI leg
+// running this same file).
+
+#include "common/finite_check.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/check.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FiniteCheckTest, PassesOnFiniteInputs) {
+  RLL_DCHECK_FINITE(0.0);
+  RLL_DCHECK_FINITE(-3.5e300);
+  const std::vector<double> v{0.0, 1.0, -2.5};
+  RLL_DCHECK_FINITE(v);
+  const rll::Matrix m(2, 3, 1.25);
+  RLL_DCHECK_FINITE(m);
+  RLL_DCHECK_PROB(0.0);
+  RLL_DCHECK_PROB(0.5);
+  RLL_DCHECK_PROB(1.0);
+  RLL_DCHECK_SHAPE(m, 2, 3);
+  SUCCEED();
+}
+
+TEST(DcheckComparisonTest, PassingComparisonsAreSilent) {
+  RLL_DCHECK_EQ(2 + 2, 4);
+  RLL_DCHECK_NE(1, 2);
+  RLL_DCHECK_LT(1, 2);
+  RLL_DCHECK_LE(2, 2);
+  RLL_DCHECK_GT(3, 2);
+  RLL_DCHECK_GE(3, 3);
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+
+TEST(FiniteCheckDeathTest, TripsOnNaNScalar) {
+  EXPECT_DEATH(RLL_DCHECK_FINITE(kNaN), "non-finite");
+  EXPECT_DEATH(RLL_DCHECK_FINITE(kInf), "non-finite");
+}
+
+TEST(FiniteCheckDeathTest, ReportsFlatIndexOfFirstBadElement) {
+  rll::Matrix m(2, 3, 1.0);
+  m(1, 2) = kNaN;  // Flat index 5 in row-major order.
+  EXPECT_DEATH(RLL_DCHECK_FINITE(m), "flat index 5");
+  std::vector<double> v{0.0, kInf, 2.0};
+  EXPECT_DEATH(RLL_DCHECK_FINITE(v), "flat index 1");
+}
+
+TEST(FiniteCheckDeathTest, TripsOnNonProbability) {
+  EXPECT_DEATH(RLL_DCHECK_PROB(1.5), "not a probability");
+  EXPECT_DEATH(RLL_DCHECK_PROB(-0.01), "not a probability");
+  EXPECT_DEATH(RLL_DCHECK_PROB(kNaN), "not a probability");
+}
+
+TEST(FiniteCheckDeathTest, TripsOnShapeMismatch) {
+  const rll::Matrix m(2, 3);
+  EXPECT_DEATH(RLL_DCHECK_SHAPE(m, 3, 2), "shape 2x3, expected 3x2");
+}
+
+// The acceptance property: a NaN injected into a tensor op aborts at the
+// op that produced it, not downstream.
+TEST(FiniteCheckDeathTest, MatmulTripsAtTheProducingOp) {
+  rll::Matrix a(1, 2, 1.0);
+  a(0, 1) = kNaN;
+  const rll::Matrix b(2, 3, 2.0);
+  EXPECT_DEATH(rll::Matmul(a, b), "non-finite");
+}
+
+TEST(FiniteCheckDeathTest, SoftmaxTripsOnNaNLogits) {
+  rll::Matrix logits(1, 3, 0.0);
+  logits(0, 1) = kNaN;
+  EXPECT_DEATH(rll::SoftmaxRows(logits), "not a probability");
+}
+
+TEST(FiniteCheckDeathTest, AutogradForwardAndBackwardAreGuarded) {
+  // Forward: any op producing a NaN trips inside MakeOp.
+  rll::Matrix bad(1, 2, 1.0);
+  bad(0, 0) = kNaN;
+  EXPECT_DEATH(rll::ag::Scale(rll::ag::Constant(bad), 2.0), "non-finite");
+  // Backward: a NaN gradient trips in AccumulateGrad while the producing
+  // op is still on the stack.
+  rll::ag::Var p = rll::ag::Parameter(rll::Matrix(1, 1, 2.0));
+  EXPECT_DEATH(p->AccumulateGrad(rll::Matrix(1, 1, kNaN)), "non-finite");
+}
+
+TEST(DcheckComparisonDeathTest, FailingComparisonsAbort) {
+  EXPECT_DEATH(RLL_DCHECK_EQ(1, 2), "RLL_CHECK failed");
+  EXPECT_DEATH(RLL_DCHECK_GE(1, 2), "RLL_CHECK failed");
+}
+
+#else  // NDEBUG
+
+TEST(FiniteCheckReleaseTest, TripwiresCompileOutButStillTypeCheck) {
+  // Same expressions as the death tests above; in Release they must be
+  // free no-ops (and the variables below must not draw unused warnings,
+  // which is the point of the sizeof-based NDEBUG expansion).
+  const double nan_value = kNaN;
+  RLL_DCHECK_FINITE(nan_value);
+  RLL_DCHECK_PROB(1.5);
+  const rll::Matrix m(2, 3);
+  RLL_DCHECK_SHAPE(m, 3, 2);
+  RLL_DCHECK_EQ(1, 2);
+  rll::Matrix a(1, 2, 1.0);
+  a(0, 1) = nan_value;
+  const rll::Matrix b(2, 3, 2.0);
+  const rll::Matrix c = rll::Matmul(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));  // Flows through, nothing aborts.
+}
+
+#endif  // NDEBUG
+
+}  // namespace

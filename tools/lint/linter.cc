@@ -1,0 +1,506 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace rll::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Replaces comment bodies and string/char literal contents with spaces,
+/// preserving length and newlines, so the token rules never fire on prose
+/// or on fixture snippets embedded in test strings. Lines whose first
+/// non-blank character is '#' are preprocessor directives: their quoted
+/// include targets are kept (the include rules need them), only comments
+/// are stripped.
+std::string BlankCommentsAndLiterals(std::string_view src) {
+  std::string out(src);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  bool preprocessor_line = false;
+  bool line_has_code = false;  // Any non-blank char seen on this line yet?
+  std::string raw_terminator;  // ")delim\"" that ends the raw string.
+  for (size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n' && state != State::kBlockComment &&
+        state != State::kRawString) {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated string/char on one line: malformed input, reset.
+      if (state == State::kString || state == State::kChar)
+        state = State::kCode;
+      preprocessor_line = false;
+      line_has_code = false;
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (!line_has_code && !std::isspace(static_cast<unsigned char>(c))) {
+          line_has_code = true;
+          if (c == '#') preprocessor_line = true;
+        }
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — check for a raw-string prefix ending in R.
+          const bool raw =
+              i > 0 && src[i - 1] == 'R' &&
+              (i == 1 || !IsIdentChar(src[i - 2]) || src[i - 2] == 'u' ||
+               src[i - 2] == 'U' || src[i - 2] == 'L' || src[i - 2] == '8');
+          if (raw) {
+            size_t d = i + 1;
+            while (d < src.size() && src[d] != '(' && src[d] != '\n') ++d;
+            raw_terminator =
+                ")" + std::string(src.substr(i + 1, d - (i + 1))) + "\"";
+            state = State::kRawString;
+          } else if (!preprocessor_line) {
+            state = State::kString;
+          }
+          // Preprocessor "..." include targets stay intact.
+        } else if (c == '\'' && i > 0 && !IsIdentChar(src[i - 1])) {
+          // The ident-char guard skips digit separators (1'000) and
+          // literal suffixes.
+          state = State::kChar;
+        }
+        break;
+      }
+      case State::kLineComment:
+        out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == quote) {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      }
+      case State::kRawString:
+        if (StartsWith(src.substr(i), raw_terminator)) {
+          for (size_t k = 0; k < raw_terminator.size(); ++k) out[i + k] = ' ';
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view s) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// `#include "a/b.h"` / `#include <x>` -> "a/b.h" / "x"; empty otherwise.
+std::string_view IncludeTarget(std::string_view line) {
+  std::string_view t = Trim(line);
+  if (!StartsWith(t, "#")) return {};
+  t.remove_prefix(1);
+  t = Trim(t);
+  if (!StartsWith(t, "include")) return {};
+  t.remove_prefix(7);
+  t = Trim(t);
+  if (t.size() < 2) return {};
+  const char open = t.front();
+  const char close = open == '"' ? '"' : (open == '<' ? '>' : '\0');
+  if (close == '\0') return {};
+  const size_t end = t.find(close, 1);
+  if (end == std::string_view::npos) return {};
+  return t.substr(1, end - 1);
+}
+
+bool IsHeader(std::string_view rel_path) { return EndsWith(rel_path, ".h"); }
+bool IsSource(std::string_view rel_path) { return EndsWith(rel_path, ".cc"); }
+
+// Per-file rule exemptions: the two fatal-path files may call abort/exit,
+// the Rng implementation may reference rand(), and the tensor arena may
+// manage raw storage.
+bool AllowsAbortExit(std::string_view rel_path) {
+  return rel_path == "src/common/check.h" || rel_path == "src/common/status.cc";
+}
+bool AllowsRawRand(std::string_view rel_path) {
+  return rel_path == "src/common/rng.h" || rel_path == "src/common/rng.cc";
+}
+bool AllowsNakedNew(std::string_view rel_path) {
+  return StartsWith(rel_path, "src/tensor/");
+}
+
+/// True if `line` carries a `// rll-lint: allow(<rule>)` waiver for `rule`.
+bool LineWaives(std::string_view original_line, std::string_view rule) {
+  const size_t at = original_line.find("rll-lint: allow(");
+  if (at == std::string_view::npos) return false;
+  std::string_view rest = original_line.substr(at + 16);
+  const size_t close = rest.find(')');
+  if (close == std::string_view::npos) return false;
+  const std::string_view waived = Trim(rest.substr(0, close));
+  return waived == rule || waived == "all";
+}
+
+class FileLinter {
+ public:
+  FileLinter(std::string_view rel_path, std::string_view content,
+             const LintOptions& options)
+      : rel_path_(rel_path),
+        content_(content),
+        options_(options),
+        code_(BlankCommentsAndLiterals(content)),
+        raw_lines_(SplitLines(content_)),
+        code_lines_(SplitLines(code_)) {}
+
+  std::vector<Violation> Run() {
+    if (IsHeader(rel_path_)) {
+      CheckHeaderGuard();
+      CheckNoIostreamInHeader();
+    }
+    if (IsSource(rel_path_) && options_.own_header_exists) {
+      CheckOwnHeaderFirst();
+    }
+    CheckUsingNamespaceStd();
+    CheckTokens();
+    std::sort(violations_.begin(), violations_.end(),
+              [](const Violation& a, const Violation& b) {
+                return a.line < b.line;
+              });
+    return std::move(violations_);
+  }
+
+ private:
+  void Report(size_t line, std::string rule, std::string message) {
+    const std::string_view original =
+        line >= 1 && line <= raw_lines_.size() ? raw_lines_[line - 1]
+                                               : std::string_view{};
+    if (LineWaives(original, rule)) return;
+    violations_.push_back(
+        {std::string(rel_path_), line, std::move(rule), std::move(message)});
+  }
+
+  void CheckHeaderGuard() {
+    const std::string expected = ExpectedHeaderGuard(rel_path_);
+    size_t ifndef_line = 0;
+    std::string_view guard;
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      std::string_view t = Trim(code_lines_[i]);
+      if (!StartsWith(t, "#")) continue;
+      std::string_view after = Trim(t.substr(1));
+      if (StartsWith(after, "ifndef")) {
+        ifndef_line = i + 1;
+        guard = Trim(after.substr(6));
+        break;
+      }
+      if (StartsWith(after, "pragma") &&
+          Trim(after.substr(6)) == std::string_view("once")) {
+        Report(i + 1, "header-guard",
+               "use an RLL_*_H_ include guard, not #pragma once (expected " +
+                   expected + ")");
+        return;
+      }
+    }
+    if (ifndef_line == 0) {
+      Report(1, "header-guard", "missing include guard (expected #ifndef " +
+                                    expected + ")");
+      return;
+    }
+    if (guard != expected) {
+      Report(ifndef_line, "header-guard",
+             "guard '" + std::string(guard) + "' does not match path "
+             "(expected " + expected + ")");
+      return;
+    }
+    // The matching #define must follow on the next non-blank line.
+    for (size_t i = ifndef_line; i < code_lines_.size(); ++i) {
+      std::string_view t = Trim(code_lines_[i]);
+      if (t.empty()) continue;
+      if (StartsWith(t, "#") &&
+          StartsWith(Trim(t.substr(1)), "define") &&
+          Trim(Trim(t.substr(1)).substr(6)) == std::string_view(expected)) {
+        return;
+      }
+      Report(i + 1, "header-guard",
+             "#ifndef " + expected + " must be followed by #define " +
+                 expected);
+      return;
+    }
+    Report(ifndef_line, "header-guard", "missing #define " + expected);
+  }
+
+  void CheckNoIostreamInHeader() {
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      if (IncludeTarget(code_lines_[i]) == std::string_view("iostream")) {
+        Report(i + 1, "iostream-in-header",
+               "<iostream> in a header drags iostream static initializers "
+               "into every TU; include it in the .cc (or use logging.h)");
+      }
+    }
+  }
+
+  void CheckOwnHeaderFirst() {
+    // src/tensor/ops.cc must include a header whose basename is ops.h
+    // before any other include.
+    const size_t slash = rel_path_.rfind('/');
+    std::string stem(rel_path_.substr(slash + 1));
+    stem = stem.substr(0, stem.size() - 3);  // Drop ".cc".
+    const std::string own_header = stem + ".h";
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string_view target = IncludeTarget(code_lines_[i]);
+      if (target.empty()) continue;
+      const size_t s = target.rfind('/');
+      const std::string_view base =
+          s == std::string_view::npos ? target : target.substr(s + 1);
+      if (base != own_header) {
+        Report(i + 1, "own-header-first",
+               "first include must be the file's own header \"" + own_header +
+                   "\" (keeps headers self-contained)");
+      }
+      return;  // Only the first include matters.
+    }
+  }
+
+  void CheckUsingNamespaceStd() {
+    for (size_t i = 0; i < code_lines_.size(); ++i) {
+      const std::string_view line = code_lines_[i];
+      size_t at = line.find("using");
+      if (at == std::string_view::npos) continue;
+      // Token-bounded match of `using namespace std`.
+      std::istringstream stream{std::string(line.substr(at))};
+      std::string w1, w2, w3;
+      stream >> w1 >> w2 >> w3;
+      if (w1 == "using" && w2 == "namespace" &&
+          (w3 == "std" || StartsWith(w3, "std;") || StartsWith(w3, "std:"))) {
+        Report(i + 1, "using-namespace-std",
+               "`using namespace std` pollutes every includer; "
+               "qualify names instead");
+      }
+    }
+  }
+
+  /// Identifier-level rules: raw-rand, abort-exit, naked-new-delete. A tiny
+  /// token walk with one-token lookbehind distinguishes free calls from
+  /// members (`obj.exit()`), other namespaces (`process::exit()`), and
+  /// deleted functions (`= delete`).
+  void CheckTokens() {
+    std::string prev, prev2;  // Last two significant tokens.
+    size_t line = 1;
+    const std::string_view code = code_;
+    for (size_t i = 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '\n') {
+        ++line;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (IsIdentChar(c)) {
+        size_t j = i;
+        while (j < code.size() && IsIdentChar(code[j])) ++j;
+        const std::string ident(code.substr(i, j - i));
+        size_t k = j;
+        while (k < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[k])) &&
+               code[k] != '\n')
+          ++k;
+        const bool called = k < code.size() && code[k] == '(';
+        HandleIdentifier(ident, called, prev, prev2, line);
+        prev2 = prev;
+        prev = ident;
+        i = j - 1;
+        continue;
+      }
+      // Punctuation: fold -> and :: into single tokens.
+      std::string tok(1, c);
+      if ((c == '-' || c == ':') && i + 1 < code.size() &&
+          ((c == '-' && code[i + 1] == '>') ||
+           (c == ':' && code[i + 1] == ':'))) {
+        tok += code[i + 1];
+        ++i;
+      }
+      prev2 = prev;
+      prev = tok;
+    }
+  }
+
+  /// True for a free (or std::-qualified) use of the identifier; false for
+  /// members and other-namespace qualifications.
+  static bool IsFreeOrStd(const std::string& prev, const std::string& prev2) {
+    if (prev == "." || prev == "->") return false;
+    if (prev == "::") return prev2 == "std";
+    return true;
+  }
+
+  void HandleIdentifier(const std::string& ident, bool called,
+                        const std::string& prev, const std::string& prev2,
+                        size_t line) {
+    if (ident == "new" || ident == "delete") {
+      if (AllowsNakedNew(rel_path_)) return;
+      if (ident == "delete" && prev == "=") return;  // Deleted functions.
+      Report(line, "naked-new-delete",
+             "naked `" + ident + "` outside src/tensor/ — use containers, "
+             "std::make_unique, or std::make_shared");
+      return;
+    }
+    if (!called) return;
+    if ((ident == "rand" || ident == "srand") && IsFreeOrStd(prev, prev2)) {
+      if (AllowsRawRand(rel_path_)) return;
+      Report(line, "raw-rand",
+             "raw " + ident + "() bypasses the seedable Rng; draw from "
+             "common/rng.h so experiments stay reproducible");
+      return;
+    }
+    if ((ident == "abort" || ident == "exit" || ident == "_Exit" ||
+         ident == "quick_exit") &&
+        IsFreeOrStd(prev, prev2)) {
+      if (AllowsAbortExit(rel_path_)) return;
+      Report(line, "abort-exit",
+             ident + "() outside common/check.h and common/status.cc — "
+             "fatal paths go through RLL_CHECK or return Status");
+    }
+  }
+
+  std::string_view rel_path_;
+  std::string_view content_;
+  LintOptions options_;
+  std::string code_;
+  std::vector<std::string_view> raw_lines_;
+  std::vector<std::string_view> code_lines_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+std::string ExpectedHeaderGuard(std::string_view rel_path) {
+  std::string_view path = rel_path;
+  if (StartsWith(path, "src/")) path.remove_prefix(4);
+  std::string guard = "RLL_";
+  for (char c : path) {
+    guard += IsIdentChar(c)
+                 ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+std::vector<Violation> LintContent(std::string_view rel_path,
+                                   std::string_view content,
+                                   const LintOptions& options) {
+  return FileLinter(rel_path, content, options).Run();
+}
+
+std::vector<Violation> LintFile(const std::filesystem::path& root,
+                                const std::string& rel_path) {
+  const std::filesystem::path full = root / rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    return {{rel_path, 0, "io-error", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  LintOptions options;
+  if (EndsWith(rel_path, ".cc")) {
+    std::filesystem::path sibling = full;
+    sibling.replace_extension(".h");
+    std::error_code ec;
+    options.own_header_exists = std::filesystem::exists(sibling, ec);
+  }
+  return LintContent(rel_path, buffer.str(), options);
+}
+
+std::vector<Violation> LintTree(const std::filesystem::path& root) {
+  static constexpr std::array<std::string_view, 5> kDirs = {
+      "src", "tests", "bench", "tools", "examples"};
+  std::vector<std::string> files;
+  for (std::string_view dir : kDirs) {
+    const std::filesystem::path base = root / dir;
+    std::error_code ec;
+    if (!std::filesystem::is_directory(base, ec)) continue;
+    for (auto it = std::filesystem::recursive_directory_iterator(base, ec);
+         !ec && it != std::filesystem::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file()) continue;
+      const std::filesystem::path& p = it->path();
+      if (p.extension() != ".h" && p.extension() != ".cc") continue;
+      files.push_back(
+          std::filesystem::relative(p, root, ec).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Violation> all;
+  for (const std::string& f : files) {
+    std::vector<Violation> v = LintFile(root, f);
+    all.insert(all.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  }
+  return all;
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream out;
+  out << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
+  return out.str();
+}
+
+}  // namespace rll::lint

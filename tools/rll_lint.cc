@@ -1,0 +1,65 @@
+// Command-line driver for the in-repo linter (tools/lint/linter.h).
+//
+//   rll_lint [--root <dir>] [file...]
+//
+// With no files, walks src/, tests/, bench/, tools/, and examples/ under
+// the root (default: cwd) and lints every .h/.cc. With files, lints just
+// those (paths relative to the root). Exit code: 0 clean, 1 violations,
+// 2 usage error. Registered as a CTest test so `ctest` fails on any new
+// violation.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rll_lint: --root requires a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: rll_lint [--root <dir>] [file...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rll_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  // A mistyped root would otherwise lint zero files and "pass".
+  if (!std::filesystem::is_directory(root)) {
+    std::fprintf(stderr, "rll_lint: root '%s' is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+
+  std::vector<rll::lint::Violation> violations;
+  if (files.empty()) {
+    violations = rll::lint::LintTree(root);
+  } else {
+    for (const std::string& f : files) {
+      std::vector<rll::lint::Violation> v = rll::lint::LintFile(root, f);
+      violations.insert(violations.end(), v.begin(), v.end());
+    }
+  }
+
+  for (const rll::lint::Violation& v : violations) {
+    std::printf("%s\n", rll::lint::FormatViolation(v).c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "rll_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  return 0;
+}
