@@ -40,10 +40,15 @@ int Run(const BenchArgs& args) {
   std::printf("%-17s | %-21s | %-21s\n", "", "(uniform)", "(adaptive)");
   PrintRule(66);
 
+  BenchReporter reporter("ablation_budget", args);
   for (size_t factor : {3u, 5u}) {
     double recovery[2] = {0, 0};
     double accuracy[2] = {0, 0};
     for (int adaptive = 0; adaptive < 2; ++adaptive) {
+      ScopedTimer cell = reporter.Time(
+          "budget=" + std::to_string(factor) +
+              (adaptive ? "/adaptive" : "/uniform"),
+          880.0);
       Rng rng(args.seed);
       data::Dataset d = GenerateSynthetic(data::OralSimConfig(), &rng);
       crowd::WorkerPool pool({.num_workers = 25}, &rng);
@@ -78,7 +83,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(66);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

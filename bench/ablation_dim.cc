@@ -27,6 +27,7 @@ int Run(const BenchArgs& args) {
               "class Acc", "class F1");
   PrintRule(54);
 
+  BenchReporter reporter("ablation_dim", args);
   for (size_t dim : {2u, 4u, 8u, 16u, 32u, 64u}) {
     core::RllPipelineOptions options;
     options.trainer.model.hidden_dims = {64, dim};
@@ -38,9 +39,13 @@ int Run(const BenchArgs& args) {
     std::printf("%-6zu |", dim);
     for (const BenchDataset& bd : datasets) {
       Rng rng(args.seed + 7);
+      ScopedTimer cell =
+          reporter.Time("dim=" + std::to_string(dim) + "/" + bd.name,
+                        static_cast<double>(bd.dataset.size()));
       auto outcome =
           baselines::CrossValidateMethod(bd.dataset, method, folds, &rng);
       if (!outcome.ok()) {
+        cell.Cancel();
         std::printf("   error: %s", outcome.status().ToString().c_str());
         continue;
       }
@@ -51,7 +56,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(54);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "baselines/method.h"
 #include "baselines/rll_method.h"
 #include "bench/bench_common.h"
+#include "common/strings.h"
 
 namespace rll::bench {
 namespace {
@@ -27,6 +28,7 @@ int Run(const BenchArgs& args) {
               "class Acc", "class F1");
   PrintRule(54);
 
+  BenchReporter reporter("ablation_eta", args);
   for (double eta : {1.0, 2.0, 5.0, 10.0, 20.0}) {
     core::RllPipelineOptions options;
     options.trainer.model.hidden_dims = {64, 32};
@@ -39,9 +41,13 @@ int Run(const BenchArgs& args) {
     std::printf("%-6.1f |", eta);
     for (const BenchDataset& bd : datasets) {
       Rng rng(args.seed + 7);
+      ScopedTimer cell =
+          reporter.Time(StrFormat("eta=%g/%s", eta, bd.name.c_str()),
+                        static_cast<double>(bd.dataset.size()));
       auto outcome =
           baselines::CrossValidateMethod(bd.dataset, method, folds, &rng);
       if (!outcome.ok()) {
+        cell.Cancel();
         std::printf("   error: %s", outcome.status().ToString().c_str());
         continue;
       }
@@ -52,7 +58,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(54);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "baselines/method.h"
 #include "baselines/rll_method.h"
 #include "bench/bench_common.h"
+#include "common/strings.h"
 
 namespace rll::bench {
 namespace {
@@ -29,6 +30,7 @@ int Run(const BenchArgs& args) {
               "oral F1", "class Acc", "class F1");
   PrintRule(56);
 
+  BenchReporter reporter("ablation_prior", args);
   for (double strength : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0}) {
     core::RllPipelineOptions options;
     options.trainer.model.hidden_dims = {64, 32};
@@ -45,9 +47,13 @@ int Run(const BenchArgs& args) {
     std::printf("%-9.1f |", strength);
     for (const BenchDataset& bd : datasets) {
       Rng rng(args.seed + 7);
+      ScopedTimer cell = reporter.Time(
+          StrFormat("strength=%g/%s", strength, bd.name.c_str()),
+          static_cast<double>(bd.dataset.size()));
       auto outcome =
           baselines::CrossValidateMethod(bd.dataset, method, folds, &rng);
       if (!outcome.ok()) {
+        cell.Cancel();
         std::printf("   error: %s", outcome.status().ToString().c_str());
         continue;
       }
@@ -58,7 +64,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(56);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -42,6 +42,7 @@ int Run(const BenchArgs& args) {
       {"early stopping", 0.0, false, 0.2},
   };
 
+  BenchReporter reporter("ablation_regularization", args);
   for (const Variant& variant : variants) {
     core::RllPipelineOptions options;
     options.trainer.model.hidden_dims = {64, 32};
@@ -57,9 +58,13 @@ int Run(const BenchArgs& args) {
     std::printf("%-22s |", variant.name);
     for (const BenchDataset& bd : datasets) {
       Rng rng(args.seed + 7);
+      ScopedTimer cell =
+          reporter.Time(std::string(variant.name) + "/" + bd.name,
+                        static_cast<double>(bd.dataset.size()));
       auto outcome =
           baselines::CrossValidateMethod(bd.dataset, method, folds, &rng);
       if (!outcome.ok()) {
+        cell.Cancel();
         std::printf("   error: %s", outcome.status().ToString().c_str());
         continue;
       }
@@ -70,7 +75,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(68);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "common/strings.h"
 #include "crowd/dawid_skene.h"
 #include "crowd/glad.h"
 #include "crowd/majority_vote.h"
@@ -35,7 +36,10 @@ int Run(const BenchArgs& args) {
               "GLAD");
   PrintRule(48);
 
+  BenchReporter reporter("ablation_workers", args);
   for (double ability : {0.95, 0.85, 0.75, 0.65, 0.55}) {
+    ScopedTimer row = reporter.Time(StrFormat("ability=%.2f", ability),
+                                    880.0 * 3);
     Rng rng(args.seed);
     data::Dataset d = GenerateSynthetic(data::OralSimConfig(), &rng);
     // Beta(c·a, c·(1−a)) has mean a; concentration 20 keeps workers near
@@ -56,7 +60,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(48);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

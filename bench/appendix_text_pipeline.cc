@@ -61,12 +61,16 @@ int Run(const BenchArgs& args) {
   const std::vector<const baselines::Method*> methods = {
       &softprob, &triplet, &rll_bayes};
 
+  BenchReporter reporter("appendix_text_pipeline", args);
   std::vector<std::vector<double>> fold_accuracies;
   for (const baselines::Method* method : methods) {
     Rng eval_rng(args.seed + 7);
+    ScopedTimer cell = reporter.Time(
+        method->name(), static_cast<double>(dataset.size()));
     auto outcome =
         baselines::CrossValidateMethod(dataset, *method, folds, &eval_rng);
     if (!outcome.ok()) {
+      cell.Cancel();
       std::printf("%-14s | error: %s\n", method->name().c_str(),
                   outcome.status().ToString().c_str());
       fold_accuracies.emplace_back();
@@ -113,7 +117,7 @@ int Run(const BenchArgs& args) {
           test->mean_difference, test->p_value);
     }
   }
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

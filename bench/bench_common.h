@@ -8,12 +8,15 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "crowd/worker_pool.h"
 #include "data/synthetic.h"
+#include "obs/json_util.h"
 
 namespace rll::bench {
 
@@ -47,11 +50,14 @@ inline std::vector<BenchDataset> MakePaperDatasets(
   return out;
 }
 
-/// Parses --seed N and --quick from argv. Quick mode shrinks training
-/// budgets so a full table regenerates in seconds (for smoke runs).
+/// Parses --seed N, --quick and --json PATH from argv. Quick mode shrinks
+/// training budgets so a full table regenerates in seconds (for smoke
+/// runs); --json writes a machine-readable record of the run (see
+/// BenchReporter) alongside the human-readable table on stdout.
 struct BenchArgs {
   uint64_t seed = kDefaultSeed;
   bool quick = false;
+  std::string json_path;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -62,6 +68,9 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr,
                                                       10));
+      ++i;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[i + 1];
       ++i;
     }
   }
@@ -74,6 +83,86 @@ inline void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Collects one timing record per unit of bench work (a method × dataset
+/// cell, a sweep point) and, when --json was given, writes the run as
+///
+///   {"bench": "table1_methods", "seed": 42, "quick": false,
+///    "total_wall_ms": ..., "records": [
+///      {"name": "RLL+Bayesian/oral", "wall_ms": ..., "throughput": ...},
+///      ...]}
+///
+/// so CI can diff regenerated tables without scraping stdout. Throughput
+/// is units/sec for whatever unit the harness passed to Time() (examples,
+/// groups), or null when no unit count was supplied.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, const BenchArgs& args)
+      : bench_name_(std::move(bench_name)), args_(args) {}
+
+  /// Times one unit of work: destroy the returned timer (leave scope) to
+  /// record it. `units` is the work size for the throughput column.
+  ScopedTimer Time(std::string name, double units = 0.0) {
+    return ScopedTimer([this, name = std::move(name), units](double ms) {
+      Record(name, ms, units > 0.0 && ms > 0.0 ? units / (ms / 1e3) : 0.0);
+    });
+  }
+
+  void Record(const std::string& name, double wall_ms,
+              double throughput = 0.0) {
+    records_.push_back({name, wall_ms, throughput});
+  }
+
+  double TotalWallSeconds() const { return total_.ElapsedSeconds(); }
+
+  /// Writes the JSON record if --json was given. Returns the process exit
+  /// code: 0, or 1 when the file cannot be written.
+  int Finish() {
+    if (args_.json_path.empty()) return 0;
+    std::FILE* f = std::fopen(args_.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for write\n",
+                   args_.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"seed\":%llu,\"quick\":%s,",
+                 obs::JsonEscape(bench_name_).c_str(),
+                 static_cast<unsigned long long>(args_.seed),
+                 args_.quick ? "true" : "false");
+    std::fprintf(f, "\"total_wall_ms\":%s,\"records\":[",
+                 obs::JsonNumber(total_.ElapsedMillis()).c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const RecordRow& r = records_[i];
+      std::fprintf(f, "%s\n{\"name\":\"%s\",\"wall_ms\":%s,\"throughput\":%s}",
+                   i == 0 ? "" : ",", obs::JsonEscape(r.name).c_str(),
+                   obs::JsonNumber(r.wall_ms).c_str(),
+                   r.throughput > 0.0 ? obs::JsonNumber(r.throughput).c_str()
+                                      : "null");
+    }
+    std::fprintf(f, "\n]}\n");
+    const bool write_ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!write_ok) {
+      std::fprintf(stderr, "write failed: %s\n", args_.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench json written to %s\n",
+                 args_.json_path.c_str());
+    return 0;
+  }
+
+ private:
+  struct RecordRow {
+    std::string name;
+    double wall_ms = 0.0;
+    double throughput = 0.0;
+  };
+
+  std::string bench_name_;
+  BenchArgs args_;
+  Stopwatch total_;
+  std::vector<RecordRow> records_;
+};
 
 }  // namespace rll::bench
 

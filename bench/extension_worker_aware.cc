@@ -27,6 +27,7 @@ int Run(const BenchArgs& args) {
               static_cast<unsigned long long>(args.seed), folds,
               args.quick ? ", quick mode" : "");
 
+  BenchReporter reporter("extension_worker_aware", args);
   for (size_t d : {3u, 5u}) {
     const auto datasets = MakePaperDatasets(args.seed, d);
     std::printf("votes per example d = %zu:\n", d);
@@ -47,9 +48,13 @@ int Run(const BenchArgs& args) {
       std::printf("%-17s |", method.name().c_str());
       for (const BenchDataset& bd : datasets) {
         Rng rng(args.seed + 7);
+        ScopedTimer cell = reporter.Time(
+            "d=" + std::to_string(d) + "/" + method.name() + "/" + bd.name,
+            static_cast<double>(bd.dataset.size()));
         auto outcome =
             baselines::CrossValidateMethod(bd.dataset, method, folds, &rng);
         if (!outcome.ok()) {
+          cell.Cancel();
           std::printf("   error: %s", outcome.status().ToString().c_str());
           continue;
         }
@@ -62,7 +67,7 @@ int Run(const BenchArgs& args) {
     PrintRule(64);
     std::printf("\n");
   }
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
 // Microbenchmarks of the substrate the experiments run on: dense kernels,
 // autograd forward/backward, RLL group sampling and training steps, and
 // aggregator iterations. Run in Release mode for meaningful numbers.
+//
+// Unlike the table harnesses (which take --json via bench_common.h), this
+// binary uses google-benchmark's native machine-readable output:
+//   ./micro_ops --benchmark_out=micro.json --benchmark_out_format=json
 
 #include <benchmark/benchmark.h>
 

@@ -45,7 +45,10 @@ int Run(const BenchArgs& args) {
               "DS-EM", "GLAD", "IWMV", "RLL-B acc");
   PrintRule(62);
 
+  BenchReporter reporter("robustness_collusion", args);
   for (size_t colluders : {0u, 1u, 2u, 3u, 4u}) {
+    ScopedTimer row =
+        reporter.Time("colluders=" + std::to_string(colluders), 880.0);
     Rng rng(args.seed);
     data::Dataset d = GenerateSynthetic(data::OralSimConfig(), &rng);
     crowd::WorkerPool pool({.num_workers = 25}, &rng);
@@ -75,7 +78,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(62);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -13,7 +13,6 @@
 
 #include "baselines/registry.h"
 #include "bench/bench_common.h"
-#include "common/stopwatch.h"
 
 namespace rll::bench {
 namespace {
@@ -40,7 +39,7 @@ int Run(const BenchArgs& args) {
               "oral Acc", "oral F1", "class Acc", "class F1");
   PrintRule(72);
 
-  Stopwatch total;
+  BenchReporter reporter("table1_methods", args);
   std::string last_group;
   for (const auto& method : methods) {
     if (method->group() != last_group && !last_group.empty()) PrintRule(72);
@@ -49,9 +48,13 @@ int Run(const BenchArgs& args) {
                 method->group().c_str());
     for (const BenchDataset& bd : datasets) {
       Rng rng(args.seed + 7);
+      ScopedTimer cell = reporter.Time(
+          method->name() + "/" + bd.name,
+          static_cast<double>(bd.dataset.size()));
       auto outcome =
           baselines::CrossValidateMethod(bd.dataset, *method, folds, &rng);
       if (!outcome.ok()) {
+        cell.Cancel();
         std::printf("   error: %s", outcome.status().ToString().c_str());
         continue;
       }
@@ -62,8 +65,8 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(72);
-  std::printf("total wall time: %.1fs\n", total.ElapsedSeconds());
-  return 0;
+  std::printf("total wall time: %.1fs\n", reporter.TotalWallSeconds());
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -34,6 +34,7 @@ int Run(const BenchArgs& args) {
               "class Acc", "class F1");
   PrintRule(52);
 
+  BenchReporter reporter("table2_k_sweep", args);
   for (size_t k : {2u, 3u, 4u, 5u}) {
     core::RllPipelineOptions options;
     options.trainer.model.hidden_dims = {64, 32};
@@ -47,9 +48,13 @@ int Run(const BenchArgs& args) {
     std::printf("%-4zu |", k);
     for (const BenchDataset& bd : datasets) {
       Rng rng(args.seed + 7);
+      ScopedTimer cell =
+          reporter.Time("k=" + std::to_string(k) + "/" + bd.name,
+                        static_cast<double>(bd.dataset.size()));
       auto outcome =
           baselines::CrossValidateMethod(bd.dataset, method, folds, &rng);
       if (!outcome.ok()) {
+        cell.Cancel();
         std::printf("   error: %s", outcome.status().ToString().c_str());
         continue;
       }
@@ -60,7 +65,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(52);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -33,6 +33,7 @@ int Run(const BenchArgs& args) {
               "class Acc", "class F1");
   PrintRule(52);
 
+  BenchReporter reporter("table3_d_sweep", args);
   for (size_t d : {1u, 3u, 5u}) {
     // Re-annotate the same underlying data with d votes per example.
     const auto datasets = MakePaperDatasets(args.seed, d);
@@ -48,9 +49,13 @@ int Run(const BenchArgs& args) {
     std::printf("%-4zu |", d);
     for (const BenchDataset& bd : datasets) {
       Rng rng(args.seed + 7);
+      ScopedTimer cell =
+          reporter.Time("d=" + std::to_string(d) + "/" + bd.name,
+                        static_cast<double>(bd.dataset.size()));
       auto outcome =
           baselines::CrossValidateMethod(bd.dataset, method, folds, &rng);
       if (!outcome.ok()) {
+        cell.Cancel();
         std::printf("   error: %s", outcome.status().ToString().c_str());
         continue;
       }
@@ -61,7 +66,7 @@ int Run(const BenchArgs& args) {
     std::fflush(stdout);
   }
   PrintRule(52);
-  return 0;
+  return reporter.Finish();
 }
 
 }  // namespace

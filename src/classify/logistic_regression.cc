@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/finite_check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rll::classify {
 
@@ -49,12 +51,15 @@ Status LogisticRegression::Fit(const Matrix& x,
     return Status::InvalidArgument("all sample weights are zero");
   }
 
+  RLL_TRACE_SPAN("logreg_fit");
   weights_ = Matrix(dim, 1);
   bias_ = 0.0;
   Matrix vel_w(dim, 1);
   double vel_b = 0.0;
 
+  int epochs_run = 0;
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    epochs_run = epoch + 1;
     // Gradient of the weighted mean cross-entropy + L2.
     Matrix grad_w(dim, 1);
     double grad_b = 0.0;
@@ -84,6 +89,16 @@ Status LogisticRegression::Fit(const Matrix& x,
     RLL_DCHECK_FINITE(bias_);
     if (max_grad < options_.tolerance) break;
   }
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("rll_logreg_fits_total")->Increment();
+  // Convergence behaviour: max_epochs hugging p99 means fits routinely hit
+  // the epoch cap instead of the gradient tolerance.
+  obs::HistogramOptions epoch_buckets;
+  epoch_buckets.start = 1.0;
+  epoch_buckets.growth = 2.0;
+  epoch_buckets.count = 12;
+  registry.GetHistogram("rll_logreg_epochs", {}, epoch_buckets)
+      ->Observe(static_cast<double>(epochs_run));
   fitted_ = true;
   return Status::OK();
 }

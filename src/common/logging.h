@@ -1,18 +1,27 @@
 // Minimal leveled logger writing to stderr.
 //
 // Usage: RLL_LOG(INFO) << "epoch " << e << " loss " << loss;
+//        RLL_LOG_EVERY_N(Info, 100) << "heartbeat";   // 1st, 101st, ...
 // Benchmarks and examples raise the threshold to keep stdout tables clean.
+//
+// Each line is prefixed "[<ISO-8601 UTC> <LEVEL> t<tid> <file>:<line>]";
+// the thread id is a small per-process ordinal, stable within a run. The
+// initial threshold honours the RLL_LOG_LEVEL environment variable
+// (debug|info|warning|error, or 0–3), read once at startup; SetLogLevel
+// still overrides it at any time.
 
 #ifndef RLL_COMMON_LOGGING_H_
 #define RLL_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <sstream>
 
 namespace rll {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Messages below this level are dropped. Default: kInfo.
+/// Messages below this level are dropped. Default: kInfo, or the
+/// RLL_LOG_LEVEL environment variable when set.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
@@ -39,5 +48,21 @@ class LogMessage {
     ::rll::internal::LogMessage(::rll::LogLevel::k##severity,      \
                                 __FILE__, __LINE__)                \
         .stream()
+
+// Logs on the 1st, (n+1)th, (2n+1)th, ... execution of this statement.
+// The call-site counter lives in a lambda-local static so each expansion
+// counts independently; it advances even when the severity is below the
+// threshold, matching the usual every-N semantics. Single statement, safe
+// in unbraced if/else.
+#define RLL_LOG_EVERY_N(severity, n)                                   \
+  if (![]() -> bool {                                                  \
+        static ::std::atomic<unsigned long long> rll_every_count{0};   \
+        return rll_every_count.fetch_add(                              \
+                   1, ::std::memory_order_relaxed) %                   \
+                   static_cast<unsigned long long>(n) ==               \
+               0;                                                      \
+      }()) {                                                           \
+  } else                                                               \
+    RLL_LOG(severity)
 
 #endif  // RLL_COMMON_LOGGING_H_

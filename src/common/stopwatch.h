@@ -4,11 +4,13 @@
 #define RLL_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace rll {
 
-/// Starts on construction; ElapsedSeconds()/ElapsedMillis() read without
-/// stopping, Restart() resets the origin.
+/// Starts on construction; ElapsedSeconds()/ElapsedMillis()/ElapsedMicros()
+/// read without stopping, Restart() resets the origin.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
@@ -21,9 +23,42 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Times a scope and reports the elapsed milliseconds to a callback on
+/// destruction — the glue between Stopwatch and any sink (a metrics
+/// histogram via obs::ObserveMillis, a bench table row, a log line):
+///
+///   {
+///     ScopedTimer timer(obs::ObserveMillis(histogram));
+///     ...work...
+///   }  // histogram->Observe(elapsed_ms)
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::function<void(double elapsed_ms)> on_done)
+      : on_done_(std::move(on_done)) {}
+
+  ~ScopedTimer() {
+    if (on_done_) on_done_(watch_.ElapsedMillis());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Reads without stopping — the callback still fires at scope exit.
+  double ElapsedMillis() const { return watch_.ElapsedMillis(); }
+
+  /// Drops the callback; the scope exits silently.
+  void Cancel() { on_done_ = nullptr; }
+
+ private:
+  Stopwatch watch_;
+  std::function<void(double)> on_done_;
 };
 
 }  // namespace rll

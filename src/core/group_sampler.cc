@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace rll::core {
 
@@ -24,11 +25,14 @@ GroupSampler::GroupSampler(const std::vector<int>& labels,
 Result<std::vector<Group>> GroupSampler::Sample(size_t count,
                                                 Rng* rng) const {
   const size_t k = options_.negatives_per_group;
-  if (positives_.size() < 2) {
-    return Status::FailedPrecondition(
-        "grouping needs at least two positive examples");
-  }
-  if (negatives_.size() < k) {
+  if (positives_.size() < 2 || negatives_.size() < k) {
+    obs::MetricRegistry::Global()
+        .GetCounter("rll_groups_rejected_total")
+        ->Increment(count);
+    if (positives_.size() < 2) {
+      return Status::FailedPrecondition(
+          "grouping needs at least two positive examples");
+    }
     return Status::FailedPrecondition(StrFormat(
         "grouping needs at least k=%zu negatives, have %zu", k,
         negatives_.size()));
@@ -50,6 +54,14 @@ Result<std::vector<Group>> GroupSampler::Sample(size_t count,
     }
     groups.push_back(std::move(group));
   }
+  // Bulk counter updates per call (not per group) keep the registry off the
+  // per-group path; one Sample serves a whole epoch.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("rll_groups_sampled_total")->Increment(count);
+  registry.GetCounter("rll_group_positives_drawn_total")
+      ->Increment(2 * count);
+  registry.GetCounter("rll_group_negatives_drawn_total")
+      ->Increment(k * count);
   return groups;
 }
 

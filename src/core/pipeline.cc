@@ -2,6 +2,8 @@
 
 #include "data/kfold.h"
 #include "data/standardize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rll::core {
 
@@ -20,9 +22,13 @@ Result<std::vector<int>> TrainRllAndPredict(const data::Dataset& train,
       options.trainer.prior_strength);
 
   RllTrainer trainer(options.trainer, rng);
-  RLL_RETURN_IF_ERROR(
-      trainer.Train(train.features(), labels, confidence).status());
+  {
+    RLL_TRACE_SPAN("rll_train");
+    RLL_RETURN_IF_ERROR(
+        trainer.Train(train.features(), labels, confidence).status());
+  }
 
+  RLL_TRACE_SPAN("classify");
   const Matrix train_emb = trainer.model().Embed(train.features());
   const Matrix test_emb = trainer.model().Embed(test_features);
 
@@ -42,8 +48,13 @@ Result<CvOutcome> RunRllCrossValidation(const data::Dataset& dataset,
   const std::vector<data::Split> splits =
       data::StratifiedKFold(dataset.true_labels(), options.folds, rng);
 
+  RLL_TRACE_SPAN("cross_validation");
+  obs::Counter* folds_done =
+      obs::MetricRegistry::Global().GetCounter("rll_cv_folds_total");
   CvOutcome outcome;
-  for (const data::Split& split : splits) {
+  for (size_t fold = 0; fold < splits.size(); ++fold) {
+    const data::Split& split = splits[fold];
+    RLL_TRACE_SPAN_ID("fold", fold);
     data::Dataset train = dataset.Subset(split.train);
     data::Dataset test = dataset.Subset(split.test);
 
@@ -66,6 +77,7 @@ Result<CvOutcome> RunRllCrossValidation(const data::Dataset& dataset,
         TrainRllAndPredict(train_std, test_features, options, rng));
     outcome.per_fold.push_back(
         classify::Evaluate(test.true_labels(), predicted));
+    folds_done->Increment();
   }
   outcome.mean = classify::MeanMetrics(outcome.per_fold);
   outcome.stddev = classify::StdDevMetrics(outcome.per_fold);

@@ -1,10 +1,13 @@
 #include "core/rll_trainer.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "autograd/ops.h"
 #include "common/finite_check.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace rll::core {
 
@@ -119,13 +122,23 @@ Result<RllTrainSummary> RllTrainer::Train(
   double best_val_loss = 0.0;
   std::vector<Matrix> best_params;
   int stale_epochs = 0;
+  const bool observing = !options_.observers.empty();
+  if (observing) {
+    const obs::TrainBeginStats begin{.num_examples = n,
+                                     .planned_epochs = options_.epochs};
+    for (obs::TrainerObserver* o : options_.observers) o->OnTrainBegin(begin);
+  }
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    RLL_TRACE_SPAN_ID("epoch", epoch);
+    Stopwatch epoch_watch;
     RLL_ASSIGN_OR_RETURN(std::vector<Group> groups,
                          sampler.Sample(options_.groups_per_epoch, rng_));
     double epoch_loss = 0.0;
+    double epoch_grad_norm = 0.0;
     size_t batches = 0;
     for (size_t start = 0; start < groups.size();
          start += options_.batch_size) {
+      RLL_TRACE_SPAN("batch");
       const size_t end = std::min(start + options_.batch_size, groups.size());
       ag::Var loss = build_loss(groups, start, end, /*training=*/true);
       // The confidence-weighted group NLL must stay finite every step; a
@@ -133,6 +146,21 @@ Result<RllTrainSummary> RllTrainer::Train(
       RLL_DCHECK_FINITE(loss->value(0, 0));
       optimizer.ZeroGrad();
       ag::Backward(loss);
+      if (observing) {
+        // ClipGradNorm at +inf never rescales — it is only the global-norm
+        // reduction. Skipped entirely when nothing observes it.
+        const double grad_norm = nn::ClipGradNorm(
+            model_->Parameters(), std::numeric_limits<double>::infinity());
+        epoch_grad_norm += grad_norm;
+        const obs::BatchStats stats{.epoch = epoch,
+                                    .batch = batches,
+                                    .groups = end - start,
+                                    .loss = loss->value(0, 0),
+                                    .grad_norm = grad_norm};
+        for (obs::TrainerObserver* o : options_.observers) {
+          o->OnBatchEnd(stats);
+        }
+      }
       optimizer.Step();
       epoch_loss += loss->value(0, 0);
       ++batches;
@@ -140,6 +168,19 @@ Result<RllTrainSummary> RllTrainer::Train(
     summary.epoch_losses.push_back(epoch_loss /
                                    static_cast<double>(batches));
     summary.groups_trained += groups.size();
+    if (observing) {
+      const double seconds = epoch_watch.ElapsedSeconds();
+      const obs::EpochStats stats{
+          .epoch = epoch,
+          .train_loss = summary.epoch_losses.back(),
+          .mean_grad_norm = epoch_grad_norm / static_cast<double>(batches),
+          .groups_per_sec = seconds > 0.0
+                                ? static_cast<double>(groups.size()) / seconds
+                                : 0.0,
+          .groups = groups.size(),
+          .duration_ms = seconds * 1e3};
+      for (obs::TrainerObserver* o : options_.observers) o->OnEpochEnd(stats);
+    }
 #ifndef NDEBUG
     // Embedding-layer weights (and thus embedding norms) stay finite after
     // each optimizer epoch — diverging training aborts here, not at eval.
@@ -150,13 +191,22 @@ Result<RllTrainSummary> RllTrainer::Train(
     if (validation_groups.empty()) summary.best_epoch = epoch;
 
     if (!validation_groups.empty()) {
+      RLL_TRACE_SPAN("validate");
       const double val_loss =
           build_loss(validation_groups, 0, validation_groups.size(),
                      /*training=*/false)
               ->value(0, 0);
       RLL_DCHECK_FINITE(val_loss);
       summary.validation_losses.push_back(val_loss);
-      if (best_params.empty() || val_loss < best_val_loss) {
+      const bool improved = best_params.empty() || val_loss < best_val_loss;
+      if (observing) {
+        const obs::ValidationStats stats{
+            .epoch = epoch, .val_loss = val_loss, .improved = improved};
+        for (obs::TrainerObserver* o : options_.observers) {
+          o->OnValidation(stats);
+        }
+      }
+      if (improved) {
         best_val_loss = val_loss;
         summary.best_epoch = epoch;
         best_params.clear();
@@ -166,6 +216,9 @@ Result<RllTrainSummary> RllTrainer::Train(
         stale_epochs = 0;
       } else if (++stale_epochs >= options_.patience) {
         summary.stopped_early = true;
+        for (obs::TrainerObserver* o : options_.observers) {
+          o->OnEarlyStop(epoch, summary.best_epoch);
+        }
         break;
       }
       RLL_LOG(Debug) << "RLL epoch " << epoch << " train "
@@ -181,6 +234,14 @@ Result<RllTrainSummary> RllTrainer::Train(
     for (size_t i = 0; i < params.size(); ++i) {
       params[i]->value = best_params[i];
     }
+  }
+  if (observing) {
+    const obs::TrainEndStats end{
+        .epochs_run = static_cast<int>(summary.epoch_losses.size()),
+        .best_epoch = summary.best_epoch,
+        .stopped_early = summary.stopped_early,
+        .groups_trained = summary.groups_trained};
+    for (obs::TrainerObserver* o : options_.observers) o->OnTrainEnd(end);
   }
   return summary;
 }

@@ -14,6 +14,7 @@
 #include "core/rll_model.h"
 #include "crowd/confidence.h"
 #include "nn/optimizer.h"
+#include "obs/observer.h"
 
 namespace rll::core {
 
@@ -42,6 +43,10 @@ struct RllTrainerOptions {
   int patience = 5;
   /// Validation groups sampled once at the start (fixed for stability).
   size_t validation_groups = 256;
+  /// Observation hooks (non-owning; must outlive Train). With no observers
+  /// attached the loop skips all stats work beyond what the summary needs,
+  /// so detached training costs only a branch per batch.
+  std::vector<obs::TrainerObserver*> observers;
 };
 
 struct RllTrainSummary {

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/finite_check.h"
 #include "crowd/dawid_skene.h"
+#include "obs/metrics.h"
 
 namespace rll::crowd {
 
@@ -85,9 +86,21 @@ std::vector<double> LabelConfidence(const data::Dataset& dataset,
   }
   std::vector<double> pos = LabelPositiveness(dataset, mode, prior_strength);
   std::vector<double> out(dataset.size());
+  // δ ∈ [0, 1]: linear buckets resolve the whole range evenly, where
+  // exponential buckets would lump everything above 0.5 together.
+  obs::HistogramOptions delta_buckets;
+  delta_buckets.buckets = obs::HistogramOptions::Buckets::kLinear;
+  delta_buckets.min = 0.0;
+  delta_buckets.max = 1.0;
+  delta_buckets.count = 20;
+  obs::Histogram* delta_histogram =
+      obs::MetricRegistry::Global().GetHistogram(
+          "rll_confidence_delta", {{"mode", ConfidenceModeName(mode)}},
+          delta_buckets);
   for (size_t i = 0; i < dataset.size(); ++i) {
     out[i] = labels[i] == 1 ? pos[i] : 1.0 - pos[i];
     RLL_DCHECK_PROB(out[i]);
+    delta_histogram->Observe(out[i]);
   }
   return out;
 }

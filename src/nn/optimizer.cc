@@ -42,10 +42,15 @@ Adam::Adam(std::vector<ag::Var> params, AdamOptions options)
     m_.emplace_back(p->value.rows(), p->value.cols());
     v_.emplace_back(p->value.rows(), p->value.cols());
   }
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  steps_metric_ = registry.GetCounter("rll_adam_steps_total");
+  lr_metric_ = registry.GetGauge("rll_adam_lr");
 }
 
 void Adam::Step() {
   ++t_;
+  steps_metric_->Increment();
+  lr_metric_->Set(options_.lr);
   const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {

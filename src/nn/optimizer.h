@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "obs/metrics.h"
 
 namespace rll::nn {
 
@@ -75,6 +76,10 @@ class Adam : public Optimizer {
   std::vector<Matrix> m_;  // First moment, parallel to params_.
   std::vector<Matrix> v_;  // Second moment.
   int64_t t_ = 0;
+  // Resolved once at construction; Step() pays one relaxed increment and
+  // one relaxed store, never a registry lookup.
+  obs::Counter* steps_metric_;
+  obs::Gauge* lr_metric_;
 };
 
 struct RmsPropOptions {

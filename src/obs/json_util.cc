@@ -1,0 +1,45 @@
+#include "obs/json_util.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace rll::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  return StrFormat("%.17g", value);
+}
+
+}  // namespace rll::obs

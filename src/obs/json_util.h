@@ -1,0 +1,23 @@
+// Tiny JSON emission helpers shared by the metrics and trace exporters.
+// Emission only — parsing stays out of the library; the exporters produce
+// machine-readable output, they never consume it.
+
+#ifndef RLL_OBS_JSON_UTIL_H_
+#define RLL_OBS_JSON_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+namespace rll::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included): backslash, quote, and control characters.
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double as a JSON number: finite values via %.17g (round-trip
+/// exact), NaN/Inf as null (JSON has no literal for them).
+std::string JsonNumber(double value);
+
+}  // namespace rll::obs
+
+#endif  // RLL_OBS_JSON_UTIL_H_

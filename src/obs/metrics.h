@@ -1,0 +1,176 @@
+// Thread-safe in-process metrics: Counter, Gauge, Histogram, and a labeled
+// MetricRegistry with text and JSONL exporters.
+//
+// Instruments are lock-free on the record path (relaxed atomics); the
+// registry takes a mutex only on lookup, so callers on hot paths resolve
+// their instrument once and then record through the returned pointer:
+//
+//   obs::Counter* steps = obs::MetricRegistry::Global().GetCounter(
+//       "rll_adam_steps_total");
+//   ...
+//   steps->Increment();                       // one relaxed fetch_add
+//
+// Instrument pointers stay valid for the registry's lifetime (process
+// lifetime for Global()). Looking up the same name + labels again returns
+// the same instrument, so families of labeled series share one name:
+//
+//   registry.GetHistogram("rll_confidence_delta", {{"mode", "Bayesian"}});
+
+#ifndef RLL_OBS_METRICS_H_
+#define RLL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rll::obs {
+
+/// Metric labels, e.g. {{"mode", "bayesian"}}. std::map keeps the key order
+/// canonical so label sets compare and render deterministically.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. current learning rate).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+  enum class Buckets {
+    /// Upper bounds start, start·growth, start·growth², … (durations,
+    /// norms — anything spanning orders of magnitude).
+    kExponential,
+    /// `count` equal-width buckets over [min, max] (bounded quantities
+    /// like probabilities, where exponential buckets waste resolution).
+    kLinear,
+  };
+  Buckets buckets = Buckets::kExponential;
+  size_t count = 40;      // Finite buckets; one overflow bucket is implied.
+  double start = 1e-6;    // kExponential: first upper bound.
+  double growth = 2.0;    // kExponential: bound ratio, > 1.
+  double min = 0.0;       // kLinear range.
+  double max = 1.0;
+};
+
+/// Fixed-bucket histogram with interpolated percentiles. Observations are
+/// relaxed atomic increments; snapshots taken concurrently with writers are
+/// approximate (each field is individually consistent), which is the usual
+/// monitoring contract.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // +inf when empty.
+  double max() const;  // -inf when empty.
+  double mean() const;  // 0 when empty.
+
+  /// Value at quantile q in [0, 1], linearly interpolated inside the
+  /// containing bucket and clamped to the observed [min, max]. Exact to
+  /// within one bucket width; 0 when empty.
+  double Percentile(double q) const;
+
+  /// Upper bounds of the finite buckets (the overflow bucket is last,
+  /// bound +inf, not included here).
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Snapshot of per-bucket counts, size bucket_bounds().size() + 1 (the
+  /// final entry is the overflow bucket).
+  std::vector<uint64_t> bucket_counts() const;
+
+  const HistogramOptions& options() const { return options_; }
+
+ private:
+  HistogramOptions options_;
+  std::vector<double> bounds_;  // Ascending finite upper bounds.
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Callback for common/stopwatch.h's ScopedTimer: reports the elapsed
+/// milliseconds into `histogram` when the timer scope exits.
+std::function<void(double)> ObserveMillis(Histogram* histogram);
+
+/// Named, labeled instrument store. One Global() registry serves the
+/// process; tests construct private registries.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  static MetricRegistry& Global();
+
+  /// Finds or creates the instrument for (name, labels). Re-registering an
+  /// existing name with a different instrument kind is a programmer error
+  /// (RLL_CHECK). Histogram options apply on first creation only.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          HistogramOptions options = {});
+
+  /// Human-readable dump, one "name{labels} value" line per instrument,
+  /// histograms with count/mean/p50/p95/p99.
+  std::string ExportText() const;
+
+  /// One JSON object per line:
+  ///   {"type":"metric","kind":"counter","name":...,"labels":{...},...}
+  /// Counters/gauges carry "value"; histograms carry count/sum/min/max/
+  /// p50/p95/p99 and the full bucket table as [upper_bound, count] pairs.
+  std::string ExportJsonl() const;
+
+  size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, const Labels& labels,
+                      Kind kind, const HistogramOptions* options);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // Key: name + serialized labels.
+};
+
+}  // namespace rll::obs
+
+#endif  // RLL_OBS_METRICS_H_

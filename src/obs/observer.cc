@@ -1,0 +1,151 @@
+#include "obs/observer.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/json_util.h"
+
+namespace rll::obs {
+
+// ------------------------------------------------------- MetricsObserver
+
+MetricsObserver::MetricsObserver(MetricRegistry* registry) {
+  MetricRegistry& r =
+      registry != nullptr ? *registry : MetricRegistry::Global();
+  // Losses and grad norms span orders of magnitude over a run; start the
+  // exponential buckets low enough to resolve late-training values.
+  HistogramOptions wide;
+  wide.start = 1e-4;
+  wide.growth = 1.5;
+  wide.count = 48;
+  epoch_loss_ = r.GetHistogram("rll_trainer_epoch_loss", {}, wide);
+  grad_norm_ = r.GetHistogram("rll_trainer_grad_norm", {}, wide);
+  groups_per_sec_ = r.GetGauge("rll_trainer_groups_per_sec");
+  val_loss_ = r.GetGauge("rll_trainer_val_loss");
+  epochs_ = r.GetCounter("rll_trainer_epochs_total");
+  batches_ = r.GetCounter("rll_trainer_batches_total");
+  early_stops_ = r.GetCounter("rll_trainer_early_stops_total");
+  runs_ = r.GetCounter("rll_trainer_runs_total");
+}
+
+void MetricsObserver::OnBatchEnd(const BatchStats& stats) {
+  batches_->Increment();
+  grad_norm_->Observe(stats.grad_norm);
+}
+
+void MetricsObserver::OnEpochEnd(const EpochStats& stats) {
+  epochs_->Increment();
+  epoch_loss_->Observe(stats.train_loss);
+  groups_per_sec_->Set(stats.groups_per_sec);
+}
+
+void MetricsObserver::OnValidation(const ValidationStats& stats) {
+  val_loss_->Set(stats.val_loss);
+}
+
+void MetricsObserver::OnEarlyStop(int /*epoch*/, int /*best_epoch*/) {
+  early_stops_->Increment();
+}
+
+void MetricsObserver::OnTrainEnd(const TrainEndStats& /*stats*/) {
+  runs_->Increment();
+}
+
+// --------------------------------------------------------- JsonlObserver
+
+JsonlObserver::JsonlObserver(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    status_ = Status::IOError("cannot open " + path + " for write");
+  }
+}
+
+JsonlObserver::~JsonlObserver() { Close(); }
+
+void JsonlObserver::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0 && status_.ok()) {
+      status_ = Status::IOError("close failed");
+    }
+    file_ = nullptr;
+  }
+}
+
+void JsonlObserver::WriteLine(const std::string& line) {
+  if (file_ == nullptr) return;
+  if (std::fprintf(file_, "%s\n", line.c_str()) < 0 && status_.ok()) {
+    status_ = Status::IOError("write failed");
+  }
+}
+
+void JsonlObserver::OnTrainBegin(const TrainBeginStats& stats) {
+  ++run_;
+  WriteLine(StrFormat(
+      "{\"type\":\"train_begin\",\"run\":%d,\"examples\":%zu,"
+      "\"planned_epochs\":%d}",
+      run_, stats.num_examples, stats.planned_epochs));
+}
+
+void JsonlObserver::OnEpochEnd(const EpochStats& stats) {
+  WriteLine(StrFormat(
+      "{\"type\":\"epoch\",\"run\":%d,\"epoch\":%d,\"loss\":%s,"
+      "\"grad_norm\":%s,\"groups_per_sec\":%s,\"groups\":%zu,"
+      "\"duration_ms\":%s}",
+      run_, stats.epoch, JsonNumber(stats.train_loss).c_str(),
+      JsonNumber(stats.mean_grad_norm).c_str(),
+      JsonNumber(stats.groups_per_sec).c_str(), stats.groups,
+      JsonNumber(stats.duration_ms).c_str()));
+}
+
+void JsonlObserver::OnValidation(const ValidationStats& stats) {
+  WriteLine(StrFormat(
+      "{\"type\":\"validation\",\"run\":%d,\"epoch\":%d,\"val_loss\":%s,"
+      "\"improved\":%s}",
+      run_, stats.epoch, JsonNumber(stats.val_loss).c_str(),
+      stats.improved ? "true" : "false"));
+}
+
+void JsonlObserver::OnEarlyStop(int epoch, int best_epoch) {
+  WriteLine(StrFormat(
+      "{\"type\":\"early_stop\",\"run\":%d,\"epoch\":%d,\"best_epoch\":%d}",
+      run_, epoch, best_epoch));
+}
+
+void JsonlObserver::OnTrainEnd(const TrainEndStats& stats) {
+  WriteLine(StrFormat(
+      "{\"type\":\"train_end\",\"run\":%d,\"epochs_run\":%d,"
+      "\"best_epoch\":%d,\"stopped_early\":%s,\"groups_trained\":%zu}",
+      run_, stats.epochs_run, stats.best_epoch,
+      stats.stopped_early ? "true" : "false", stats.groups_trained));
+  if (std::fflush(file_) != 0 && status_.ok()) {
+    status_ = Status::IOError("flush failed");
+  }
+}
+
+// ------------------------------------------------------ ProgressObserver
+
+ProgressObserver::ProgressObserver(int every_n_epochs)
+    : every_n_epochs_(every_n_epochs > 0 ? every_n_epochs : 1) {}
+
+void ProgressObserver::OnTrainBegin(const TrainBeginStats& stats) {
+  planned_epochs_ = stats.planned_epochs;
+  RLL_LOG(Info) << "training " << stats.num_examples << " examples for "
+                << stats.planned_epochs << " epochs";
+}
+
+void ProgressObserver::OnEpochEnd(const EpochStats& stats) {
+  if (stats.epoch % every_n_epochs_ != 0 &&
+      stats.epoch != planned_epochs_ - 1) {
+    return;
+  }
+  RLL_LOG(Info) << "epoch " << stats.epoch << "/" << planned_epochs_
+                << " loss " << stats.train_loss << " grad_norm "
+                << stats.mean_grad_norm << " ("
+                << StrFormat("%.0f", stats.groups_per_sec) << " groups/s)";
+}
+
+void ProgressObserver::OnEarlyStop(int epoch, int best_epoch) {
+  RLL_LOG(Info) << "early stop at epoch " << epoch << " (best epoch "
+                << best_epoch << ")";
+}
+
+}  // namespace rll::obs

@@ -1,0 +1,151 @@
+// Trainer observation hooks. The training loop (core::RllTrainer) owns the
+// schedule and calls out at well-defined points; observers record, export,
+// or log without the trainer knowing where the data goes. Observers are
+// non-owning raw pointers in the trainer options and must outlive training.
+//
+// Built-ins:
+//   MetricsObserver  — records epoch/batch series into a MetricRegistry
+//   JsonlObserver    — appends one JSON object per event to a file
+//   ProgressObserver — throttled RLL_LOG(Info) progress lines
+
+#ifndef RLL_OBS_OBSERVER_H_
+#define RLL_OBS_OBSERVER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace rll::obs {
+
+struct TrainBeginStats {
+  size_t num_examples = 0;
+  int planned_epochs = 0;
+};
+
+struct BatchStats {
+  int epoch = 0;
+  size_t batch = 0;   // Index within the epoch.
+  size_t groups = 0;  // Groups in this batch.
+  double loss = 0.0;
+  double grad_norm = 0.0;  // Global L2 norm over all parameters.
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;      // Mean group NLL over the epoch.
+  double mean_grad_norm = 0.0;  // Mean of per-batch global grad norms.
+  double groups_per_sec = 0.0;
+  size_t groups = 0;
+  double duration_ms = 0.0;
+};
+
+struct ValidationStats {
+  int epoch = 0;
+  double val_loss = 0.0;
+  bool improved = false;  // New best (parameters snapshotted).
+};
+
+struct TrainEndStats {
+  int epochs_run = 0;
+  int best_epoch = 0;
+  bool stopped_early = false;
+  size_t groups_trained = 0;
+};
+
+/// Callback interface; every hook has an empty default so observers override
+/// only what they need. Callbacks run synchronously on the training thread
+/// between steps — keep them cheap.
+class TrainerObserver {
+ public:
+  virtual ~TrainerObserver() = default;
+
+  virtual void OnTrainBegin(const TrainBeginStats& /*stats*/) {}
+  virtual void OnBatchEnd(const BatchStats& /*stats*/) {}
+  virtual void OnEpochEnd(const EpochStats& /*stats*/) {}
+  virtual void OnValidation(const ValidationStats& /*stats*/) {}
+  virtual void OnEarlyStop(int /*epoch*/, int /*best_epoch*/) {}
+  virtual void OnTrainEnd(const TrainEndStats& /*stats*/) {}
+};
+
+/// Records the training series into `registry` (global registry by default):
+/// rll_trainer_epoch_loss / rll_trainer_grad_norm histograms,
+/// rll_trainer_groups_per_sec / rll_trainer_val_loss gauges, and
+/// epochs/batches/early-stop counters.
+class MetricsObserver : public TrainerObserver {
+ public:
+  explicit MetricsObserver(MetricRegistry* registry = nullptr);
+
+  void OnBatchEnd(const BatchStats& stats) override;
+  void OnEpochEnd(const EpochStats& stats) override;
+  void OnValidation(const ValidationStats& stats) override;
+  void OnEarlyStop(int epoch, int best_epoch) override;
+  void OnTrainEnd(const TrainEndStats& stats) override;
+
+ private:
+  Histogram* epoch_loss_;
+  Histogram* grad_norm_;
+  Gauge* groups_per_sec_;
+  Gauge* val_loss_;
+  Counter* epochs_;
+  Counter* batches_;
+  Counter* early_stops_;
+  Counter* runs_;
+};
+
+/// Streams one JSON object per event ({"type":"train_begin"|"epoch"|
+/// "validation"|"early_stop"|"train_end", ...}) to `path`. Consecutive
+/// training runs through the same observer (e.g. cross-validation folds)
+/// are distinguished by a monotonically increasing "run" field. Batch
+/// events are not written — at default settings they would dominate the
+/// file 16:1 while the per-epoch series already carries the signal.
+class JsonlObserver : public TrainerObserver {
+ public:
+  /// Truncates `path`. Check status() before relying on output.
+  explicit JsonlObserver(const std::string& path);
+  ~JsonlObserver() override;
+
+  JsonlObserver(const JsonlObserver&) = delete;
+  JsonlObserver& operator=(const JsonlObserver&) = delete;
+
+  void OnTrainBegin(const TrainBeginStats& stats) override;
+  void OnEpochEnd(const EpochStats& stats) override;
+  void OnValidation(const ValidationStats& stats) override;
+  void OnEarlyStop(int epoch, int best_epoch) override;
+  void OnTrainEnd(const TrainEndStats& stats) override;
+
+  /// Flushes and closes the file; further events are dropped. Idempotent
+  /// (also runs on destruction).
+  void Close();
+
+  /// OK unless the file could not be opened or a write failed.
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteLine(const std::string& line);
+
+  std::FILE* file_ = nullptr;
+  int run_ = -1;  // Incremented by each OnTrainBegin.
+  Status status_;
+};
+
+/// RLL_LOG(Info) progress: one line every `every_n_epochs`, plus the final
+/// epoch, validation improvements, and early stops.
+class ProgressObserver : public TrainerObserver {
+ public:
+  explicit ProgressObserver(int every_n_epochs = 5);
+
+  void OnTrainBegin(const TrainBeginStats& stats) override;
+  void OnEpochEnd(const EpochStats& stats) override;
+  void OnEarlyStop(int epoch, int best_epoch) override;
+
+ private:
+  int every_n_epochs_;
+  int planned_epochs_ = 0;
+};
+
+}  // namespace rll::obs
+
+#endif  // RLL_OBS_OBSERVER_H_

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "common/strings.h"
+#include "obs/json_util.h"
+
+namespace rll::obs {
+
+namespace {
+
+// Backstop against a forgotten long-running trace, not a tuning knob: at
+// ~64 bytes/event this caps a runaway thread at tens of MB.
+constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+std::atomic<bool> g_enabled{false};
+
+struct TraceEvent {
+  std::string name;
+  int64_t start_us;
+  int64_t dur_us;
+};
+
+// Each thread appends to its own buffer; the export path walks all buffers.
+// Buffers are shared_ptr so events survive thread exit until cleared.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  uint32_t tid = 0;
+};
+
+struct BufferDirectory {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+BufferDirectory& Directory() {
+  static BufferDirectory directory;
+  return directory;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferDirectory& dir = Directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    b->tid = dir.next_tid++;
+    dir.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point ProcessOrigin() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
+}  // namespace
+
+bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetTracingEnabled(bool enabled) {
+  // Pin the origin before the first span so timestamps start near zero.
+  ProcessOrigin();
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - ProcessOrigin())
+      .count();
+}
+
+void ClearTraceEvents() {
+  BufferDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  for (const auto& buffer : dir.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::vector<TraceEventView> SnapshotTraceEvents() {
+  std::vector<TraceEventView> out;
+  BufferDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  for (const auto& buffer : dir.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const TraceEvent& e : buffer->events) {
+      out.push_back({e.name, e.start_us, e.dur_us, buffer->tid});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEventView& a, const TraceEventView& b) {
+              return a.tid != b.tid ? a.tid < b.tid
+                                    : a.start_us < b.start_us;
+            });
+  return out;
+}
+
+size_t TraceEventCount() {
+  size_t total = 0;
+  BufferDirectory& dir = Directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  for (const auto& buffer : dir.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string TraceToChromeJson() {
+  const std::vector<TraceEventView> events = SnapshotTraceEvents();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEventView& e = events[i];
+    if (i > 0) out += ",";
+    out += StrFormat(
+        "\n{\"name\":\"%s\",\"cat\":\"rll\",\"ph\":\"X\",\"ts\":%lld,"
+        "\"dur\":%lld,\"pid\":1,\"tid\":%u}",
+        JsonEscape(e.name).c_str(), static_cast<long long>(e.start_us),
+        static_cast<long long>(e.dur_us), e.tid);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+namespace internal {
+
+void RecordSpan(std::string name, int64_t start_us, int64_t end_us) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(
+      {std::move(name), start_us, end_us - start_us});
+}
+
+}  // namespace internal
+
+void TraceSpan::Open(const char* name) {
+  open_ = true;
+  name_ = name;
+  start_us_ = TraceNowMicros();
+}
+
+void TraceSpan::OpenWithId(const char* name, int64_t id) {
+  open_ = true;
+  name_ = StrFormat("%s:%lld", name, static_cast<long long>(id));
+  start_us_ = TraceNowMicros();
+}
+
+}  // namespace rll::obs

@@ -14,6 +14,11 @@
 //   rll_cli embed     --features F.csv --model M --output EMB.csv
 //   rll_cli retrieve  --features F.csv --model M --query ROW [--k K]
 //
+// Every command also accepts the observability flags:
+//   --log-level debug|info|warning|error
+//   --metrics-out M.jsonl   per-epoch training series + metric registry dump
+//   --trace-out T.json      Chrome trace-event file (chrome://tracing)
+//
 // The features CSV is "f0,...,fN,label" (label = expert ground truth, used
 // only for evaluation); annotations are long-format
 // "example_id,worker_id,label". `synth` writes both files from the
@@ -24,11 +29,15 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "baselines/label_source.h"
 #include "classify/metrics.h"
 #include "classify/ranking_metrics.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "core/embedding_index.h"
 #include "core/model_bundle.h"
@@ -43,6 +52,9 @@
 #include "data/csv.h"
 #include "data/standardize.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
 #include "tensor/serialize.h"
 
 namespace rll::cli {
@@ -87,14 +99,52 @@ int Usage() {
       "  train     --features F --annotations A --model OUT [--mode ...] "
       "[--epochs E]\n"
       "  embed     --features F --model M --output EMB\n"
-      "  retrieve  --features F --model M --query ROW [--k K]\n");
+      "  retrieve  --features F --model M --query ROW [--k K]\n"
+      "common flags (any command):\n"
+      "  --log-level debug|info|warning|error\n"
+      "  --metrics-out M.jsonl    training series + metric registry dump\n"
+      "  --trace-out T.json       Chrome trace (open in chrome://tracing)\n");
   return 2;
+}
+
+// Flags accepted by every command (observability) and per command. A flag
+// outside the union is a hard error: silently ignoring a typo like
+// --k-negative would run with the default and report misleading numbers.
+const std::set<std::string>& CommonFlags() {
+  static const std::set<std::string> flags = {"log-level", "metrics-out",
+                                              "trace-out"};
+  return flags;
+}
+
+const std::map<std::string, std::set<std::string>>& CommandFlags() {
+  static const std::map<std::string, std::set<std::string>> flags = {
+      {"synth",
+       {"preset", "features", "annotations", "seed", "votes", "workers"}},
+      {"describe", {"features", "annotations"}},
+      {"aggregate", {"features", "annotations", "method"}},
+      {"evaluate",
+       {"features", "annotations", "mode", "folds", "epochs", "k-negatives",
+        "eta", "seed", "groups"}},
+      {"tune",
+       {"features", "annotations", "epochs", "seed", "groups",
+        "k-negatives"}},
+      {"train",
+       {"features", "annotations", "model", "mode", "epochs", "k-negatives",
+        "eta", "seed", "groups"}},
+      {"embed", {"features", "model", "output"}},
+      {"retrieve", {"features", "model", "query", "k"}},
+  };
+  return flags;
 }
 
 Result<Args> Parse(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing command");
   Args args;
   args.command = argv[1];
+  const auto allowed = CommandFlags().find(args.command);
+  if (allowed == CommandFlags().end()) {
+    return Status::InvalidArgument("unknown command: " + args.command);
+  }
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) {
@@ -103,9 +153,109 @@ Result<Args> Parse(int argc, char** argv) {
     if (i + 1 >= argc) {
       return Status::InvalidArgument("flag needs a value: " + flag);
     }
-    args.flags[flag.substr(2)] = argv[++i];
+    const std::string name = flag.substr(2);
+    if (allowed->second.count(name) == 0 && CommonFlags().count(name) == 0) {
+      return Status::InvalidArgument("unknown flag --" + name +
+                                     " for command '" + args.command + "'");
+    }
+    args.flags[name] = argv[++i];
   }
   return args;
+}
+
+// ---------------------------------------------------------- observability
+
+// Wired from the common --log-level/--metrics-out/--trace-out flags before
+// command dispatch; Finish() flushes trace and metric files afterwards.
+// Commands that train pass `observers` into RllTrainerOptions.
+struct ObsSession {
+  std::string metrics_path;
+  std::string trace_path;
+  std::unique_ptr<obs::JsonlObserver> jsonl;
+  std::unique_ptr<obs::MetricsObserver> metrics;
+  std::unique_ptr<obs::ProgressObserver> progress;
+  std::vector<obs::TrainerObserver*> observers;
+};
+
+Result<ObsSession> SetupObservability(const Args& args) {
+  const std::string level = args.Get("log-level", "");
+  if (!level.empty()) {
+    if (level == "debug") {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (level == "info") {
+      SetLogLevel(LogLevel::kInfo);
+    } else if (level == "warning") {
+      SetLogLevel(LogLevel::kWarning);
+    } else if (level == "error") {
+      SetLogLevel(LogLevel::kError);
+    } else {
+      return Status::InvalidArgument("unknown --log-level: " + level +
+                                     " (want debug|info|warning|error)");
+    }
+  }
+  ObsSession session;
+  session.metrics_path = args.Get("metrics-out", "");
+  session.trace_path = args.Get("trace-out", "");
+  if (!session.metrics_path.empty()) {
+    session.jsonl = std::make_unique<obs::JsonlObserver>(session.metrics_path);
+    RLL_RETURN_IF_ERROR(session.jsonl->status());
+    session.metrics = std::make_unique<obs::MetricsObserver>();
+    session.observers.push_back(session.jsonl.get());
+    session.observers.push_back(session.metrics.get());
+  }
+  session.progress = std::make_unique<obs::ProgressObserver>(5);
+  session.observers.push_back(session.progress.get());
+  if (!session.trace_path.empty()) obs::SetTracingEnabled(true);
+  return session;
+}
+
+int FinishObservability(ObsSession* session) {
+  int rc = 0;
+  if (session->jsonl != nullptr) {
+    session->jsonl->Close();
+    if (!session->jsonl->status().ok()) {
+      std::fprintf(stderr, "%s\n",
+                   session->jsonl->status().ToString().c_str());
+      rc = 1;
+    }
+    // Append the registry dump so one file carries both the per-epoch
+    // series and the end-of-run aggregates.
+    std::ofstream out(session->metrics_path, std::ios::app);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot append metrics to %s\n",
+                   session->metrics_path.c_str());
+      rc = 1;
+    } else {
+      out << obs::MetricRegistry::Global().ExportJsonl();
+    }
+  }
+  if (!session->trace_path.empty()) {
+    obs::SetTracingEnabled(false);
+    std::ofstream out(session->trace_path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s for write\n",
+                   session->trace_path.c_str());
+      rc = 1;
+    } else {
+      out << obs::TraceToChromeJson();
+    }
+  }
+  return rc;
+}
+
+// Training-path commands print their fully-resolved configuration to
+// stderr so logs capture the exact run parameters, defaults included.
+void EchoRunConfig(const Args& args, crowd::ConfidenceMode mode,
+                   const core::RllPipelineOptions& options, bool with_folds) {
+  std::fprintf(
+      stderr,
+      "run config: command=%s mode=%s seed=%lld epochs=%d groups=%zu "
+      "k-negatives=%zu eta=%g%s\n",
+      args.command.c_str(), crowd::ConfidenceModeName(mode),
+      static_cast<long long>(args.GetInt("seed", 7)), options.trainer.epochs,
+      options.trainer.groups_per_epoch, options.trainer.negatives_per_group,
+      options.trainer.eta,
+      with_folds ? StrFormat(" folds=%zu", options.folds).c_str() : "");
 }
 
 Result<data::Dataset> LoadAnnotatedDataset(const Args& args) {
@@ -130,7 +280,8 @@ Result<crowd::ConfidenceMode> ParseMode(const std::string& mode) {
 }
 
 core::RllPipelineOptions PipelineOptionsFrom(const Args& args,
-                                             crowd::ConfidenceMode mode) {
+                                             crowd::ConfidenceMode mode,
+                                             const ObsSession& obs_session) {
   core::RllPipelineOptions options;
   options.trainer.model.hidden_dims = {64, 32};
   options.trainer.epochs = static_cast<int>(args.GetInt("epochs", 15));
@@ -140,6 +291,7 @@ core::RllPipelineOptions PipelineOptionsFrom(const Args& args,
       static_cast<size_t>(args.GetInt("k-negatives", 3));
   options.trainer.eta = args.GetDouble("eta", 10.0);
   options.trainer.confidence_mode = mode;
+  options.trainer.observers = obs_session.observers;
   options.folds = static_cast<size_t>(args.GetInt("folds", 5));
   return options;
 }
@@ -242,7 +394,7 @@ int RunAggregate(const Args& args) {
 
 // --------------------------------------------------------------- evaluate
 
-int RunEvaluate(const Args& args) {
+int RunEvaluate(const Args& args, const ObsSession& obs_session) {
   auto dataset = LoadAnnotatedDataset(args);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
@@ -253,7 +405,9 @@ int RunEvaluate(const Args& args) {
     std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
     return 2;
   }
-  const core::RllPipelineOptions options = PipelineOptionsFrom(args, *mode);
+  const core::RllPipelineOptions options =
+      PipelineOptionsFrom(args, *mode, obs_session);
+  EchoRunConfig(args, *mode, options, /*with_folds=*/true);
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
   auto outcome = core::RunRllCrossValidation(*dataset, options, &rng);
   if (!outcome.ok()) {
@@ -275,7 +429,7 @@ int RunEvaluate(const Args& args) {
 
 // Model bundle file: standardizer mean, standardizer stddev, then the
 // encoder parameter matrices (all in tensor text format).
-int RunTrain(const Args& args) {
+int RunTrain(const Args& args, const ObsSession& obs_session) {
   auto dataset = LoadAnnotatedDataset(args);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
@@ -291,7 +445,9 @@ int RunTrain(const Args& args) {
     std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
     return 2;
   }
-  const core::RllPipelineOptions options = PipelineOptionsFrom(args, *mode);
+  const core::RllPipelineOptions options =
+      PipelineOptionsFrom(args, *mode, obs_session);
+  EchoRunConfig(args, *mode, options, /*with_folds=*/false);
 
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
   data::Standardizer standardizer;
@@ -417,15 +573,17 @@ int RunDescribe(const Args& args) {
 
 // ------------------------------------------------------------------- tune
 
-int RunTune(const Args& args) {
+int RunTune(const Args& args, const ObsSession& obs_session) {
   auto dataset = LoadAnnotatedDataset(args);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
   core::TuningOptions options;
-  options.pipeline =
-      PipelineOptionsFrom(args, crowd::ConfidenceMode::kBayesian);
+  options.pipeline = PipelineOptionsFrom(
+      args, crowd::ConfidenceMode::kBayesian, obs_session);
+  EchoRunConfig(args, crowd::ConfidenceMode::kBayesian, options.pipeline,
+                /*with_folds=*/false);
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 7)));
   auto result = core::TuneEta(*dataset, options, &rng);
   if (!result.ok()) {
@@ -496,22 +654,33 @@ int RunRetrieve(const Args& args) {
   return 0;
 }
 
+int Dispatch(const Args& args, const ObsSession& obs_session) {
+  if (args.command == "synth") return RunSynth(args);
+  if (args.command == "describe") return RunDescribe(args);
+  if (args.command == "aggregate") return RunAggregate(args);
+  if (args.command == "evaluate") return RunEvaluate(args, obs_session);
+  if (args.command == "tune") return RunTune(args, obs_session);
+  if (args.command == "train") return RunTrain(args, obs_session);
+  if (args.command == "embed") return RunEmbed(args);
+  if (args.command == "retrieve") return RunRetrieve(args);
+  std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+  return Usage();
+}
+
 int Main(int argc, char** argv) {
   auto args = Parse(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return Usage();
   }
-  if (args->command == "synth") return RunSynth(*args);
-  if (args->command == "describe") return RunDescribe(*args);
-  if (args->command == "aggregate") return RunAggregate(*args);
-  if (args->command == "evaluate") return RunEvaluate(*args);
-  if (args->command == "tune") return RunTune(*args);
-  if (args->command == "train") return RunTrain(*args);
-  if (args->command == "embed") return RunEmbed(*args);
-  if (args->command == "retrieve") return RunRetrieve(*args);
-  std::fprintf(stderr, "unknown command: %s\n", args->command.c_str());
-  return Usage();
+  auto obs_session = SetupObservability(*args);
+  if (!obs_session.ok()) {
+    std::fprintf(stderr, "%s\n", obs_session.status().ToString().c_str());
+    return 2;
+  }
+  const int rc = Dispatch(*args, *obs_session);
+  const int obs_rc = FinishObservability(&obs_session.value());
+  return rc != 0 ? rc : obs_rc;
 }
 
 }  // namespace
