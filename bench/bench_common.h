@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/threading.h"
 #include "crowd/worker_pool.h"
 #include "data/synthetic.h"
 #include "obs/json_util.h"
@@ -50,13 +51,17 @@ inline std::vector<BenchDataset> MakePaperDatasets(
   return out;
 }
 
-/// Parses --seed N, --quick and --json PATH from argv. Quick mode shrinks
-/// training budgets so a full table regenerates in seconds (for smoke
-/// runs); --json writes a machine-readable record of the run (see
-/// BenchReporter) alongside the human-readable table on stdout.
+/// Parses --seed N, --quick, --threads N and --json PATH from argv. Quick
+/// mode shrinks training budgets so a full table regenerates in seconds
+/// (for smoke runs); --threads sizes the global thread pool (results are
+/// identical at any value — see common/threading.h); --json writes a
+/// machine-readable record of the run (see BenchReporter) alongside the
+/// human-readable table on stdout.
 struct BenchArgs {
   uint64_t seed = kDefaultSeed;
   bool quick = false;
+  /// 0 keeps the RLL_THREADS / serial default.
+  size_t threads = 0;
   std::string json_path;
 };
 
@@ -69,11 +74,16 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.seed = static_cast<uint64_t>(std::strtoull(argv[i + 1], nullptr,
                                                       10));
       ++i;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<size_t>(std::strtoull(argv[i + 1], nullptr,
+                                                       10));
+      ++i;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[i + 1];
       ++i;
     }
   }
+  if (args.threads > 0) SetGlobalThreads(args.threads);
   // Keep stdout clean for the tables.
   SetLogLevel(LogLevel::kWarning);
   return args;
@@ -87,7 +97,7 @@ inline void PrintRule(int width) {
 /// Collects one timing record per unit of bench work (a method × dataset
 /// cell, a sweep point) and, when --json was given, writes the run as
 ///
-///   {"bench": "table1_methods", "seed": 42, "quick": false,
+///   {"bench": "table1_methods", "seed": 42, "quick": false, "threads": 1,
 ///    "total_wall_ms": ..., "records": [
 ///      {"name": "RLL+Bayesian/oral", "wall_ms": ..., "throughput": ...},
 ///      ...]}
@@ -125,10 +135,11 @@ class BenchReporter {
                    args_.json_path.c_str());
       return 1;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"seed\":%llu,\"quick\":%s,",
+    std::fprintf(f, "{\"bench\":\"%s\",\"seed\":%llu,\"quick\":%s,"
+                 "\"threads\":%zu,",
                  obs::JsonEscape(bench_name_).c_str(),
                  static_cast<unsigned long long>(args_.seed),
-                 args_.quick ? "true" : "false");
+                 args_.quick ? "true" : "false", GlobalThreadCount());
     std::fprintf(f, "\"total_wall_ms\":%s,\"records\":[",
                  obs::JsonNumber(total_.ElapsedMillis()).c_str());
     for (size_t i = 0; i < records_.size(); ++i) {

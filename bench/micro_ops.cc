@@ -5,10 +5,16 @@
 // Unlike the table harnesses (which take --json via bench_common.h), this
 // binary uses google-benchmark's native machine-readable output:
 //   ./micro_ops --benchmark_out=micro.json --benchmark_out_format=json
+// It does honor --threads N (stripped before google-benchmark sees the
+// flag) to size the global thread pool for the parallel kernels.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "autograd/ops.h"
+#include "common/threading.h"
 #include "baselines/raykar.h"
 #include "classify/pca.h"
 #include "core/embedding_index.h"
@@ -40,7 +46,24 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n * n * n));
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MulInto(benchmark::State& state) {
+  // Same gemm with a reused output buffer — isolates the per-call
+  // allocation cost that Matmul pays.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = RandomNormal(n, n, &rng);
+  Matrix b = RandomNormal(n, n, &rng);
+  Matrix out;
+  for (auto _ : state) {
+    MulInto(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_MulInto)->Arg(64)->Arg(256);
 
 void BM_RowCosine(benchmark::State& state) {
   Rng rng(2);
@@ -239,4 +262,22 @@ BENCHMARK(BM_EmbeddingIndexQuery);
 }  // namespace
 }  // namespace rll
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --threads N before google-benchmark rejects it as unknown.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      rll::SetGlobalThreads(
+          static_cast<size_t>(std::strtoull(argv[i + 1], nullptr, 10)));
+      ++i;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

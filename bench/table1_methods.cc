@@ -10,9 +10,11 @@
 // Bayesian > MLE > plain RLL), not the absolute numbers.
 
 #include <cstdio>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "bench/bench_common.h"
+#include "common/threading.h"
 
 namespace rll::bench {
 namespace {
@@ -40,29 +42,50 @@ int Run(const BenchArgs& args) {
   PrintRule(72);
 
   BenchReporter reporter("table1_methods", args);
+  // Every method × dataset cell is an independent pool task: each seeds a
+  // private Rng from (args.seed + 7), so the table is identical at any
+  // --threads value. Results land in per-cell slots and print in the
+  // historical serial order afterwards.
+  struct CellResult {
+    Result<core::CvOutcome> outcome{Status::Internal("cell not run")};
+    double wall_ms = 0.0;
+  };
+  std::vector<CellResult> cells(methods.size() * datasets.size());
+  ParallelFor(0, cells.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t c = lo; c < hi; ++c) {
+      const auto& method = methods[c / datasets.size()];
+      const BenchDataset& bd = datasets[c % datasets.size()];
+      Rng rng(args.seed + 7);
+      Stopwatch watch;
+      cells[c].outcome =
+          baselines::CrossValidateMethod(bd.dataset, *method, folds, &rng);
+      cells[c].wall_ms = watch.ElapsedMillis();
+    }
+  });
+
   std::string last_group;
-  for (const auto& method : methods) {
+  for (size_t m = 0; m < methods.size(); ++m) {
+    const auto& method = methods[m];
     if (method->group() != last_group && !last_group.empty()) PrintRule(72);
     last_group = method->group();
     std::printf("%-18s %-8s |", method->name().c_str(),
                 method->group().c_str());
-    for (const BenchDataset& bd : datasets) {
-      Rng rng(args.seed + 7);
-      ScopedTimer cell = reporter.Time(
-          method->name() + "/" + bd.name,
-          static_cast<double>(bd.dataset.size()));
-      auto outcome =
-          baselines::CrossValidateMethod(bd.dataset, *method, folds, &rng);
-      if (!outcome.ok()) {
-        cell.Cancel();
-        std::printf("   error: %s", outcome.status().ToString().c_str());
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      const BenchDataset& bd = datasets[d];
+      const CellResult& cell = cells[m * datasets.size() + d];
+      if (!cell.outcome.ok()) {
+        std::printf("   error: %s",
+                    cell.outcome.status().ToString().c_str());
         continue;
       }
-      std::printf(" %-9.3f %-9.3f %s", outcome->mean.accuracy,
-                  outcome->mean.f1, bd.name == "oral" ? "|" : "");
+      const double units = static_cast<double>(bd.dataset.size());
+      reporter.Record(method->name() + "/" + bd.name, cell.wall_ms,
+                      cell.wall_ms > 0.0 ? units / (cell.wall_ms / 1e3)
+                                         : 0.0);
+      std::printf(" %-9.3f %-9.3f %s", cell.outcome->mean.accuracy,
+                  cell.outcome->mean.f1, bd.name == "oral" ? "|" : "");
     }
     std::printf("\n");
-    std::fflush(stdout);
   }
   PrintRule(72);
   std::printf("total wall time: %.1fs\n", reporter.TotalWallSeconds());

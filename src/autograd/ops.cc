@@ -82,7 +82,7 @@ Var Div(const Var& a, const Var& b, double eps) {
       for (size_t i = 0; i < ga.size(); ++i) {
         ga[i] = n->grad[i] / safe(b->value[i]);
       }
-      a->AccumulateGrad(ga);
+      a->AccumulateGrad(std::move(ga));
     }
     if (b->requires_grad) {
       Matrix gb(n->grad.rows(), n->grad.cols());
@@ -91,7 +91,7 @@ Var Div(const Var& a, const Var& b, double eps) {
         gb[i] = -n->grad[i] * a->value[i] / (d * d);
       }
       RLL_DCHECK_FINITE(gb);
-      b->AccumulateGrad(gb);
+      b->AccumulateGrad(std::move(gb));
     }
   });
 }
@@ -156,7 +156,7 @@ Var Tanh(const Var& a) {
       const double y = n->value[i];
       g[i] = n->grad[i] * (1.0 - y * y);
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -168,7 +168,7 @@ Var Relu(const Var& a) {
     for (size_t i = 0; i < g.size(); ++i) {
       g[i] = x[i] > 0.0 ? n->grad[i] : 0.0;
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -185,7 +185,7 @@ Var Sigmoid(const Var& a) {
       const double y = n->value[i];
       g[i] = n->grad[i] * y * (1.0 - y);
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -198,7 +198,7 @@ Var Log(const Var& a, double eps) {
     for (size_t i = 0; i < g.size(); ++i) {
       g[i] = n->grad[i] / std::max(x[i], eps);
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -215,7 +215,7 @@ Var Square(const Var& a) {
     const Matrix& x = n->parents[0]->value;
     Matrix g(n->grad.rows(), n->grad.cols());
     for (size_t i = 0; i < g.size(); ++i) g[i] = 2.0 * x[i] * n->grad[i];
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -227,7 +227,7 @@ Var Sqrt(const Var& a, double eps) {
     for (size_t i = 0; i < g.size(); ++i) {
       g[i] = n->grad[i] * 0.5 / std::max(n->value[i], std::sqrt(eps));
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -239,7 +239,7 @@ Var Abs(const Var& a) {
     for (size_t i = 0; i < g.size(); ++i) {
       g[i] = x[i] > 0.0 ? n->grad[i] : (x[i] < 0.0 ? -n->grad[i] : 0.0);
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -252,7 +252,7 @@ Var ClampMin(const Var& a, double floor) {
     for (size_t i = 0; i < g.size(); ++i) {
       g[i] = x[i] > floor ? n->grad[i] : 0.0;
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -284,7 +284,7 @@ Var RowSum(const Var& a) {
       double* row = g.row_data(r);
       for (size_t c = 0; c < x.cols(); ++c) row[c] = gr;
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -320,8 +320,8 @@ Var RowCosine(const Var& a, const Var& b, double eps) {
         }
         RLL_DCHECK_FINITE(ga);
         RLL_DCHECK_FINITE(gb);
-        if (a->requires_grad) a->AccumulateGrad(ga);
-        if (b->requires_grad) b->AccumulateGrad(gb);
+        if (a->requires_grad) a->AccumulateGrad(std::move(ga));
+        if (b->requires_grad) b->AccumulateGrad(std::move(gb));
       });
 }
 
@@ -354,7 +354,7 @@ Var ConcatCols(const std::vector<Var>& parts) {
           double* dst = g.row_data(r);
           for (size_t c = 0; c < pc; ++c) dst[c] = src[c];
         }
-        p->AccumulateGrad(g);
+        p->AccumulateGrad(std::move(g));
       }
       offset += pc;
     }
@@ -388,7 +388,7 @@ Var ConcatRows(const std::vector<Var>& parts) {
           double* dst = g.row_data(r);
           for (size_t c = 0; c < g.cols(); ++c) dst[c] = src[c];
         }
-        p->AccumulateGrad(g);
+        p->AccumulateGrad(std::move(g));
       }
       offset += pr;
     }
@@ -417,7 +417,7 @@ Var LogSoftmaxRows(const Var& a) {
         gr[c] = dyr[c] - std::exp(yr[c]) * dsum;
       }
     }
-    n->parents[0]->AccumulateGrad(g);
+    n->parents[0]->AccumulateGrad(std::move(g));
   });
 }
 
@@ -451,7 +451,7 @@ Var WeightedNllRows(const Var& logp, const std::vector<size_t>& targets,
                   for (size_t i = 0; i < targets.size(); ++i) {
                     grad(i, targets[i]) = -g * weights[i] / wsum;
                   }
-                  n->parents[0]->AccumulateGrad(grad);
+                  n->parents[0]->AccumulateGrad(std::move(grad));
                 });
 }
 

@@ -1,6 +1,7 @@
 #include "autograd/variable.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "common/finite_check.h"
 
@@ -24,13 +25,13 @@ Node::~Node() {
   }
 }
 
-void Node::AccumulateGrad(const Matrix& g) {
+void Node::AccumulateGrad(Matrix g) {
   RLL_CHECK(g.rows() == value.rows() && g.cols() == value.cols());
   // Gradients enter every node through here, so a NaN produced by any
   // backward_fn is caught while the producing op is still on the stack.
   RLL_DCHECK_FINITE(g);
   if (grad.empty()) {
-    grad = g;
+    grad = std::move(g);
   } else {
     grad += g;
   }

@@ -44,8 +44,10 @@ class Node {
   /// nodes with requires_grad == false.
   std::function<void(Node*)> backward_fn;
 
-  /// Adds g into grad, allocating a zero gradient on first use.
-  void AccumulateGrad(const Matrix& g);
+  /// Adds g into grad. Taken by value: the first accumulation into a node
+  /// (the common case — most nodes have a single consumer) moves the
+  /// incoming matrix into place instead of copying it.
+  void AccumulateGrad(Matrix g);
 
   /// Clears the gradient (keeps allocation semantics simple: resets to
   /// empty, reallocated on next accumulation).

@@ -157,4 +157,14 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+uint64_t SplitSeed(uint64_t parent, uint64_t index) {
+  // Two dependent splitmix64 rounds: the first whitens the parent, the
+  // second folds in the (typically small, sequential) index. A golden-ratio
+  // multiple decorrelates index i from i+1 before mixing.
+  uint64_t state = parent;
+  const uint64_t whitened = SplitMix64(&state);
+  state = whitened ^ (index * 0x9e3779b97f4a7c15ULL + 0x6a09e667f3bcc909ULL);
+  return SplitMix64(&state);
+}
+
 }  // namespace rll

@@ -78,11 +78,28 @@ class Rng {
   /// streams that must not interact).
   Rng Split();
 
+  /// Derives the base seed for a family of SplitSeed streams, advancing
+  /// this generator once. Sugar for Next() that documents intent at call
+  /// sites handing work to the thread pool.
+  uint64_t SplitSeedBase() { return Next(); }
+
  private:
   uint64_t state_[4];
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+/// Derives the seed of stream `index` under `parent` — a splitmix64-based
+/// hash of both values, so the streams {SplitSeed(p, 0), SplitSeed(p, 1),
+/// …} are statistically independent of each other and of Rng(p) itself.
+///
+/// This is the seeding discipline for every parallel layer: instead of
+/// threading one mutable Rng through a loop (whose draws would then depend
+/// on execution order), the caller derives one seed per unit of work —
+/// per fold, per epoch, per example — and each task builds a private
+/// Rng(SplitSeed(parent, i)). Results are then independent of how tasks
+/// interleave across threads.
+uint64_t SplitSeed(uint64_t parent, uint64_t index);
 
 }  // namespace rll
 

@@ -1,0 +1,191 @@
+#include "common/threading.h"
+
+#include <cstdlib>
+#include <exception>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rll {
+
+namespace {
+
+// Identifies the pool (and worker slot) owning the current thread, so
+// nested ParallelFor calls from inside a task run inline instead of
+// re-entering the queue (which could deadlock once every worker blocks on
+// a child ParallelFor).
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_id = -1;
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricRegistry::Global().GetGauge("rll_pool_queue_depth");
+  return gauge;
+}
+
+obs::Gauge* ActiveWorkersGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricRegistry::Global().GetGauge("rll_pool_active_workers");
+  return gauge;
+}
+
+obs::Counter* TasksCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("rll_pool_tasks_total");
+  return counter;
+}
+
+size_t DefaultThreadCount() {
+  const char* env = std::getenv("RLL_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(env, &end, 10);
+  if (end == env || parsed == 0) return 1;
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace
+
+// Completion state shared between one ParallelFor call and its chunks.
+struct ThreadPool::ForState {
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = 0;
+  std::exception_ptr error;  // First chunk exception, rethrown by the caller.
+};
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(num_threads, 1)) {
+  if (num_threads_ == 1) return;  // Inline execution; no workers, no queue.
+  workers_.reserve(num_threads_);
+  for (size_t w = 0; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::OnWorkerThread() const { return tls_pool == this; }
+
+int ThreadPool::CurrentWorkerId() { return tls_worker_id; }
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  tls_pool = this;
+  tls_worker_id = static_cast<int>(worker_id);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      // Safe during shutdown: holding a just-popped task means its
+      // enqueuer is still blocked in ParallelFor, so static teardown
+      // (which destroys the metric registry) cannot have started.
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<size_t>(grain, 1);
+  const size_t n = end - begin;
+  // Serial paths: a size-1 pool, a range that fits one chunk, or a call
+  // from inside one of our own tasks (run inline; see header).
+  if (num_threads_ == 1 || n <= grain || OnWorkerThread()) {
+    fn(begin, end);
+    return;
+  }
+
+  const size_t chunks = (n + grain - 1) / grain;
+  auto state = std::make_shared<ForState>();
+  state->remaining = chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RLL_CHECK_MSG(!stopping_, "ParallelFor on a stopping ThreadPool");
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t lo = begin + c * grain;
+      const size_t hi = std::min(end, lo + grain);
+      queue_.emplace_back([state, lo, hi, &fn] {
+        // Every observability touch must precede the completion
+        // notification below: once the last chunk notifies, the caller's
+        // ParallelFor returns and the process may begin static teardown
+        // (destroying the metric registry) while this worker is still in
+        // its epilogue.
+        ActiveWorkersGauge()->Add(1.0);
+        {
+          // Tag the span with the worker slot so Perfetto shows which
+          // worker ran each chunk of the parallel schedule.
+          RLL_TRACE_SPAN_ID("pool_task",
+                            static_cast<size_t>(ThreadPool::CurrentWorkerId()));
+          try {
+            fn(lo, hi);
+          } catch (...) {
+            std::lock_guard<std::mutex> state_lock(state->mu);
+            if (!state->error) state->error = std::current_exception();
+          }
+        }
+        ActiveWorkersGauge()->Add(-1.0);
+        std::lock_guard<std::mutex> state_lock(state->mu);
+        if (--state->remaining == 0) state->done.notify_all();
+      });
+    }
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+    TasksCounter()->Increment(chunks);
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->remaining == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;   // Guarded by g_pool_mu.
+size_t g_requested_threads = 0;       // 0 = use RLL_THREADS / default.
+
+}  // namespace
+
+std::shared_ptr<ThreadPool> GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) {
+    const size_t threads =
+        g_requested_threads > 0 ? g_requested_threads : DefaultThreadCount();
+    g_pool = std::make_shared<ThreadPool>(threads);
+  }
+  return g_pool;
+}
+
+void SetGlobalThreads(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested_threads = num_threads;
+  g_pool.reset();  // Recreated lazily at the new size.
+}
+
+size_t GlobalThreadCount() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool != nullptr) return g_pool->num_threads();
+  return g_requested_threads > 0 ? g_requested_threads
+                                 : DefaultThreadCount();
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  GlobalThreadPool()->ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace rll

@@ -65,6 +65,12 @@ Result<std::vector<Group>> GroupSampler::Sample(size_t count,
   return groups;
 }
 
+Result<std::vector<Group>> GroupSampler::Sample(size_t count,
+                                                uint64_t seed) const {
+  Rng rng(seed);
+  return Sample(count, &rng);
+}
+
 double GroupSampler::LogGroupSpace() const {
   const size_t k = options_.negatives_per_group;
   if (positives_.size() < 2 || negatives_.size() < k) {

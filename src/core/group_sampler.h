@@ -40,6 +40,11 @@ class GroupSampler {
   /// positives or fewer than k negatives.
   Result<std::vector<Group>> Sample(size_t count, Rng* rng) const;
 
+  /// Seed-split variant: draws from a private Rng(seed). Concurrent tasks
+  /// each pass their own SplitSeed-derived seed, so no mutable stream is
+  /// shared and results do not depend on task interleaving.
+  Result<std::vector<Group>> Sample(size_t count, uint64_t seed) const;
+
   /// Natural log of the group-space size log(|D⁺|²·|D⁻|ᵏ) (the paper's
   /// capacity argument); -inf when a group cannot be formed.
   double LogGroupSpace() const;

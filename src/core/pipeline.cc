@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "common/threading.h"
 #include "data/kfold.h"
 #include "data/standardize.h"
 #include "obs/metrics.h"
@@ -47,37 +48,54 @@ Result<CvOutcome> RunRllCrossValidation(const data::Dataset& dataset,
   // Stratify on expert labels (fold construction only, never training).
   const std::vector<data::Split> splits =
       data::StratifiedKFold(dataset.true_labels(), options.folds, rng);
+  // Folds run as pool tasks. Each gets a private SplitSeed-derived Rng and
+  // writes into its own slot, so metrics are identical at any --threads
+  // value and in the same (fold) order as the historical serial loop.
+  const uint64_t base_seed = rng->Next();
 
   RLL_TRACE_SPAN("cross_validation");
   obs::Counter* folds_done =
       obs::MetricRegistry::Global().GetCounter("rll_cv_folds_total");
-  CvOutcome outcome;
-  for (size_t fold = 0; fold < splits.size(); ++fold) {
-    const data::Split& split = splits[fold];
-    RLL_TRACE_SPAN_ID("fold", fold);
-    data::Dataset train = dataset.Subset(split.train);
-    data::Dataset test = dataset.Subset(split.test);
+  std::vector<Result<classify::EvalMetrics>> fold_results(
+      splits.size(), Status::Internal("fold not run"));
+  ParallelFor(0, splits.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t fold = lo; fold < hi; ++fold) {
+      const data::Split& split = splits[fold];
+      RLL_TRACE_SPAN_ID("fold", fold);
+      data::Dataset train = dataset.Subset(split.train);
+      data::Dataset test = dataset.Subset(split.test);
 
-    Matrix train_features = train.features();
-    Matrix test_features = test.features();
-    if (options.standardize) {
-      data::Standardizer standardizer;
-      train_features = standardizer.FitTransform(train_features);
-      test_features = standardizer.Transform(test_features);
-    }
-    data::Dataset train_std(train_features, train.true_labels());
-    for (size_t i = 0; i < train.size(); ++i) {
-      for (const data::Annotation& a : train.annotations(i)) {
-        train_std.AddAnnotation(i, a);
+      Matrix train_features = train.features();
+      Matrix test_features = test.features();
+      if (options.standardize) {
+        data::Standardizer standardizer;
+        train_features = standardizer.FitTransform(train_features);
+        test_features = standardizer.Transform(test_features);
       }
-    }
+      data::Dataset train_std(train_features, train.true_labels());
+      for (size_t i = 0; i < train.size(); ++i) {
+        for (const data::Annotation& a : train.annotations(i)) {
+          train_std.AddAnnotation(i, a);
+        }
+      }
 
-    RLL_ASSIGN_OR_RETURN(
-        std::vector<int> predicted,
-        TrainRllAndPredict(train_std, test_features, options, rng));
-    outcome.per_fold.push_back(
-        classify::Evaluate(test.true_labels(), predicted));
-    folds_done->Increment();
+      Rng fold_rng(SplitSeed(base_seed, fold));
+      Result<std::vector<int>> predicted =
+          TrainRllAndPredict(train_std, test_features, options, &fold_rng);
+      if (!predicted.ok()) {
+        fold_results[fold] = predicted.status();
+        continue;
+      }
+      fold_results[fold] = classify::Evaluate(test.true_labels(), *predicted);
+      folds_done->Increment();
+    }
+  });
+
+  CvOutcome outcome;
+  for (Result<classify::EvalMetrics>& result : fold_results) {
+    // First failing fold (in fold order, not completion order) wins.
+    RLL_RETURN_IF_ERROR(result.status());
+    outcome.per_fold.push_back(std::move(*result));
   }
   outcome.mean = classify::MeanMetrics(outcome.per_fold);
   outcome.stddev = classify::StdDevMetrics(outcome.per_fold);

@@ -47,17 +47,27 @@ Result<RllTrainSummary> RllTrainer::Train(
     return Status::InvalidArgument("feature dim does not match model input");
   }
 
+  // One draw from the caller's stream seeds every internal stream. Each
+  // consumer (holdout shuffle, validation sampling, every epoch) gets a
+  // private SplitSeed-derived Rng, so the draws one consumer makes never
+  // shift another's stream — a prerequisite for running folds as pool
+  // tasks without their training trajectories depending on interleaving.
+  const uint64_t train_seed = rng_->Next();
+  constexpr uint64_t kHoldoutStream = 1ull << 32;
+  constexpr uint64_t kValidationStream = (1ull << 32) + 1;
+
   // ---- Optional validation holdout (label-stratified).
   std::vector<int> train_labels = labels;
   std::vector<Group> validation_groups;
   if (options_.validation_fraction > 0.0) {
+    Rng holdout_rng(SplitSeed(train_seed, kHoldoutStream));
     std::vector<int> val_labels(n, -1);
     for (int cls : {0, 1}) {
       std::vector<size_t> members;
       for (size_t i = 0; i < n; ++i) {
         if (labels[i] == cls) members.push_back(i);
       }
-      rng_->Shuffle(&members);
+      holdout_rng.Shuffle(&members);
       const size_t take = static_cast<size_t>(
           options_.validation_fraction * static_cast<double>(members.size()));
       for (size_t j = 0; j < take; ++j) {
@@ -67,7 +77,8 @@ Result<RllTrainSummary> RllTrainer::Train(
     }
     GroupSampler val_sampler(
         val_labels, {.negatives_per_group = options_.negatives_per_group});
-    auto sampled = val_sampler.Sample(options_.validation_groups, rng_);
+    auto sampled = val_sampler.Sample(options_.validation_groups,
+                                      SplitSeed(train_seed, kValidationStream));
     if (!sampled.ok()) {
       return Status::FailedPrecondition(
           "validation split too small to form groups: " +
@@ -82,9 +93,10 @@ Result<RllTrainSummary> RllTrainer::Train(
   const size_t k = options_.negatives_per_group;
 
   // Builds the confidence-weighted group loss for groups [start, end).
-  // Dropout (if configured) only applies on the training path.
+  // Dropout (if configured) only applies on the training path, drawing from
+  // the per-epoch rng.
   auto build_loss = [&](const std::vector<Group>& groups, size_t start,
-                        size_t end, bool training) {
+                        size_t end, bool training, Rng* rng) {
     const size_t batch = end - start;
     std::vector<size_t> anchor_idx(batch);
     std::vector<std::vector<size_t>> slot_idx(k + 1,
@@ -97,7 +109,7 @@ Result<RllTrainSummary> RllTrainer::Train(
     }
     auto embed = [&](const std::vector<size_t>& idx) {
       ag::Var input = ag::Constant(features.GatherRows(idx));
-      return training ? model_->ForwardTrain(input, rng_)
+      return training ? model_->ForwardTrain(input, rng)
                       : model_->Forward(input);
     };
     ag::Var anchor_emb = embed(anchor_idx);
@@ -131,8 +143,10 @@ Result<RllTrainSummary> RllTrainer::Train(
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     RLL_TRACE_SPAN_ID("epoch", epoch);
     Stopwatch epoch_watch;
-    RLL_ASSIGN_OR_RETURN(std::vector<Group> groups,
-                         sampler.Sample(options_.groups_per_epoch, rng_));
+    Rng epoch_rng(SplitSeed(train_seed, static_cast<uint64_t>(epoch)));
+    RLL_ASSIGN_OR_RETURN(
+        std::vector<Group> groups,
+        sampler.Sample(options_.groups_per_epoch, &epoch_rng));
     double epoch_loss = 0.0;
     double epoch_grad_norm = 0.0;
     size_t batches = 0;
@@ -140,7 +154,8 @@ Result<RllTrainSummary> RllTrainer::Train(
          start += options_.batch_size) {
       RLL_TRACE_SPAN("batch");
       const size_t end = std::min(start + options_.batch_size, groups.size());
-      ag::Var loss = build_loss(groups, start, end, /*training=*/true);
+      ag::Var loss =
+          build_loss(groups, start, end, /*training=*/true, &epoch_rng);
       // The confidence-weighted group NLL must stay finite every step; a
       // NaN here means an upstream op or a bad confidence slipped through.
       RLL_DCHECK_FINITE(loss->value(0, 0));
@@ -194,7 +209,7 @@ Result<RllTrainSummary> RllTrainer::Train(
       RLL_TRACE_SPAN("validate");
       const double val_loss =
           build_loss(validation_groups, 0, validation_groups.size(),
-                     /*training=*/false)
+                     /*training=*/false, nullptr)
               ->value(0, 0);
       RLL_DCHECK_FINITE(val_loss);
       summary.validation_losses.push_back(val_loss);

@@ -62,7 +62,11 @@ struct RllTrainSummary {
 
 class RllTrainer {
  public:
-  /// `rng` outlives the trainer and drives init + sampling.
+  /// `rng` outlives the trainer. It seeds model init directly; Train draws
+  /// exactly one value from it and derives every internal stream (holdout
+  /// shuffle, validation sampling, per-epoch group sampling and dropout)
+  /// with SplitSeed, so training is reproducible from the caller's stream
+  /// position alone.
   RllTrainer(const RllTrainerOptions& options, Rng* rng);
 
   /// Trains the encoder. `features` are the (standardized) training

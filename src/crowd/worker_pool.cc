@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/threading.h"
+
 namespace rll::crowd {
 
 WorkerPool::WorkerPool(const WorkerPoolConfig& config, Rng* rng)
@@ -61,19 +63,27 @@ void WorkerPool::Annotate(data::Dataset* dataset, size_t votes_per_example,
   RLL_CHECK_LE(votes_per_example, num_workers());
   dataset->ClearAnnotations();
   last_difficulties_.resize(dataset->size());
-  for (size_t i = 0; i < dataset->size(); ++i) {
-    const double t =
-        config_.difficulty_alpha > 0.0
-            ? rng->Beta(config_.difficulty_alpha, config_.difficulty_beta)
-            : 0.0;
-    last_difficulties_[i] = t;
-    const std::vector<size_t> workers =
-        rng->SampleWithoutReplacement(num_workers(), votes_per_example);
-    for (size_t w : workers) {
-      dataset->AddAnnotation(
-          i, {w, Vote(w, dataset->true_label(i), t, rng)});
+  // One base draw, then a private stream per example: an example's vote
+  // pattern depends only on (base seed, example index), never on how
+  // examples are batched across pool workers. Distinct examples write
+  // distinct annotation and difficulty slots, so no locking is needed.
+  const uint64_t base_seed = rng->Next();
+  ParallelFor(0, dataset->size(), 64, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      Rng ex_rng(SplitSeed(base_seed, i));
+      const double t =
+          config_.difficulty_alpha > 0.0
+              ? ex_rng.Beta(config_.difficulty_alpha, config_.difficulty_beta)
+              : 0.0;
+      last_difficulties_[i] = t;
+      const std::vector<size_t> workers =
+          ex_rng.SampleWithoutReplacement(num_workers(), votes_per_example);
+      for (size_t w : workers) {
+        dataset->AddAnnotation(
+            i, {w, Vote(w, dataset->true_label(i), t, &ex_rng)});
+      }
     }
-  }
+  });
 }
 
 }  // namespace rll::crowd

@@ -61,7 +61,9 @@ class WorkerPool {
 
   /// Labels every example in the dataset with `votes_per_example` distinct
   /// random workers (replacing prior annotations). Requires
-  /// votes_per_example <= num_workers().
+  /// votes_per_example <= num_workers(). Draws one base seed from `rng` and
+  /// derives a private per-example stream from it, so examples are
+  /// annotated as parallel pool tasks with thread-count-independent votes.
   void Annotate(data::Dataset* dataset, size_t votes_per_example, Rng* rng);
 
   /// One vote from worker w on an item with the given true label and

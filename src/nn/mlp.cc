@@ -1,10 +1,45 @@
 #include "nn/mlp.h"
 
+#include <cmath>
 #include <fstream>
+#include <utility>
 
+#include "tensor/ops.h"
 #include "tensor/serialize.h"
 
 namespace rll::nn {
+
+namespace {
+
+// In-place twin of Activate for the graph-free Embed path. The scalar
+// formulas mirror the autograd ops exactly so Embed stays bitwise equal to
+// Forward(Constant(x))->value.
+void ActivateInPlace(Matrix& m, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return;
+    case Activation::kTanh:
+      for (size_t i = 0; i < m.size(); ++i) m[i] = std::tanh(m[i]);
+      return;
+    case Activation::kRelu:
+      for (size_t i = 0; i < m.size(); ++i) m[i] = m[i] > 0.0 ? m[i] : 0.0;
+      return;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < m.size(); ++i) {
+        const double x = m[i];
+        if (x >= 0.0) {
+          m[i] = 1.0 / (1.0 + std::exp(-x));
+        } else {
+          const double e = std::exp(x);
+          m[i] = e / (1.0 + e);
+        }
+      }
+      return;
+  }
+  RLL_CHECK_MSG(false, "unknown activation");
+}
+
+}  // namespace
 
 ag::Var Activate(const ag::Var& x, Activation activation) {
   switch (activation) {
@@ -69,7 +104,23 @@ ag::Var Mlp::ForwardTrain(const ag::Var& x, Rng* rng) const {
 }
 
 Matrix Mlp::Embed(const Matrix& x) const {
-  return Forward(ag::Constant(x))->value;
+  // LayerNorm keeps its math in one place (the autograd op), so fall back
+  // to the graph there.
+  if (config_.layer_norm) return Forward(ag::Constant(x))->value;
+  // Graph-free path: two ping-pong scratch buffers instead of one graph
+  // node + value matrix per layer. This is the steady-state inference call
+  // (every evaluation batch hits it), so the allocation savings add up.
+  Matrix cur = x;
+  Matrix next;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    MulInto(cur, layers_[i].weight()->value, next);
+    AddRowBroadcastInPlace(next, layers_[i].bias()->value);
+    const bool last = (i + 1 == layers_.size());
+    ActivateInPlace(next, last ? config_.output_activation
+                               : config_.hidden_activation);
+    std::swap(cur, next);
+  }
+  return cur;
 }
 
 std::vector<ag::Var> Mlp::Parameters() const {

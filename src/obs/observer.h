@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -57,7 +58,10 @@ struct TrainEndStats {
 
 /// Callback interface; every hook has an empty default so observers override
 /// only what they need. Callbacks run synchronously on the training thread
-/// between steps — keep them cheap.
+/// between steps — keep them cheap. Cross-validation dispatches folds as
+/// thread-pool tasks sharing one observer list, so observer implementations
+/// must tolerate concurrent callbacks (the built-ins do: MetricsObserver
+/// writes lock-free atomics, the others serialize on an internal mutex).
 class TrainerObserver {
  public:
   virtual ~TrainerObserver() = default;
@@ -124,8 +128,10 @@ class JsonlObserver : public TrainerObserver {
   const Status& status() const { return status_; }
 
  private:
+  /// Requires mu_ held.
   void WriteLine(const std::string& line);
 
+  std::mutex mu_;  // Serializes concurrent folds sharing this observer.
   std::FILE* file_ = nullptr;
   int run_ = -1;  // Incremented by each OnTrainBegin.
   Status status_;
@@ -142,6 +148,7 @@ class ProgressObserver : public TrainerObserver {
   void OnEarlyStop(int epoch, int best_epoch) override;
 
  private:
+  std::mutex mu_;  // Serializes concurrent folds sharing this observer.
   int every_n_epochs_;
   int planned_epochs_ = 0;
 };

@@ -4,114 +4,222 @@
 #include <cmath>
 
 #include "common/finite_check.h"
+#include "common/threading.h"
 
 namespace rll {
 
-Matrix Matmul(const Matrix& a, const Matrix& b) {
-  RLL_CHECK_EQ(a.cols(), b.rows());
-  Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row_data(i);
-    double* crow = c.row_data(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row_data(k);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
+namespace {
+
+// Grain calibration, measured with bench/micro_ops on the release preset:
+// dispatching one pool chunk costs a few microseconds, so a chunk must carry
+// at least ~64k flops (gemm) or ~16k touched elements (memory-bound maps)
+// before parallelism wins. Work below the serial thresholds runs as a single
+// inline chunk — identical code path and cost to the pre-pool kernels.
+constexpr size_t kGemmSerialFlops = 1u << 18;
+constexpr size_t kGemmGrainFlops = 1u << 16;
+constexpr size_t kElemSerialSize = 1u << 15;
+constexpr size_t kElemGrain = 1u << 14;
+constexpr size_t kRowSerialSize = 1u << 15;
+constexpr size_t kRowGrainFlops = 1u << 13;
+constexpr size_t kReduceGrain = 1u << 15;
+
+// Rows per chunk for a gemm-shaped kernel doing `flops_per_row` work per
+// row; collapses to one chunk (inline execution) under the serial floor.
+size_t GemmRowGrain(size_t rows, size_t flops_per_row) {
+  if (rows * flops_per_row < kGemmSerialFlops) return std::max<size_t>(rows, 1);
+  return std::max<size_t>(1, kGemmGrainFlops / std::max<size_t>(flops_per_row, 1));
+}
+
+// Rows per chunk for a row-wise map touching `cols` elements per row.
+size_t RowOpGrain(size_t rows, size_t cols) {
+  if (rows * cols < kRowSerialSize) return std::max<size_t>(rows, 1);
+  return std::max<size_t>(1, kRowGrainFlops / std::max<size_t>(cols, 1));
+}
+
+// Elements per chunk for flat elementwise maps.
+size_t ElemGrain(size_t n) {
+  return n < kElemSerialSize ? std::max<size_t>(n, 1) : kElemGrain;
+}
+
+// Reshapes `out` to rows×cols, zeroing it either way (accumulating kernels).
+void EnsureZeroed(Matrix& out, size_t rows, size_t cols) {
+  if (out.rows() != rows || out.cols() != cols) {
+    out = Matrix(rows, cols);
+  } else {
+    out.Fill(0.0);
   }
-  RLL_DCHECK_FINITE(c);
+}
+
+// Reshapes `out` without clearing it (kernels that overwrite every element).
+void EnsureShape(Matrix& out, size_t rows, size_t cols) {
+  if (out.rows() != rows || out.cols() != cols) out = Matrix(rows, cols);
+}
+
+}  // namespace
+
+void MulInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  RLL_CHECK_EQ(a.cols(), b.rows());
+  EnsureZeroed(out, a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  // Rows of c are independent, so the row partition is bitwise-stable.
+  ParallelFor(0, a.rows(), GemmRowGrain(a.rows(), a.cols() * b.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t i = row_begin; i < row_end; ++i) {
+                  const double* arow = a.row_data(i);
+                  double* crow = out.row_data(i);
+                  for (size_t k = 0; k < a.cols(); ++k) {
+                    const double aik = arow[k];
+                    if (aik == 0.0) continue;
+                    const double* brow = b.row_data(k);
+                    for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+                  }
+                }
+              });
+  RLL_DCHECK_FINITE(out);
+}
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MulInto(a, b, c);
   return c;
+}
+
+void MulTransposeAInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  RLL_CHECK_EQ(a.rows(), b.rows());
+  EnsureZeroed(out, a.cols(), b.cols());
+  // i-outer so rows of c are written by exactly one chunk; per element the
+  // accumulation still runs over k ascending (with the same zero-skip), so
+  // the sums match the historical k-outer kernel bit for bit.
+  ParallelFor(0, a.cols(), GemmRowGrain(a.cols(), a.rows() * b.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t i = row_begin; i < row_end; ++i) {
+                  double* crow = out.row_data(i);
+                  for (size_t k = 0; k < a.rows(); ++k) {
+                    const double aki = a(k, i);
+                    if (aki == 0.0) continue;
+                    const double* brow = b.row_data(k);
+                    for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+                  }
+                }
+              });
+  RLL_DCHECK_FINITE(out);
 }
 
 Matrix MatmulTransposeA(const Matrix& a, const Matrix& b) {
-  RLL_CHECK_EQ(a.rows(), b.rows());
-  Matrix c(a.cols(), b.cols());
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.row_data(k);
-    const double* brow = b.row_data(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.row_data(i);
-      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
-  RLL_DCHECK_FINITE(c);
+  Matrix c;
+  MulTransposeAInto(a, b, c);
   return c;
 }
 
-Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
+void MulTransposeBInto(const Matrix& a, const Matrix& b, Matrix& out) {
   RLL_CHECK_EQ(a.cols(), b.cols());
-  Matrix c(a.rows(), b.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row_data(i);
-    double* crow = c.row_data(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row_data(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
-  }
-  RLL_DCHECK_FINITE(c);
+  EnsureShape(out, a.rows(), b.rows());
+  ParallelFor(0, a.rows(), GemmRowGrain(a.rows(), b.rows() * a.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t i = row_begin; i < row_end; ++i) {
+                  const double* arow = a.row_data(i);
+                  double* crow = out.row_data(i);
+                  for (size_t j = 0; j < b.rows(); ++j) {
+                    const double* brow = b.row_data(j);
+                    double acc = 0.0;
+                    for (size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+                    crow[j] = acc;
+                  }
+                }
+              });
+  RLL_DCHECK_FINITE(out);
+}
+
+Matrix MatmulTransposeB(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  MulTransposeBInto(a, b, c);
   return c;
 }
 
 Matrix Transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
-  for (size_t r = 0; r < a.rows(); ++r)
-    for (size_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  ParallelFor(0, a.cols(), RowOpGrain(a.cols(), a.rows()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  double* trow = t.row_data(r);
+                  for (size_t c = 0; c < a.rows(); ++c) trow[c] = a(c, r);
+                }
+              });
   return t;
 }
 
+void AddInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  RLL_CHECK(a.SameShape(b));
+  EnsureShape(out, a.rows(), a.cols());
+  ParallelFor(0, a.size(), ElemGrain(a.size()), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) out[i] = a[i] + b[i];
+  });
+}
+
 Matrix Add(const Matrix& a, const Matrix& b) {
-  Matrix c = a;
-  c += b;
+  Matrix c;
+  AddInto(a, b, c);
   return c;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
-  Matrix c = a;
-  c -= b;
+  RLL_CHECK(a.SameShape(b));
+  Matrix c(a.rows(), a.cols());
+  ParallelFor(0, a.size(), ElemGrain(a.size()), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) c[i] = a[i] - b[i];
+  });
   return c;
 }
 
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   RLL_CHECK(a.SameShape(b));
   Matrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] * b[i];
+  ParallelFor(0, a.size(), ElemGrain(a.size()), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) c[i] = a[i] * b[i];
+  });
   return c;
 }
 
 Matrix Divide(const Matrix& a, const Matrix& b) {
   RLL_CHECK(a.SameShape(b));
   Matrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.size(); ++i) c[i] = a[i] / b[i];
+  ParallelFor(0, a.size(), ElemGrain(a.size()), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) c[i] = a[i] / b[i];
+  });
   return c;
 }
 
 Matrix Scale(const Matrix& a, double s) {
-  Matrix c = a;
-  c *= s;
+  Matrix c(a.rows(), a.cols());
+  ParallelFor(0, a.size(), ElemGrain(a.size()), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) c[i] = a[i] * s;
+  });
   return c;
 }
 
 Matrix AddScalar(const Matrix& a, double s) {
-  Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c[i] += s;
+  Matrix c(a.rows(), a.cols());
+  ParallelFor(0, a.size(), ElemGrain(a.size()), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) c[i] = a[i] + s;
+  });
   return c;
 }
 
-Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+void AddRowBroadcastInPlace(Matrix& m, const Matrix& row) {
   RLL_CHECK_EQ(row.rows(), 1u);
-  RLL_CHECK_EQ(row.cols(), a.cols());
+  RLL_CHECK_EQ(row.cols(), m.cols());
+  ParallelFor(0, m.rows(), RowOpGrain(m.rows(), m.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  double* mrow = m.row_data(r);
+                  for (size_t j = 0; j < m.cols(); ++j) mrow[j] += row[j];
+                }
+              });
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   Matrix c = a;
-  for (size_t r = 0; r < c.rows(); ++r) {
-    double* crow = c.row_data(r);
-    for (size_t j = 0; j < c.cols(); ++j) crow[j] += row[j];
-  }
+  AddRowBroadcastInPlace(c, row);
   return c;
 }
 
@@ -119,10 +227,13 @@ Matrix MulRowBroadcast(const Matrix& a, const Matrix& row) {
   RLL_CHECK_EQ(row.rows(), 1u);
   RLL_CHECK_EQ(row.cols(), a.cols());
   Matrix c = a;
-  for (size_t r = 0; r < c.rows(); ++r) {
-    double* crow = c.row_data(r);
-    for (size_t j = 0; j < c.cols(); ++j) crow[j] *= row[j];
-  }
+  ParallelFor(0, c.rows(), RowOpGrain(c.rows(), c.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  double* crow = c.row_data(r);
+                  for (size_t j = 0; j < c.cols(); ++j) crow[j] *= row[j];
+                }
+              });
   return c;
 }
 
@@ -130,24 +241,42 @@ Matrix MulColBroadcast(const Matrix& a, const Matrix& col) {
   RLL_CHECK_EQ(col.cols(), 1u);
   RLL_CHECK_EQ(col.rows(), a.rows());
   Matrix c = a;
-  for (size_t r = 0; r < c.rows(); ++r) {
-    const double s = col(r, 0);
-    double* crow = c.row_data(r);
-    for (size_t j = 0; j < c.cols(); ++j) crow[j] *= s;
-  }
+  ParallelFor(0, c.rows(), RowOpGrain(c.rows(), c.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  const double s = col(r, 0);
+                  double* crow = c.row_data(r);
+                  for (size_t j = 0; j < c.cols(); ++j) crow[j] *= s;
+                }
+              });
   return c;
 }
 
 Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
   Matrix c(a.rows(), a.cols());
-  for (size_t i = 0; i < a.size(); ++i) c[i] = f(a[i]);
+  ParallelFor(0, a.size(), ElemGrain(a.size()), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) c[i] = f(a[i]);
+  });
   return c;
 }
 
 double Sum(const Matrix& a) {
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i];
-  return s;
+  const size_t n = a.size();
+  if (n <= kReduceGrain) {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) s += a[i];
+    return s;
+  }
+  // Chunk boundaries depend only on n, so the tree shape (and the FP
+  // result) is identical at any thread count.
+  return ParallelReduce(
+      0, n, kReduceGrain, 0.0,
+      [&](size_t lo, size_t hi) {
+        double s = 0.0;
+        for (size_t i = lo; i < hi; ++i) s += a[i];
+        return s;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 double Mean(const Matrix& a) {
@@ -171,16 +300,21 @@ double Max(const Matrix& a) {
 
 Matrix RowSum(const Matrix& a) {
   Matrix out(a.rows(), 1);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* row = a.row_data(r);
-    double s = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) s += row[c];
-    out(r, 0) = s;
-  }
+  ParallelFor(0, a.rows(), RowOpGrain(a.rows(), a.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  const double* row = a.row_data(r);
+                  double s = 0.0;
+                  for (size_t c = 0; c < a.cols(); ++c) s += row[c];
+                  out(r, 0) = s;
+                }
+              });
   return out;
 }
 
 Matrix ColSum(const Matrix& a) {
+  // Accumulates across rows into one output row; kept serial so the
+  // historical top-to-bottom summation order is preserved exactly.
   Matrix out(1, a.cols());
   for (size_t r = 0; r < a.rows(); ++r) {
     const double* row = a.row_data(r);
@@ -198,73 +332,96 @@ Matrix ColMean(const Matrix& a) {
 
 double Dot(const Matrix& a, const Matrix& b) {
   RLL_CHECK(a.SameShape(b));
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  const size_t n = a.size();
+  if (n <= kReduceGrain) {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+    return s;
+  }
+  return ParallelReduce(
+      0, n, kReduceGrain, 0.0,
+      [&](size_t lo, size_t hi) {
+        double s = 0.0;
+        for (size_t i = lo; i < hi; ++i) s += a[i] * b[i];
+        return s;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 double Norm(const Matrix& a) { return std::sqrt(Dot(a, a)); }
 
 Matrix RowNorms(const Matrix& a, double eps) {
   Matrix out(a.rows(), 1);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* row = a.row_data(r);
-    double s = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) s += row[c] * row[c];
-    out(r, 0) = std::max(std::sqrt(s), eps);
-  }
+  ParallelFor(0, a.rows(), RowOpGrain(a.rows(), a.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  const double* row = a.row_data(r);
+                  double s = 0.0;
+                  for (size_t c = 0; c < a.cols(); ++c) s += row[c] * row[c];
+                  out(r, 0) = std::max(std::sqrt(s), eps);
+                }
+              });
   return out;
 }
 
 Matrix RowCosine(const Matrix& a, const Matrix& b, double eps) {
   RLL_CHECK(a.SameShape(b));
   Matrix out(a.rows(), 1);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* ar = a.row_data(r);
-    const double* br = b.row_data(r);
-    double dot = 0.0, na = 0.0, nb = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) {
-      dot += ar[c] * br[c];
-      na += ar[c] * ar[c];
-      nb += br[c] * br[c];
-    }
-    out(r, 0) =
-        dot / (std::max(std::sqrt(na), eps) * std::max(std::sqrt(nb), eps));
-  }
+  ParallelFor(0, a.rows(), RowOpGrain(a.rows(), a.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  const double* ar = a.row_data(r);
+                  const double* br = b.row_data(r);
+                  double dot = 0.0, na = 0.0, nb = 0.0;
+                  for (size_t c = 0; c < a.cols(); ++c) {
+                    dot += ar[c] * br[c];
+                    na += ar[c] * ar[c];
+                    nb += br[c] * br[c];
+                  }
+                  out(r, 0) = dot / (std::max(std::sqrt(na), eps) *
+                                     std::max(std::sqrt(nb), eps));
+                }
+              });
   RLL_DCHECK_FINITE(out);
   return out;
 }
 
 Matrix SoftmaxRows(const Matrix& a) {
   Matrix out(a.rows(), a.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* in = a.row_data(r);
-    double* o = out.row_data(r);
-    double mx = in[0];
-    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
-    double z = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) {
-      o[c] = std::exp(in[c] - mx);
-      z += o[c];
-    }
-    for (size_t c = 0; c < a.cols(); ++c) {
-      o[c] /= z;
-      RLL_DCHECK_PROB(o[c]);
-    }
-  }
+  ParallelFor(0, a.rows(), RowOpGrain(a.rows(), a.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  const double* in = a.row_data(r);
+                  double* o = out.row_data(r);
+                  double mx = in[0];
+                  for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+                  double z = 0.0;
+                  for (size_t c = 0; c < a.cols(); ++c) {
+                    o[c] = std::exp(in[c] - mx);
+                    z += o[c];
+                  }
+                  for (size_t c = 0; c < a.cols(); ++c) {
+                    o[c] /= z;
+                    RLL_DCHECK_PROB(o[c]);
+                  }
+                }
+              });
   return out;
 }
 
 Matrix LogSumExpRows(const Matrix& a) {
   Matrix out(a.rows(), 1);
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* in = a.row_data(r);
-    double mx = in[0];
-    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
-    double z = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) z += std::exp(in[c] - mx);
-    out(r, 0) = mx + std::log(z);
-  }
+  ParallelFor(0, a.rows(), RowOpGrain(a.rows(), a.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  const double* in = a.row_data(r);
+                  double mx = in[0];
+                  for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+                  double z = 0.0;
+                  for (size_t c = 0; c < a.cols(); ++c) z += std::exp(in[c] - mx);
+                  out(r, 0) = mx + std::log(z);
+                }
+              });
   RLL_DCHECK_FINITE(out);
   return out;
 }
@@ -272,14 +429,17 @@ Matrix LogSumExpRows(const Matrix& a) {
 std::vector<size_t> ArgmaxRows(const Matrix& a) {
   RLL_CHECK_GT(a.cols(), 0u);
   std::vector<size_t> out(a.rows());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    const double* row = a.row_data(r);
-    size_t best = 0;
-    for (size_t c = 1; c < a.cols(); ++c) {
-      if (row[c] > row[best]) best = c;
-    }
-    out[r] = best;
-  }
+  ParallelFor(0, a.rows(), RowOpGrain(a.rows(), a.cols()),
+              [&](size_t row_begin, size_t row_end) {
+                for (size_t r = row_begin; r < row_end; ++r) {
+                  const double* row = a.row_data(r);
+                  size_t best = 0;
+                  for (size_t c = 1; c < a.cols(); ++c) {
+                    if (row[c] > row[best]) best = c;
+                  }
+                  out[r] = best;
+                }
+              });
   return out;
 }
 

@@ -1,6 +1,13 @@
 // Free-function kernels over Matrix: BLAS-like products, elementwise maps,
 // reductions, and row-wise similarity/softmax primitives used throughout the
 // autograd layer and the classic-ML baselines.
+//
+// Large kernels run on the global ThreadPool (common/threading.h) with
+// fixed row/element partitions, so results are bitwise identical at any
+// thread count; below the per-kernel serial thresholds they run inline,
+// so paper-scale matrices never pay queue overhead. Reductions (Sum, Dot)
+// switch to a deterministic chunked tree above a size threshold — the
+// chunking depends only on the input size, never the thread count.
 
 #ifndef RLL_TENSOR_OPS_H_
 #define RLL_TENSOR_OPS_H_
@@ -19,6 +26,23 @@ Matrix MatmulTransposeA(const Matrix& a, const Matrix& b);
 
 /// C = A·Bᵀ without materializing the transpose.
 Matrix MatmulTransposeB(const Matrix& a, const Matrix& b);
+
+/// out = A·B into a caller-provided matrix (reshaped when needed), so
+/// steady-state loops reuse one buffer instead of allocating per call.
+/// `out` must not alias a or b.
+void MulInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = Aᵀ·B; same contract as MulInto.
+void MulTransposeAInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = A·Bᵀ; same contract as MulInto.
+void MulTransposeBInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = A + B elementwise. `out` may alias a or b.
+void AddInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Adds a 1×cols row vector to every row of `m`, in place.
+void AddRowBroadcastInPlace(Matrix& m, const Matrix& row);
 
 Matrix Transpose(const Matrix& a);
 

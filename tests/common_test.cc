@@ -265,6 +265,40 @@ TEST(RngTest, SplitYieldsIndependentStream) {
   EXPECT_LT(same, 2);
 }
 
+TEST(RngTest, SplitSeedIsDeterministic) {
+  EXPECT_EQ(SplitSeed(42, 0), SplitSeed(42, 0));
+  EXPECT_EQ(SplitSeed(42, 17), SplitSeed(42, 17));
+}
+
+TEST(RngTest, SplitSeedStreamsAreDistinct) {
+  // Seeds derived from one parent must differ from each other, from the
+  // same index under another parent, and from the raw parent — otherwise
+  // per-task streams would collide or replay the parent stream.
+  std::set<uint64_t> seen;
+  for (uint64_t parent : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    seen.insert(parent);
+    for (uint64_t index = 0; index < 64; ++index) {
+      seen.insert(SplitSeed(parent, index));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u + 4u * 64u);
+}
+
+TEST(RngTest, SplitSeedChildStreamsLookIndependent) {
+  Rng a(SplitSeed(99, 0));
+  Rng b(SplitSeed(99, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitSeedBaseAdvancesParent) {
+  Rng a(7), b(7);
+  const uint64_t base = a.SplitSeedBase();
+  EXPECT_EQ(base, b.Next());  // Defined as one draw from the parent.
+  EXPECT_EQ(a.Next(), b.Next());  // Parent streams stay in lockstep after.
+}
+
 // ------------------------------------------------------------- Stopwatch
 
 TEST(StopwatchTest, ElapsedUnitsAgree) {

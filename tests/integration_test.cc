@@ -10,6 +10,7 @@
 #include "baselines/rll_method.h"
 #include "baselines/softprob.h"
 #include "classify/logistic_regression.h"
+#include "common/threading.h"
 #include "core/pipeline.h"
 #include "crowd/agreement.h"
 #include "crowd/worker_pool.h"
@@ -236,6 +237,40 @@ TEST(IntegrationTest, CsvExportedDatasetTrainsIdentically) {
   ASSERT_TRUE(original.ok());
   ASSERT_TRUE(roundtrip.ok());
   EXPECT_DOUBLE_EQ(original->mean.accuracy, roundtrip->mean.accuracy);
+}
+
+TEST(IntegrationTest, CrossValidationBitwiseIdenticalAcrossThreadCounts) {
+  // The determinism contract of the parallel execution core, end to end:
+  // the full CV pipeline (parallel folds over parallel kernels, seed-split
+  // RNG streams) must produce bitwise-identical metrics at any --threads.
+  Scenario s = MakeScenario(21, 140);
+  const auto options = MediumRllOptions(crowd::ConfidenceMode::kBayesian);
+
+  SetGlobalThreads(1);
+  Rng rng_serial(9);
+  auto serial = core::RunRllCrossValidation(s.dataset, options, &rng_serial);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : {2u, 4u}) {
+    SetGlobalThreads(threads);
+    Rng rng(9);
+    auto parallel = core::RunRllCrossValidation(s.dataset, options, &rng);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->mean.accuracy, serial->mean.accuracy)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->mean.f1, serial->mean.f1) << "threads=" << threads;
+    ASSERT_EQ(parallel->per_fold.size(), serial->per_fold.size());
+    for (size_t f = 0; f < serial->per_fold.size(); ++f) {
+      EXPECT_EQ(parallel->per_fold[f].accuracy, serial->per_fold[f].accuracy)
+          << "fold " << f << " threads=" << threads;
+      EXPECT_EQ(parallel->per_fold[f].precision,
+                serial->per_fold[f].precision)
+          << "fold " << f << " threads=" << threads;
+      EXPECT_EQ(parallel->per_fold[f].recall, serial->per_fold[f].recall)
+          << "fold " << f << " threads=" << threads;
+    }
+  }
+  SetGlobalThreads(0);  // Restore the RLL_THREADS / serial default.
 }
 
 }  // namespace

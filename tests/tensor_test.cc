@@ -113,6 +113,43 @@ TEST(OpsTest, TransposedMatmulsAgreeWithExplicitTranspose) {
   EXPECT_TRUE(MatmulTransposeB(a, c).AllClose(Matmul(a, Transpose(c))));
 }
 
+TEST(OpsTest, IntoVariantsMatchAllocatingOps) {
+  Rng rng(3);
+  Matrix a = RandomNormal(6, 5, &rng);
+  Matrix b = RandomNormal(5, 7, &rng);
+  Matrix out;
+  MulInto(a, b, out);
+  EXPECT_EQ(out, Matmul(a, b));
+
+  Matrix ta = RandomNormal(5, 6, &rng);
+  MulTransposeAInto(ta, b, out);
+  EXPECT_EQ(out, MatmulTransposeA(ta, b));
+
+  Matrix tb = RandomNormal(7, 5, &rng);
+  MulTransposeBInto(a, tb, out);
+  EXPECT_EQ(out, MatmulTransposeB(a, tb));
+
+  Matrix c = RandomNormal(6, 7, &rng);
+  AddInto(out, c, out);  // Aliased output is part of the contract.
+  EXPECT_EQ(out, Add(MatmulTransposeB(a, tb), c));
+}
+
+TEST(OpsTest, MulIntoReshapesStaleOutput) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix out(9, 3, 1.0);  // Wrong shape and stale values.
+  MulInto(a, b, out);
+  EXPECT_EQ(out, Matrix({{19, 22}, {43, 50}}));
+}
+
+TEST(OpsTest, AddRowBroadcastInPlaceMatchesAllocatingOp) {
+  Matrix a = {{1, 2}, {3, 4}};
+  const Matrix row = {{10, 20}};
+  Matrix m = a;
+  AddRowBroadcastInPlace(m, row);
+  EXPECT_EQ(m, AddRowBroadcast(a, row));
+}
+
 TEST(OpsTest, ElementwiseOps) {
   Matrix a = {{1, -2}, {3, 4}};
   Matrix b = {{2, 2}, {2, 2}};

@@ -14,7 +14,9 @@
 //   rll_cli embed     --features F.csv --model M --output EMB.csv
 //   rll_cli retrieve  --features F.csv --model M --query ROW [--k K]
 //
-// Every command also accepts the observability flags:
+// Every command also accepts the common flags:
+//   --threads N             global thread-pool size (results are identical
+//                           at any value; default RLL_THREADS env or 1)
 //   --log-level debug|info|warning|error
 //   --metrics-out M.jsonl   per-epoch training series + metric registry dump
 //   --trace-out T.json      Chrome trace-event file (chrome://tracing)
@@ -39,6 +41,7 @@
 #include "classify/ranking_metrics.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/threading.h"
 #include "core/embedding_index.h"
 #include "core/model_bundle.h"
 #include "core/tuning.h"
@@ -101,6 +104,7 @@ int Usage() {
       "  embed     --features F --model M --output EMB\n"
       "  retrieve  --features F --model M --query ROW [--k K]\n"
       "common flags (any command):\n"
+      "  --threads N              thread-pool size (same results at any N)\n"
       "  --log-level debug|info|warning|error\n"
       "  --metrics-out M.jsonl    training series + metric registry dump\n"
       "  --trace-out T.json       Chrome trace (open in chrome://tracing)\n");
@@ -111,8 +115,8 @@ int Usage() {
 // outside the union is a hard error: silently ignoring a typo like
 // --k-negative would run with the default and report misleading numbers.
 const std::set<std::string>& CommonFlags() {
-  static const std::set<std::string> flags = {"log-level", "metrics-out",
-                                              "trace-out"};
+  static const std::set<std::string> flags = {"threads", "log-level",
+                                              "metrics-out", "trace-out"};
   return flags;
 }
 
@@ -250,11 +254,11 @@ void EchoRunConfig(const Args& args, crowd::ConfidenceMode mode,
   std::fprintf(
       stderr,
       "run config: command=%s mode=%s seed=%lld epochs=%d groups=%zu "
-      "k-negatives=%zu eta=%g%s\n",
+      "k-negatives=%zu eta=%g threads=%zu%s\n",
       args.command.c_str(), crowd::ConfidenceModeName(mode),
       static_cast<long long>(args.GetInt("seed", 7)), options.trainer.epochs,
       options.trainer.groups_per_epoch, options.trainer.negatives_per_group,
-      options.trainer.eta,
+      options.trainer.eta, GlobalThreadCount(),
       with_folds ? StrFormat(" folds=%zu", options.folds).c_str() : "");
 }
 
@@ -673,6 +677,8 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return Usage();
   }
+  const int64_t threads = args->GetInt("threads", 0);
+  if (threads > 0) SetGlobalThreads(static_cast<size_t>(threads));
   auto obs_session = SetupObservability(*args);
   if (!obs_session.ok()) {
     std::fprintf(stderr, "%s\n", obs_session.status().ToString().c_str());
