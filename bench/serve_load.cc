@@ -1,0 +1,236 @@
+// Closed-loop load generator for the inference server (src/serve/).
+//
+// Drives an in-process ServerCore — the identical request path the TCP
+// transport uses, minus the sockets — with N client threads issuing
+// newline-delimited JSON through HandleLine. Each client draws features
+// from a hot set (to exercise the LRU cache) mixed with uniform corpus
+// rows (to keep the batcher fed with misses), across all three request
+// types. Afterwards the harness:
+//
+//   * reads p50/p95/p99 request latency and the batch-size distribution
+//     out of the obs metric registry (the same numbers an operator sees),
+//   * checks that dynamic batching actually engaged (max batch > 1), and
+//   * re-embeds a sample of rows one-at-a-time and compares them bitwise
+//     against the concurrently micro-batched answers — the determinism
+//     claim in serve/batcher.h, checked end to end under real contention.
+//
+// Usage: serve_load [--quick] [--seed N] [--threads N] [--json OUT.json]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "core/model_bundle.h"
+#include "core/rll_model.h"
+#include "data/standardize.h"
+#include "obs/metrics.h"
+#include "serve/server_core.h"
+
+namespace rll::bench {
+namespace {
+
+struct ClientStats {
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+};
+
+// One client's closed loop: build a request line, hand it to the core,
+// count the outcome, repeat. `hot` rows repeat often enough to hit the
+// cache; the rest sweep the corpus so misses keep batches forming.
+ClientStats RunClient(serve::ServerCore* core, const data::Dataset& dataset,
+                      const std::vector<std::string>& request_lines,
+                      size_t hot_rows, size_t iterations, uint64_t seed) {
+  Rng rng(seed);
+  ClientStats stats;
+  for (size_t i = 0; i < iterations; ++i) {
+    const size_t row = rng.Bernoulli(0.5)
+                           ? rng.UniformInt(hot_rows)
+                           : rng.UniformInt(dataset.size());
+    const std::string& line = request_lines[row];
+    const std::string response = core->HandleLine(line);
+    ++stats.requests;
+    if (response.find("\"ok\":true") == std::string::npos) ++stats.failures;
+  }
+  return stats;
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
+  BenchReporter reporter("serve_load", args);
+
+  // Serving needs a bundle, not a good one: a randomly initialized encoder
+  // exercises the identical compute path in a fraction of the setup time.
+  Rng rng(args.seed);
+  data::Dataset dataset =
+      GenerateSynthetic(data::OralSimConfig(), &rng);
+  data::Standardizer standardizer;
+  standardizer.Fit(dataset.features());
+  core::RllModelConfig model_config;
+  model_config.input_dim = dataset.dim();
+  core::RllModel model(model_config, &rng);
+  auto bundle = core::ModelBundle::Create(standardizer, model, &rng);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerCoreOptions options;
+  options.batcher.max_batch = 32;
+  options.batcher.batch_timeout_us = 200;
+  options.batcher.max_queue = 1024;  // Sized to the offered load: the
+  // harness measures latency under batching, not rejection behavior.
+  options.cache_capacity = 256;  // Below the corpus size, so uniform
+  // traffic keeps missing while the hot set stays resident.
+  auto core = serve::ServerCore::Create(std::move(*bundle), &dataset,
+                                        options);
+  if (!core.ok()) {
+    std::fprintf(stderr, "%s\n", core.status().ToString().c_str());
+    return 1;
+  }
+
+  // Pre-serialize one request line per corpus row (round-robin over the
+  // three types) so the measured loop is serving, not string building.
+  std::vector<std::string> request_lines;
+  request_lines.reserve(dataset.size());
+  for (size_t r = 0; r < dataset.size(); ++r) {
+    std::string features;
+    for (size_t c = 0; c < dataset.dim(); ++c) {
+      if (c > 0) features += ",";
+      features += obs::JsonNumber(dataset.features()(r, c));
+    }
+    const char* type =
+        r % 4 == 3 ? "neighbors" : (r % 4 == 2 ? "predict" : "embed");
+    request_lines.push_back(StrFormat(
+        "{\"id\":%zu,\"type\":\"%s\",\"features\":[%s]}", r, type,
+        features.c_str()));
+  }
+
+  const size_t clients = args.quick ? 4 : 16;
+  const size_t iterations = args.quick ? 250 : 2000;
+  const size_t hot_rows = 64;
+
+  std::vector<ClientStats> stats(clients);
+  {
+    auto timer = reporter.Time("closed_loop",
+                               static_cast<double>(clients * iterations));
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        stats[c] = RunClient(core->get(), dataset, request_lines, hot_rows,
+                             iterations, SplitSeed(args.seed, c));
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  uint64_t total_requests = 0, total_failures = 0;
+  for (const ClientStats& s : stats) {
+    total_requests += s.requests;
+    total_failures += s.failures;
+  }
+
+  // Bitwise determinism check: embed a sample of raw rows directly through
+  // the bundle (one at a time, no batcher) and through the typed server
+  // path while the cache is warm. Any difference fails the bench.
+  size_t mismatches = 0;
+  const size_t sample = 32;
+  for (size_t r = 0; r < sample; ++r) {
+    const size_t row = (r * 7919) % dataset.size();
+    serve::Request request;
+    request.type = serve::RequestType::kEmbed;
+    const Matrix raw = dataset.features().Row(row);
+    request.features.assign(raw.data(), raw.data() + raw.size());
+    const serve::Response served = core->get()->Handle(request);
+    auto direct = core->get()->bundle().Embed(raw);
+    if (!served.ok || !direct.ok() ||
+        served.embedding.size() != direct->size()) {
+      ++mismatches;
+      continue;
+    }
+    for (size_t i = 0; i < direct->size(); ++i) {
+      // Bitwise: exact representational equality, not a tolerance.
+      if (served.embedding[i] != (*direct)[i]) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+
+  core->get()->Shutdown();
+
+  auto& registry = obs::MetricRegistry::Global();
+  const obs::Histogram* latency = registry.GetHistogram(
+      "serve_request_latency_ms", {{"type", "embed"}});
+  const obs::Histogram* batch_size =
+      registry.GetHistogram("serve_batch_size");
+  const serve::MicroBatcher& batcher = core->get()->batcher();
+  const serve::EmbeddingCache& cache = core->get()->cache();
+
+  const double p50 = latency->Percentile(0.50);
+  const double p95 = latency->Percentile(0.95);
+  const double p99 = latency->Percentile(0.99);
+  reporter.Record("latency_p50_ms", p50);
+  reporter.Record("latency_p95_ms", p95);
+  reporter.Record("latency_p99_ms", p99);
+  reporter.Record("cache_hit_rate", cache.HitRate());
+  reporter.Record("mean_batch_size",
+                  batcher.batches_run() > 0
+                      ? static_cast<double>(batcher.rows_batched()) /
+                            static_cast<double>(batcher.batches_run())
+                      : 0.0);
+  reporter.Record("max_batch_observed",
+                  static_cast<double>(batcher.max_batch_observed()));
+
+  std::printf("serve_load: %zu clients x %zu requests (%llu total, "
+              "%llu failed)\n",
+              clients, iterations,
+              static_cast<unsigned long long>(total_requests),
+              static_cast<unsigned long long>(total_failures));
+  PrintRule(64);
+  std::printf("  embed latency ms    p50 %.4f  p95 %.4f  p99 %.4f\n", p50,
+              p95, p99);
+  std::printf("  batches %llu, mean size %.2f, max observed %llu "
+              "(histogram max %.0f)\n",
+              static_cast<unsigned long long>(batcher.batches_run()),
+              batcher.batches_run() > 0
+                  ? static_cast<double>(batcher.rows_batched()) /
+                        static_cast<double>(batcher.batches_run())
+                  : 0.0,
+              static_cast<unsigned long long>(batcher.max_batch_observed()),
+              batch_size->max());
+  std::printf("  cache hit rate %.3f (%llu hits / %llu misses)\n",
+              cache.HitRate(),
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()));
+  std::printf("  batched-vs-direct bitwise mismatches: %zu / %zu\n",
+              mismatches, sample);
+
+  int rc = reporter.Finish();
+  if (total_failures > 0) {
+    std::fprintf(stderr, "FAIL: %llu requests failed\n",
+                 static_cast<unsigned long long>(total_failures));
+    rc = 1;
+  }
+  if (batcher.max_batch_observed() < 2) {
+    std::fprintf(stderr,
+                 "FAIL: batching never engaged (max batch %llu)\n",
+                 static_cast<unsigned long long>(
+                     batcher.max_batch_observed()));
+    rc = 1;
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: batched embeddings differ from direct\n");
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace rll::bench
+
+int main(int argc, char** argv) { return rll::bench::Run(argc, argv); }

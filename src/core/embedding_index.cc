@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/threading.h"
+
 namespace rll::core {
 
 namespace {
+
+// Corpora smaller than this many multiply-adds score serially: below it the
+// ParallelFor dispatch overhead exceeds the scan itself (same calibration
+// family as the row-kernel grains in tensor/ops.cc).
+constexpr size_t kQueryGrainFlops = size_t{1} << 13;
 
 void NormalizeRowInPlace(double* row, size_t cols) {
   double norm = 0.0;
@@ -56,14 +63,24 @@ Result<std::vector<Neighbor>> EmbeddingIndex::Query(const Matrix& query,
   Matrix q = query;
   NormalizeRowInPlace(q.row_data(0), q.cols());
 
-  std::vector<Neighbor> all;
-  all.reserve(corpus_.rows());
-  for (size_t r = 0; r < corpus_.rows(); ++r) {
-    const double* row = corpus_.row_data(r);
-    double dot = 0.0;
-    for (size_t c = 0; c < corpus_.cols(); ++c) dot += row[c] * q(0, c);
-    all.push_back({r, dot});
-  }
+  // Score corpus rows in parallel. Each slot is written by exactly one
+  // chunk and each dot product folds left-to-right over one row, so the
+  // similarities are bitwise identical at any thread count.
+  std::vector<Neighbor> all(corpus_.rows());
+  const size_t cols = corpus_.cols();
+  const size_t total_flops = corpus_.rows() * cols;
+  const size_t grain = (GlobalThreadCount() > 1 &&
+                        total_flops >= kQueryGrainFlops)
+                           ? std::max<size_t>(kQueryGrainFlops / cols, 1)
+                           : corpus_.rows();
+  ParallelFor(0, corpus_.rows(), grain, [&](size_t lo, size_t hi) {
+    for (size_t r = lo; r < hi; ++r) {
+      const double* row = corpus_.row_data(r);
+      double dot = 0.0;
+      for (size_t c = 0; c < cols; ++c) dot += row[c] * q(0, c);
+      all[r] = {r, dot};
+    }
+  });
   const size_t kk = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<long>(kk),
                     all.end(), [](const Neighbor& a, const Neighbor& b) {

@@ -1,54 +1,138 @@
 #include "core/model_bundle.h"
 
 #include <fstream>
+#include <sstream>
+#include <vector>
 
+#include "common/strings.h"
 #include "tensor/serialize.h"
 
 namespace rll::core {
 
-Result<ModelBundle> ModelBundle::Create(
-    const data::Standardizer& standardizer, const RllModel& model,
-    Rng* rng) {
-  if (!standardizer.fitted()) {
-    return Status::FailedPrecondition("standardizer is not fitted");
+namespace {
+
+constexpr char kMagic[] = "rll-bundle";
+constexpr char kVersion[] = "v2";
+
+std::string HeaderLine(const RllModelConfig& config) {
+  std::vector<std::string> dims;
+  dims.push_back(std::to_string(config.input_dim));
+  for (size_t d : config.hidden_dims) dims.push_back(std::to_string(d));
+  return StrFormat("%s %s dims=%s hidden=%s output=%s layer_norm=%d "
+                   "embed_dim=%zu",
+                   kMagic, kVersion, Join(dims, ",").c_str(),
+                   nn::ActivationName(config.hidden_activation),
+                   nn::ActivationName(config.output_activation),
+                   config.layer_norm ? 1 : 0, config.hidden_dims.back());
+}
+
+/// Parses the v2 header into a config. The header is key=value tokens
+/// after "rll-bundle v2"; unknown keys are rejected so a future v3 writer
+/// cannot be half-read by this loader.
+Result<RllModelConfig> ParseHeader(const std::string& line) {
+  std::istringstream in(line);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a bundle header: " + line);
   }
-  if (standardizer.mean().cols() != model.input_dim()) {
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported bundle version: " + version);
+  }
+
+  RllModelConfig config;
+  bool have_dims = false, have_hidden = false, have_output = false;
+  size_t declared_embed_dim = 0;
+  bool have_embed_dim = false;
+  std::string token;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed bundle header token: " +
+                                     token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "dims") {
+      std::vector<size_t> dims;
+      for (const std::string& part : Split(value, ',')) {
+        int64_t d = 0;
+        if (!ParseInt(part, &d) || d <= 0) {
+          return Status::InvalidArgument("bad dims in bundle header: " +
+                                         value);
+        }
+        dims.push_back(static_cast<size_t>(d));
+      }
+      if (dims.size() < 2) {
+        return Status::InvalidArgument(
+            "bundle header needs >= 2 dims (input + embedding)");
+      }
+      config.input_dim = dims[0];
+      config.hidden_dims.assign(dims.begin() + 1, dims.end());
+      have_dims = true;
+    } else if (key == "hidden") {
+      RLL_ASSIGN_OR_RETURN(config.hidden_activation,
+                           nn::ParseActivation(value));
+      have_hidden = true;
+    } else if (key == "output") {
+      RLL_ASSIGN_OR_RETURN(config.output_activation,
+                           nn::ParseActivation(value));
+      have_output = true;
+    } else if (key == "layer_norm") {
+      if (value != "0" && value != "1") {
+        return Status::InvalidArgument("bad layer_norm in bundle header: " +
+                                       value);
+      }
+      config.layer_norm = value == "1";
+    } else if (key == "embed_dim") {
+      int64_t d = 0;
+      if (!ParseInt(value, &d) || d <= 0) {
+        return Status::InvalidArgument("bad embed_dim in bundle header: " +
+                                       value);
+      }
+      declared_embed_dim = static_cast<size_t>(d);
+      have_embed_dim = true;
+    } else {
+      return Status::InvalidArgument("unknown bundle header key: " + key);
+    }
+  }
+  if (!have_dims || !have_hidden || !have_output) {
     return Status::InvalidArgument(
-        "standardizer dimensionality does not match the model input");
+        "bundle header must declare dims, hidden, and output");
   }
-  ModelBundle bundle;
-  bundle.standardizer_ = standardizer;
-  // Copy the model by cloning its architecture and parameter values.
-  bundle.model_ = std::make_shared<RllModel>(model.config(), rng);
-  const auto src = model.Parameters();
-  const auto dst = bundle.model_->Parameters();
-  for (size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
-  return bundle;
+  if (have_embed_dim && declared_embed_dim != config.hidden_dims.back()) {
+    return Status::InvalidArgument(
+        "bundle header embed_dim disagrees with dims");
+  }
+  return config;
 }
 
-Status ModelBundle::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::IOError("cannot open: " + path);
-  RLL_RETURN_IF_ERROR(WriteMatrix(&out, standardizer_.mean()));
-  RLL_RETURN_IF_ERROR(WriteMatrix(&out, standardizer_.stddev()));
-  for (const ag::Var& p : model_->Parameters()) {
-    RLL_RETURN_IF_ERROR(WriteMatrix(&out, p->value));
+/// Shared tail of both load paths: wraps (standardizer stats, config,
+/// parameter values) into a bundle, shape-checking each parameter against
+/// the freshly constructed architecture.
+Result<ModelBundle> AssembleBundle(Matrix mean, Matrix stddev,
+                                   const RllModelConfig& config,
+                                   std::vector<Matrix> params) {
+  if (config.input_dim != mean.cols()) {
+    return Status::InvalidArgument(
+        "standardizer and encoder dimensionality disagree");
   }
-  return Status::OK();
+  return ModelBundle::FromParts(std::move(mean), std::move(stddev), config,
+                                std::move(params));
 }
 
-Result<ModelBundle> ModelBundle::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IOError("cannot open: " + path);
-  RLL_ASSIGN_OR_RETURN(Matrix mean, ReadMatrix(&in));
-  RLL_ASSIGN_OR_RETURN(Matrix stddev, ReadMatrix(&in));
+/// Legacy headerless format: architecture inferred from weight/bias pair
+/// shapes, activations at their RllModelConfig defaults (tanh).
+Result<ModelBundle> LoadLegacy(std::istream* in) {
+  RLL_ASSIGN_OR_RETURN(Matrix mean, ReadMatrix(in));
+  RLL_ASSIGN_OR_RETURN(Matrix stddev, ReadMatrix(in));
   if (mean.rows() != 1 || !mean.SameShape(stddev)) {
     return Status::InvalidArgument("malformed standardizer block");
   }
 
   std::vector<Matrix> params;
   for (;;) {
-    Result<Matrix> m = ReadMatrix(&in);
+    Result<Matrix> m = ReadMatrix(in);
     if (!m.ok()) break;
     params.push_back(std::move(*m));
   }
@@ -70,22 +154,105 @@ Result<ModelBundle> ModelBundle::Load(const std::string& path) {
     }
     config.hidden_dims.push_back(params[i].cols());
   }
-  if (config.input_dim != mean.cols()) {
-    return Status::InvalidArgument(
-        "standardizer and encoder dimensionality disagree");
-  }
+  return AssembleBundle(std::move(mean), std::move(stddev), config,
+                        std::move(params));
+}
 
+Result<ModelBundle> LoadV2(std::istream* in, const std::string& header) {
+  RLL_ASSIGN_OR_RETURN(RllModelConfig config, ParseHeader(header));
+  RLL_ASSIGN_OR_RETURN(Matrix mean, ReadMatrix(in));
+  RLL_ASSIGN_OR_RETURN(Matrix stddev, ReadMatrix(in));
+  if (mean.rows() != 1 || !mean.SameShape(stddev)) {
+    return Status::InvalidArgument("malformed standardizer block");
+  }
+  std::vector<Matrix> params;
+  for (;;) {
+    Result<Matrix> m = ReadMatrix(in);
+    if (!m.ok()) break;
+    params.push_back(std::move(*m));
+  }
+  return AssembleBundle(std::move(mean), std::move(stddev), config,
+                        std::move(params));
+}
+
+}  // namespace
+
+Result<ModelBundle> ModelBundle::Create(
+    const data::Standardizer& standardizer, const RllModel& model,
+    Rng* rng) {
+  if (!standardizer.fitted()) {
+    return Status::FailedPrecondition("standardizer is not fitted");
+  }
+  if (standardizer.mean().cols() != model.input_dim()) {
+    return Status::InvalidArgument(
+        "standardizer dimensionality does not match the model input");
+  }
+  ModelBundle bundle;
+  bundle.standardizer_ = standardizer;
+  // Copy the model by cloning its architecture and parameter values.
+  bundle.model_ = std::make_shared<RllModel>(model.config(), rng);
+  const auto src = model.Parameters();
+  const auto dst = bundle.model_->Parameters();
+  for (size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  return bundle;
+}
+
+Result<ModelBundle> ModelBundle::FromParts(Matrix mean, Matrix stddev,
+                                           const RllModelConfig& config,
+                                           std::vector<Matrix> params) {
   ModelBundle bundle;
   bundle.standardizer_ =
       data::Standardizer::FromMoments(std::move(mean), std::move(stddev));
   Rng init_rng(1);  // Values are overwritten below.
   bundle.model_ = std::make_shared<RllModel>(config, &init_rng);
   const auto dst = bundle.model_->Parameters();
-  RLL_CHECK_EQ(dst.size(), params.size());
+  if (dst.size() != params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "bundle carries %zu parameter matrices but the declared "
+        "architecture needs %zu",
+        params.size(), dst.size()));
+  }
   for (size_t i = 0; i < params.size(); ++i) {
+    if (!dst[i]->value.SameShape(params[i])) {
+      return Status::InvalidArgument(StrFormat(
+          "bundle parameter %zu is %zux%zu, architecture expects %zux%zu",
+          i, params[i].rows(), params[i].cols(), dst[i]->value.rows(),
+          dst[i]->value.cols()));
+    }
     dst[i]->value = std::move(params[i]);
   }
   return bundle;
+}
+
+Status ModelBundle::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open: " + path);
+  out << HeaderLine(model_->config()) << "\n";
+  RLL_RETURN_IF_ERROR(WriteMatrix(&out, standardizer_.mean()));
+  RLL_RETURN_IF_ERROR(WriteMatrix(&out, standardizer_.stddev()));
+  for (const ag::Var& p : model_->Parameters()) {
+    RLL_RETURN_IF_ERROR(WriteMatrix(&out, p->value));
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ModelBundle> ModelBundle::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+  // Peek at the first line: a v2 header starts with the magic; a legacy
+  // file starts directly with a "matrix r c" serialization header.
+  std::string first_line;
+  if (!std::getline(in, first_line)) {
+    return Status::InvalidArgument("empty bundle file: " + path);
+  }
+  if (first_line.rfind(kMagic, 0) == 0) {
+    return LoadV2(&in, first_line);
+  }
+  // Legacy: reopen so the matrix reader sees the file from the start.
+  std::ifstream legacy(path);
+  if (!legacy.is_open()) return Status::IOError("cannot open: " + path);
+  return LoadLegacy(&legacy);
 }
 
 Result<Matrix> ModelBundle::Embed(const Matrix& raw_features) const {

@@ -41,6 +41,29 @@ void ActivateInPlace(Matrix& m, Activation activation) {
 
 }  // namespace
 
+const char* ActivationName(Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  RLL_CHECK_MSG(false, "unknown activation");
+  return "";
+}
+
+Result<Activation> ParseActivation(const std::string& name) {
+  if (name == "none") return Activation::kNone;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
 ag::Var Activate(const ag::Var& x, Activation activation) {
   switch (activation) {
     case Activation::kNone:

@@ -15,6 +15,13 @@ namespace rll::nn {
 
 enum class Activation { kNone, kTanh, kRelu, kSigmoid };
 
+/// Stable wire name ("none" | "tanh" | "relu" | "sigmoid") — recorded in
+/// model-bundle headers, so renaming a value breaks saved bundles.
+const char* ActivationName(Activation activation);
+
+/// Inverse of ActivationName; fails on unknown names.
+Result<Activation> ParseActivation(const std::string& name);
+
 /// Applies an activation as an autograd op (kNone is identity).
 ag::Var Activate(const ag::Var& x, Activation activation);
 

@@ -1,0 +1,83 @@
+#include "serve/cache.h"
+
+#include <cstring>
+
+namespace rll::serve {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixing core as common/rng's seeding,
+/// reused here as a hash combiner.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+uint64_t EmbeddingCache::HashRow(const Matrix& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (row.size() * 0xff51afd7ed558ccdULL);
+  for (size_t i = 0; i < row.size(); ++i) {
+    uint64_t bits = 0;
+    const double v = row[i];
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = Mix64(h ^ bits);
+  }
+  return h;
+}
+
+bool EmbeddingCache::Lookup(uint64_t key, const Matrix& row,
+                            Matrix* embedding) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end() || !(it->second->row == row)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *embedding = it->second->embedding;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EmbeddingCache::Insert(uint64_t key, const Matrix& row,
+                            const Matrix& embedding) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Refresh (also heals a colliding entry: last writer wins, and the
+    // stored row keeps lookups exact either way).
+    it->second->row = row;
+    it->second->embedding = embedding;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front({key, row, embedding});
+  by_key_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+size_t EmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+double EmbeddingCache::HitRate() const {
+  const double h = static_cast<double>(hits());
+  const double m = static_cast<double>(misses());
+  return h + m > 0.0 ? h / (h + m) : 0.0;
+}
+
+}  // namespace rll::serve

@@ -1,0 +1,66 @@
+// LRU embedding cache for the inference server. Keyed by a 64-bit hash of
+// the standardized feature row; the full key row is stored alongside each
+// entry and compared exactly on lookup, so a hash collision degrades to a
+// miss instead of serving a wrong embedding. Thread-safe (one mutex —
+// entries are a few hundred bytes, so the critical sections are copies,
+// not compute).
+
+#ifndef RLL_SERVE_CACHE_H_
+#define RLL_SERVE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "tensor/matrix.h"
+
+namespace rll::serve {
+
+class EmbeddingCache {
+ public:
+  /// Capacity 0 disables the cache: Lookup always misses, Insert drops.
+  explicit EmbeddingCache(size_t capacity) : capacity_(capacity) {}
+
+  EmbeddingCache(const EmbeddingCache&) = delete;
+  EmbeddingCache& operator=(const EmbeddingCache&) = delete;
+
+  /// Mixes the bit patterns of a 1×d row into a 64-bit key (splitmix64
+  /// finalizer per element). Exposed so callers can hash once and reuse
+  /// the key across Lookup/Insert.
+  static uint64_t HashRow(const Matrix& row);
+
+  /// On hit, copies the cached embedding into *embedding, refreshes the
+  /// entry's recency, and returns true. `key` must be HashRow(row).
+  bool Lookup(uint64_t key, const Matrix& row, Matrix* embedding);
+
+  /// Inserts (or refreshes) the mapping row → embedding, evicting the
+  /// least-recently-used entry when over capacity.
+  void Insert(uint64_t key, const Matrix& row, const Matrix& embedding);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// hits / (hits + misses); 0 when no lookups have happened.
+  double HitRate() const;
+
+ private:
+  struct Entry {
+    uint64_t key;
+    Matrix row;        // Exact key material (collision guard).
+    Matrix embedding;  // Cached value.
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_key_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace rll::serve
+
+#endif  // RLL_SERVE_CACHE_H_

@@ -1,0 +1,55 @@
+// Minimal JSON value + recursive-descent parser for the serving protocol
+// (newline-delimited JSON requests). Parsing lives here, in the transport
+// layer, by design: obs/json_util stays emission-only, and nothing below
+// src/serve ever consumes JSON.
+//
+// Supported: objects, arrays, strings (with \uXXXX escapes, surrogate
+// pairs), numbers (via strtod, round-trip exact with obs::JsonNumber's
+// %.17g), true/false/null. Depth-capped so a hostile request cannot blow
+// the stack.
+
+#ifndef RLL_SERVE_JSON_H_
+#define RLL_SERVE_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rll::serve {
+
+/// One parsed JSON value. A plain tagged struct rather than a variant:
+/// protocol messages are tiny, so the unused members cost nothing that
+/// matters, and field access stays greppable.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Members in document order (duplicate keys keep the last occurrence
+  /// reachable via Find, matching common JSON semantics).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Last member with the given key, or nullptr (also nullptr when this is
+  /// not an object).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses exactly one JSON value; trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace rll::serve
+
+#endif  // RLL_SERVE_JSON_H_

@@ -1,0 +1,169 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "obs/json_util.h"
+#include "serve/json.h"
+
+namespace rll::serve {
+
+namespace {
+
+/// Re-serializes a parsed "id" member. Only numbers and strings are
+/// accepted (booleans/objects as correlation ids are a client bug worth
+/// rejecting loudly).
+Result<std::string> SerializeId(const JsonValue& id) {
+  if (id.is_number()) return obs::JsonNumber(id.number);
+  if (id.is_string()) return "\"" + obs::JsonEscape(id.string) + "\"";
+  return Status::InvalidArgument("\"id\" must be a number or a string");
+}
+
+}  // namespace
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kEmbed:
+      return "embed";
+    case RequestType::kPredict:
+      return "predict";
+    case RequestType::kNeighbors:
+      return "neighbors";
+  }
+  RLL_CHECK_MSG(false, "unknown request type");
+  return "";
+}
+
+const char* ServeErrorName(ServeError error) {
+  switch (error) {
+    case ServeError::kBadRequest:
+      return "bad_request";
+    case ServeError::kUnsupported:
+      return "unsupported";
+    case ServeError::kOverloaded:
+      return "overloaded";
+    case ServeError::kShutdown:
+      return "shutdown";
+    case ServeError::kInternal:
+      return "internal";
+  }
+  RLL_CHECK_MSG(false, "unknown serve error");
+  return "";
+}
+
+Result<Request> ParseRequest(const std::string& line, std::string* id_json) {
+  id_json->clear();
+  RLL_ASSIGN_OR_RETURN(JsonValue root, ParseJson(line));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  Request request;
+  if (const JsonValue* id = root.Find("id"); id != nullptr) {
+    RLL_ASSIGN_OR_RETURN(request.id_json, SerializeId(*id));
+    *id_json = request.id_json;
+  }
+
+  const JsonValue* type = root.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return Status::InvalidArgument("missing or non-string \"type\"");
+  }
+  if (type->string == "embed") {
+    request.type = RequestType::kEmbed;
+  } else if (type->string == "predict") {
+    request.type = RequestType::kPredict;
+  } else if (type->string == "neighbors") {
+    request.type = RequestType::kNeighbors;
+  } else {
+    return Status::InvalidArgument("unknown \"type\": " + type->string);
+  }
+
+  const JsonValue* features = root.Find("features");
+  if (features == nullptr || !features->is_array()) {
+    return Status::InvalidArgument("missing or non-array \"features\"");
+  }
+  if (features->array.empty()) {
+    return Status::InvalidArgument("\"features\" must be non-empty");
+  }
+  request.features.reserve(features->array.size());
+  for (const JsonValue& v : features->array) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument("\"features\" entries must be numbers");
+    }
+    request.features.push_back(v.number);
+  }
+
+  if (const JsonValue* k = root.Find("k"); k != nullptr) {
+    if (request.type != RequestType::kNeighbors) {
+      return Status::InvalidArgument("\"k\" is only valid for neighbors");
+    }
+    if (!k->is_number() || k->number < 1.0 ||
+        k->number != static_cast<double>(static_cast<size_t>(k->number))) {
+      return Status::InvalidArgument("\"k\" must be a positive integer");
+    }
+    request.k = static_cast<size_t>(k->number);
+  }
+  return request;
+}
+
+std::string SerializeResponse(const Response& response) {
+  std::string out = "{";
+  if (!response.id_json.empty()) {
+    out += "\"id\":" + response.id_json + ",";
+  }
+  if (response.has_type) {
+    out += "\"type\":\"";
+    out += RequestTypeName(response.type);
+    out += "\",";
+  }
+  out += response.ok ? "\"ok\":true" : "\"ok\":false";
+  if (!response.ok) {
+    out += ",\"error\":\"";
+    out += ServeErrorName(response.error);
+    out += "\",\"message\":\"" + obs::JsonEscape(response.message) + "\"";
+    out += "}";
+    return out;
+  }
+  switch (response.type) {
+    case RequestType::kEmbed: {
+      out += ",\"embedding\":[";
+      for (size_t i = 0; i < response.embedding.size(); ++i) {
+        if (i > 0) out += ",";
+        out += obs::JsonNumber(response.embedding[i]);
+      }
+      out += "]";
+      break;
+    }
+    case RequestType::kPredict: {
+      out += ",\"score\":" + obs::JsonNumber(response.score);
+      out += ",\"label\":" + std::to_string(response.label);
+      break;
+    }
+    case RequestType::kNeighbors: {
+      out += ",\"neighbors\":[";
+      for (size_t i = 0; i < response.neighbors.size(); ++i) {
+        const NeighborHit& hit = response.neighbors[i];
+        if (i > 0) out += ",";
+        out += "{\"index\":" + std::to_string(hit.index);
+        out += ",\"label\":" + std::to_string(hit.label);
+        out += ",\"similarity\":" + obs::JsonNumber(hit.similarity) + "}";
+      }
+      out += "]";
+      break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+Response MakeErrorResponse(const std::string& id_json, ServeError error,
+                           std::string message) {
+  Response response;
+  response.id_json = id_json;
+  response.ok = false;
+  response.error = error;
+  response.message = std::move(message);
+  return response;
+}
+
+}  // namespace rll::serve

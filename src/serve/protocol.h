@@ -1,0 +1,90 @@
+// Wire protocol for the inference server: newline-delimited JSON, one
+// request object in, one response object out, over any byte stream (TCP
+// in production, in-process strings in tests and the bench harness).
+//
+// Requests:
+//   {"id": 7, "type": "embed",     "features": [f0, f1, ...]}
+//   {"id": 8, "type": "predict",   "features": [...]}
+//   {"id": 9, "type": "neighbors", "features": [...], "k": 5}
+//
+// Responses (always one line, always carry "ok"):
+//   {"id": 7, "type": "embed",   "ok": true, "embedding": [...]}
+//   {"id": 8, "type": "predict", "ok": true, "score": 0.93, "label": 1}
+//   {"id": 9, "type": "neighbors", "ok": true,
+//    "neighbors": [{"index": 3, "label": 1, "similarity": 0.98}, ...]}
+//   {"id": 7, "ok": false, "error": "bad_request", "message": "..."}
+//
+// "id" is optional and echoed verbatim (number or string); it lets clients
+// pipeline requests on one connection. Malformed input yields a structured
+// error response, never a disconnect. Doubles are emitted with %.17g
+// (obs::JsonNumber), so embeddings round-trip bit-exactly through the
+// protocol.
+
+#ifndef RLL_SERVE_PROTOCOL_H_
+#define RLL_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rll::serve {
+
+enum class RequestType { kEmbed, kPredict, kNeighbors };
+
+const char* RequestTypeName(RequestType type);
+
+/// Machine-readable error classes, mirrored into the "error" field and the
+/// serve_requests_total{status=...} metric label.
+enum class ServeError {
+  kBadRequest,   // Unparseable or semantically invalid request.
+  kUnsupported,  // Valid request the server is not configured for.
+  kOverloaded,   // Rejected by admission control; retry later.
+  kShutdown,     // Server is draining; connection should close.
+  kInternal,     // Bug or unexpected state.
+};
+
+const char* ServeErrorName(ServeError error);
+
+struct Request {
+  RequestType type = RequestType::kEmbed;
+  /// The request's "id" member re-serialized as JSON (empty = absent).
+  std::string id_json;
+  std::vector<double> features;
+  /// neighbors only; 0 means "use the server default".
+  size_t k = 0;
+};
+
+struct NeighborHit {
+  size_t index = 0;       // Row in the served corpus.
+  int label = 0;          // Expert label of that corpus row.
+  double similarity = 0;  // Cosine in [-1, 1].
+};
+
+struct Response {
+  std::string id_json;  // Echo of the request id ("" = absent).
+  bool ok = false;
+  bool has_type = false;  // False for errors before the type was known.
+  RequestType type = RequestType::kEmbed;
+  std::vector<double> embedding;         // embed
+  double score = 0.0;                    // predict
+  int label = 0;                         // predict
+  std::vector<NeighborHit> neighbors;    // neighbors
+  ServeError error = ServeError::kInternal;  // when !ok
+  std::string message;                       // when !ok
+};
+
+/// Parses one request line. On failure returns a non-OK status and — when
+/// the line was at least valid JSON with an "id" member — leaves the
+/// serialized id in *id_json so the error response can still echo it.
+Result<Request> ParseRequest(const std::string& line, std::string* id_json);
+
+/// One-line JSON serialization (no trailing newline).
+std::string SerializeResponse(const Response& response);
+
+Response MakeErrorResponse(const std::string& id_json, ServeError error,
+                           std::string message);
+
+}  // namespace rll::serve
+
+#endif  // RLL_SERVE_PROTOCOL_H_

@@ -1,0 +1,174 @@
+#include "serve/server_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rll::serve {
+
+namespace {
+
+/// Request counter + latency histogram per (type, status) resolved on the
+/// fly: the registry lookup takes a lock, but request handling already
+/// crosses the batcher's mutex and a future, so one map lookup is noise.
+void RecordRequest(const char* type, const char* status, double millis) {
+  auto& registry = obs::MetricRegistry::Global();
+  registry
+      .GetCounter("serve_requests_total",
+                  {{"type", type}, {"status", status}})
+      ->Increment();
+  registry.GetHistogram("serve_request_latency_ms", {{"type", type}})
+      ->Observe(millis);
+}
+
+}  // namespace
+
+ServerCore::ServerCore(core::ModelBundle bundle,
+                       const ServerCoreOptions& options)
+    : options_(options), bundle_(std::move(bundle)) {
+  cache_ = std::make_unique<EmbeddingCache>(options_.cache_capacity);
+  // The batch function runs on the batcher's worker thread; RllModel::
+  // Embed is const and the bundle is immutable after construction, so no
+  // synchronization is needed. Rows arrive already standardized.
+  batcher_ = std::make_unique<MicroBatcher>(
+      options_.batcher,
+      [this](const Matrix& x) { return bundle_.model().Embed(x); },
+      cache_.get());
+}
+
+ServerCore::~ServerCore() { Shutdown(); }
+
+Result<std::unique_ptr<ServerCore>> ServerCore::Create(
+    core::ModelBundle bundle, const data::Dataset* corpus,
+    const ServerCoreOptions& options) {
+  if (options.default_k == 0) {
+    return Status::InvalidArgument("default_k must be >= 1");
+  }
+  std::unique_ptr<ServerCore> server(
+      new ServerCore(std::move(bundle), options));  // rll-lint: allow(naked-new-delete)
+  if (corpus != nullptr) {
+    if (corpus->empty()) {
+      return Status::InvalidArgument("corpus must be non-empty");
+    }
+    if (corpus->dim() != server->bundle_.input_dim()) {
+      return Status::InvalidArgument(
+          "corpus feature dimensionality does not match the bundle");
+    }
+    // One batched pass through the same encoder that will serve traffic.
+    RLL_ASSIGN_OR_RETURN(Matrix embeddings,
+                         server->bundle_.Embed(corpus->features()));
+    RLL_RETURN_IF_ERROR(server->index_.Build(embeddings));
+    RLL_RETURN_IF_ERROR(
+        server->predictor_.Fit(embeddings, corpus->true_labels()));
+    server->corpus_labels_ = corpus->true_labels();
+  }
+  return server;
+}
+
+Result<Matrix> ServerCore::EmbedRow(const std::vector<double>& features) {
+  const Matrix raw = Matrix::RowVector(features);
+  return batcher_->Embed(bundle_.standardizer().Transform(raw));
+}
+
+Response ServerCore::Handle(const Request& request) {
+  RLL_TRACE_SPAN("serve_request");
+  Stopwatch timer;
+  Response response = HandleInternal(request);
+  const char* status =
+      response.ok ? "ok" : ServeErrorName(response.error);
+  RecordRequest(RequestTypeName(request.type), status,
+                timer.ElapsedMillis());
+  return response;
+}
+
+Response ServerCore::HandleInternal(const Request& request) {
+  if (shutting_down()) {
+    return MakeErrorResponse(request.id_json, ServeError::kShutdown,
+                             "server is shutting down");
+  }
+  if (request.features.size() != bundle_.input_dim()) {
+    return MakeErrorResponse(
+        request.id_json, ServeError::kBadRequest,
+        "expected " + std::to_string(bundle_.input_dim()) +
+            " features, got " + std::to_string(request.features.size()));
+  }
+
+  Result<Matrix> embedded = EmbedRow(request.features);
+  if (!embedded.ok()) {
+    ServeError error = ServeError::kInternal;
+    if (IsOverloaded(embedded.status())) error = ServeError::kOverloaded;
+    if (IsShuttingDown(embedded.status())) error = ServeError::kShutdown;
+    return MakeErrorResponse(request.id_json, error,
+                             embedded.status().message());
+  }
+
+  Response response;
+  response.id_json = request.id_json;
+  response.has_type = true;
+  response.type = request.type;
+  switch (request.type) {
+    case RequestType::kEmbed: {
+      response.embedding.assign(
+          embedded->data(), embedded->data() + embedded->size());
+      response.ok = true;
+      return response;
+    }
+    case RequestType::kPredict: {
+      if (!supports_predict()) {
+        return MakeErrorResponse(
+            request.id_json, ServeError::kUnsupported,
+            "predict needs a labeled corpus (start the server with one)");
+      }
+      response.score = predictor_.PredictProba(*embedded)[0];
+      response.label = response.score >= 0.5 ? 1 : 0;
+      response.ok = true;
+      return response;
+    }
+    case RequestType::kNeighbors: {
+      if (!supports_neighbors()) {
+        return MakeErrorResponse(
+            request.id_json, ServeError::kUnsupported,
+            "neighbors needs a corpus (start the server with one)");
+      }
+      const size_t k = request.k > 0 ? request.k : options_.default_k;
+      auto hits = index_.Query(*embedded, k);
+      if (!hits.ok()) {
+        return MakeErrorResponse(request.id_json, ServeError::kInternal,
+                                 hits.status().message());
+      }
+      response.neighbors.reserve(hits->size());
+      for (const core::Neighbor& n : *hits) {
+        response.neighbors.push_back(
+            {n.index, corpus_labels_[n.index], n.similarity});
+      }
+      response.ok = true;
+      return response;
+    }
+  }
+  return MakeErrorResponse(request.id_json, ServeError::kInternal,
+                           "unhandled request type");
+}
+
+std::string ServerCore::HandleLine(const std::string& line) {
+  std::string id_json;
+  Result<Request> request = ParseRequest(line, &id_json);
+  if (!request.ok()) {
+    RecordRequest("unknown", ServeErrorName(ServeError::kBadRequest), 0.0);
+    return SerializeResponse(MakeErrorResponse(
+        id_json, ServeError::kBadRequest, request.status().message()));
+  }
+  return SerializeResponse(Handle(*request));
+}
+
+void ServerCore::Shutdown() {
+  // Flag first so new arrivals fail fast; Stop() then drains what is
+  // already queued, so requests blocked in batcher_->Embed complete
+  // normally instead of being dropped.
+  shutdown_.store(true, std::memory_order_release);
+  batcher_->Stop();
+}
+
+}  // namespace rll::serve

@@ -1,0 +1,106 @@
+// ServerCore: the transport-independent heart of the inference server.
+//
+// Owns a trained ModelBundle, the micro-batcher + LRU cache in front of
+// its encoder, and (when a labeled corpus is provided) a logistic-
+// regression head fit on the corpus embeddings plus a cosine retrieval
+// index over them. Every transport — the TCP listener, the bench load
+// generator, the tests — drives this one class, so all serving logic is
+// exercisable without a socket.
+//
+// Request flow for all three types:
+//   raw features → standardize (bundle statistics) → cache probe →
+//   micro-batched Mlp::Embed → [predict: LR head | neighbors: index query]
+//
+// Thread-safe: Handle/HandleLine may be called from any number of
+// transport threads concurrently. Shutdown() drains in-flight work;
+// requests arriving afterwards fail with a structured "shutdown" error.
+
+#ifndef RLL_SERVE_SERVER_CORE_H_
+#define RLL_SERVE_SERVER_CORE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/logistic_regression.h"
+#include "core/embedding_index.h"
+#include "core/model_bundle.h"
+#include "data/dataset.h"
+#include "serve/batcher.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+
+namespace rll::serve {
+
+struct ServerCoreOptions {
+  MicroBatcherOptions batcher;
+  /// LRU entries keyed by standardized feature row (0 disables caching).
+  size_t cache_capacity = 1024;
+  /// k used by neighbors requests that do not pass one.
+  size_t default_k = 5;
+};
+
+class ServerCore {
+ public:
+  /// Builds a server around a trained bundle. `corpus` is optional: when
+  /// non-null, its rows are embedded once (one batched Embed call), a
+  /// logistic-regression head is fit on (embeddings, expert labels) for
+  /// `predict`, and a cosine index is built for `neighbors`. Without a
+  /// corpus those two request types answer a structured "unsupported"
+  /// error and only `embed` is live.
+  static Result<std::unique_ptr<ServerCore>> Create(
+      core::ModelBundle bundle, const data::Dataset* corpus,
+      const ServerCoreOptions& options);
+
+  ~ServerCore();
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  /// Typed entry point: answers one request (blocking until its batch
+  /// completes). Never fails structurally — errors come back as `ok ==
+  /// false` responses so transports have exactly one write path.
+  Response Handle(const Request& request);
+
+  /// Wire entry point: parses one protocol line, handles it, serializes
+  /// the response (no trailing newline). Parse errors yield a structured
+  /// bad_request response, never an empty string.
+  std::string HandleLine(const std::string& line);
+
+  /// Graceful shutdown: drains every queued request through the batcher,
+  /// then fails later arrivals with a "shutdown" error. Idempotent.
+  void Shutdown();
+  bool shutting_down() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  const EmbeddingCache& cache() const { return *cache_; }
+  const MicroBatcher& batcher() const { return *batcher_; }
+  const core::ModelBundle& bundle() const { return bundle_; }
+  /// 0 when no corpus was provided.
+  size_t corpus_size() const { return corpus_labels_.size(); }
+  bool supports_predict() const { return predictor_.fitted(); }
+  bool supports_neighbors() const { return !index_.empty(); }
+  const ServerCoreOptions& options() const { return options_; }
+
+ private:
+  ServerCore(core::ModelBundle bundle, const ServerCoreOptions& options);
+
+  /// Standardizes one raw feature row and embeds it through the batcher.
+  Result<Matrix> EmbedRow(const std::vector<double>& features);
+  Response HandleInternal(const Request& request);
+
+  const ServerCoreOptions options_;
+  core::ModelBundle bundle_;
+  classify::LogisticRegression predictor_;
+  core::EmbeddingIndex index_;
+  std::vector<int> corpus_labels_;
+  std::unique_ptr<EmbeddingCache> cache_;
+  std::unique_ptr<MicroBatcher> batcher_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace rll::serve
+
+#endif  // RLL_SERVE_SERVER_CORE_H_

@@ -1,0 +1,247 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace rll::serve {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 100;
+/// Requests are a few KB at most; a line past this is a protocol abuse and
+/// the connection is dropped rather than buffered without bound.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+/// Blocking full write (handles short writes; MSG_NOSIGNAL so a client
+/// that disappeared mid-response surfaces as EPIPE, not SIGPIPE).
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(const TcpServerOptions& options, ServerCore* core)
+    : options_(options), core_(core) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseListener();
+    return Status::InvalidArgument("cannot parse listen host: " +
+                                   options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::IOError(
+        "bind " + options_.host + ":" + std::to_string(options_.port) +
+        ": " + std::strerror(errno));
+    CloseListener();
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    CloseListener();
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::OK();
+}
+
+Status TcpServer::Serve(const volatile std::sig_atomic_t* stop_flag) {
+  if (listen_fd_.load(std::memory_order_acquire) < 0) {
+    return Status::FailedPrecondition("Serve called before Start");
+  }
+  obs::Gauge* active =
+      obs::MetricRegistry::Global().GetGauge("serve_connections_active");
+  obs::Counter* accepted =
+      obs::MetricRegistry::Global().GetCounter("serve_connections_total");
+
+  while (!stop_.load(std::memory_order_acquire) &&
+         (stop_flag == nullptr || *stop_flag == 0)) {
+    // Reloaded every iteration: a concurrent Stop() closes the socket and
+    // stores -1, and the loop must never poll a dead (or recycled) fd.
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // Signal delivery; loop re-checks.
+      if (stop_.load(std::memory_order_acquire)) break;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;  // Timeout tick: re-check the stop flags.
+
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (stop_.load(std::memory_order_acquire)) break;
+      return Status::IOError(std::string("accept: ") +
+                             std::strerror(errno));
+    }
+    accepted->Increment();
+
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      WriteAll(fd, SerializeResponse(MakeErrorResponse(
+                       "", ServeError::kOverloaded,
+                       "too many concurrent connections")) +
+                       "\n");
+      ::close(fd);
+      continue;
+    }
+
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    active->Set(
+        static_cast<double>(active_connections_.load(std::memory_order_relaxed)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_fds_.push_back(fd);
+      threads_.emplace_back([this, fd, active] {
+        HandleConnection(fd);
+        active_connections_.fetch_sub(1, std::memory_order_relaxed);
+        active->Set(static_cast<double>(
+            active_connections_.load(std::memory_order_relaxed)));
+        std::lock_guard<std::mutex> inner(mu_);
+        finished_.push_back(std::this_thread::get_id());
+      });
+    }
+    ReapFinished();
+  }
+  return Status::OK();
+}
+
+void TcpServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_.empty()) return;
+    for (std::thread::id id : finished_) {
+      for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+        if (it->get_id() == id) {
+          done.push_back(std::move(*it));
+          threads_.erase(it);
+          break;
+        }
+      }
+    }
+    finished_.clear();
+  }
+  // The announcing thread may still be returning from its lambda; join
+  // waits out those last few instructions.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // Connection error (or shutdown() from Stop).
+    }
+    if (n == 0) break;  // Peer closed.
+    buffer.append(chunk, static_cast<size_t>(n));
+    if (buffer.size() > kMaxLineBytes) {
+      WriteAll(fd, SerializeResponse(MakeErrorResponse(
+                       "", ServeError::kBadRequest,
+                       "request line exceeds 1 MiB")) +
+                       "\n");
+      break;
+    }
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      if (!WriteAll(fd, core_->HandleLine(line) + "\n")) {
+        start = buffer.size();
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  // A final unterminated line still gets an answer (nc-without-newline).
+  if (!buffer.empty() &&
+      buffer.find_first_not_of(" \t\r") != std::string::npos) {
+    WriteAll(fd, core_->HandleLine(buffer) + "\n");
+  }
+  // Deregister before closing so Stop() never calls shutdown() on an fd
+  // number the kernel has already recycled for a newer connection.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+      if (*it == fd) {
+        conn_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void TcpServer::Stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) {
+    // Already stopping; still join below in case the first caller raced.
+  }
+  CloseListener();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Wake blocked recv() calls; the threads then drain and close their
+    // own fds.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_fds_.clear();
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::CloseListener() {
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace rll::serve

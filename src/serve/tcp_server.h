@@ -1,0 +1,88 @@
+// TCP transport for ServerCore: a loopback-friendly, newline-delimited
+// JSON listener. One accept loop (poll-based, so a stop flag is honored
+// within ~100 ms) plus one thread per connection; connections past
+// `max_connections` receive a structured "overloaded" response and are
+// closed instead of queueing invisibly in the backlog.
+//
+// The transport owns sockets and threads only — all request semantics
+// live in ServerCore, which is what lets tests and the bench harness run
+// the identical logic in-process. Stop() (or the caller's stop flag, e.g.
+// a SIGINT handler's sig_atomic_t) ends the accept loop and unblocks the
+// connection threads; the caller then drains the core with
+// ServerCore::Shutdown().
+
+#ifndef RLL_SERVE_TCP_SERVER_H_
+#define RLL_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/server_core.h"
+
+namespace rll::serve {
+
+struct TcpServerOptions {
+  /// Listen address. The default stays off the network: serving beyond
+  /// localhost is an explicit operator decision.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start().
+  int port = 0;
+  /// Concurrent connections beyond this are turned away with an
+  /// "overloaded" response line.
+  size_t max_connections = 64;
+};
+
+class TcpServer {
+ public:
+  TcpServer(const TcpServerOptions& options, ServerCore* core);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens. port() is valid afterwards.
+  Status Start();
+
+  /// Blocking accept loop. Returns cleanly when Stop() is called or when
+  /// *stop_flag becomes nonzero (polled every ~100 ms — the flag can be
+  /// written from a signal handler).
+  Status Serve(const volatile std::sig_atomic_t* stop_flag = nullptr);
+
+  /// Ends the accept loop, shuts down open connections, joins their
+  /// threads. Idempotent; safe from any thread.
+  void Stop();
+
+  /// Bound port after Start() (resolves port 0 to the real one).
+  int port() const { return port_; }
+
+ private:
+  void HandleConnection(int fd);
+  void CloseListener();
+  /// Joins connection threads that have announced completion (called from
+  /// the accept loop so a long-lived server does not accumulate finished
+  /// thread handles).
+  void ReapFinished();
+
+  const TcpServerOptions options_;
+  ServerCore* const core_;  // Not owned.
+  /// Atomic because Stop() (any thread) closes it while the accept loop
+  /// polls it; CloseListener's exchange makes the close idempotent.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> active_connections_{0};
+
+  std::mutex mu_;  // Guards threads_, conn_fds_, finished_.
+  std::vector<std::thread> threads_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread::id> finished_;
+};
+
+}  // namespace rll::serve
+
+#endif  // RLL_SERVE_TCP_SERVER_H_

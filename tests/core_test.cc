@@ -8,6 +8,7 @@
 #include <set>
 
 #include "autograd/gradcheck.h"
+#include "common/threading.h"
 #include "core/embedding_eval.h"
 #include "core/embedding_index.h"
 #include "core/group_sampler.h"
@@ -447,6 +448,33 @@ TEST(EmbeddingIndexTest, AddGrowsCorpus) {
   EXPECT_EQ((*neighbors)[0].index, 1u);
 }
 
+TEST(EmbeddingIndexTest, QueryIdenticalAcrossThreadCounts) {
+  // Corpus large enough to cross the parallel-scan threshold, so threads 2
+  // and 4 actually exercise the ParallelFor path.
+  Rng rng(44);
+  Matrix corpus = RandomNormal(1024, 16, &rng);
+  EmbeddingIndex index;
+  ASSERT_TRUE(index.Build(corpus).ok());
+  const Matrix query = RandomNormal(1, 16, &rng);
+
+  SetGlobalThreads(1);
+  auto serial = index.Query(query, 10);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {2u, 4u}) {
+    SetGlobalThreads(threads);
+    auto parallel = index.Query(query, 10);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(parallel->size(), serial->size());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      EXPECT_EQ((*parallel)[i].index, (*serial)[i].index);
+      // Bitwise, not approximate: the parallel scan must not change the
+      // per-row accumulation order.
+      EXPECT_EQ((*parallel)[i].similarity, (*serial)[i].similarity);
+    }
+  }
+  SetGlobalThreads(0);
+}
+
 TEST(EmbeddingIndexTest, ErrorContracts) {
   EmbeddingIndex index;
   EXPECT_EQ(index.Query(Matrix({{1.0}}), 1).status().code(),
@@ -521,6 +549,113 @@ TEST(ModelBundleTest, EmbedRejectsWrongWidth) {
   auto bundle = ModelBundle::Create(standardizer, model, &rng);
   ASSERT_TRUE(bundle.ok());
   EXPECT_FALSE(bundle->Embed(Matrix(2, 5)).ok());
+}
+
+TEST(ModelBundleTest, V2RoundTripsNonDefaultArchitecture) {
+  // The legacy loader hard-coded tanh; the v2 header must reconstruct a
+  // relu/none LayerNorm encoder exactly.
+  Rng rng(54);
+  Matrix raw = RandomNormal(12, 5, &rng, 2.0, 1.5);
+  data::Standardizer standardizer;
+  standardizer.Fit(raw);
+  RllModelConfig config;
+  config.input_dim = 5;
+  config.hidden_dims = {6, 4};
+  config.hidden_activation = nn::Activation::kRelu;
+  config.output_activation = nn::Activation::kNone;
+  config.layer_norm = true;
+  RllModel model(config, &rng);
+
+  auto bundle = ModelBundle::Create(standardizer, model, &rng);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  const std::string path = ::testing::TempDir() + "/bundle_v2.ckpt";
+  ASSERT_TRUE(bundle->Save(path).ok());
+
+  auto loaded = ModelBundle::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const RllModelConfig& restored = loaded->model().config();
+  EXPECT_EQ(restored.hidden_activation, nn::Activation::kRelu);
+  EXPECT_EQ(restored.output_activation, nn::Activation::kNone);
+  EXPECT_TRUE(restored.layer_norm);
+  ASSERT_EQ(restored.hidden_dims, config.hidden_dims);
+
+  auto original = bundle->Embed(raw);
+  auto reloaded = loaded->Embed(raw);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(reloaded.ok());
+  // %.17g round-trips doubles exactly, so the restored encoder is not just
+  // close — it is the same function, bit for bit.
+  EXPECT_TRUE(*original == *reloaded);
+}
+
+TEST(ModelBundleTest, LoadsLegacyHeaderlessFormat) {
+  // A legacy file is exactly a v2 file minus its header line (mean,
+  // stddev, weight/bias pairs); it must load via shape inference with the
+  // tanh defaults it was trained with.
+  Rng rng(55);
+  Matrix raw = RandomNormal(10, 4, &rng);
+  data::Standardizer standardizer;
+  standardizer.Fit(raw);
+  RllModel model({.input_dim = 4, .hidden_dims = {5, 3}}, &rng);
+  auto bundle = ModelBundle::Create(standardizer, model, &rng);
+  ASSERT_TRUE(bundle.ok());
+  const std::string v2_path = ::testing::TempDir() + "/bundle_for_legacy.ckpt";
+  ASSERT_TRUE(bundle->Save(v2_path).ok());
+
+  const std::string legacy_path = ::testing::TempDir() + "/bundle_legacy.ckpt";
+  {
+    std::ifstream in(v2_path);
+    std::ofstream out(legacy_path);
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // Drop header.
+    EXPECT_EQ(line.rfind("rll-bundle", 0), 0u);
+    while (std::getline(in, line)) out << line << "\n";
+  }
+
+  auto loaded = ModelBundle::Load(legacy_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->model().config().hidden_activation,
+            nn::Activation::kTanh);
+  auto original = bundle->Embed(raw);
+  auto restored = loaded->Embed(raw);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*original == *restored);
+}
+
+TEST(ModelBundleTest, RejectsMalformedHeaders) {
+  const std::string path = ::testing::TempDir() + "/bad_header.ckpt";
+  const std::string body =
+      "matrix 1 2\n0 0\nmatrix 1 2\n1 1\n"
+      "matrix 2 3\n1 2 3 4 5 6\nmatrix 1 3\n0 0 0\n";
+  const std::vector<std::string> bad_headers = {
+      "rll-bundle v99 dims=2,3 hidden=tanh output=tanh",  // Bad version.
+      "rll-bundle v2 hidden=tanh output=tanh",            // Missing dims.
+      "rll-bundle v2 dims=2,3 hidden=swish output=tanh",  // Bad activation.
+      "rll-bundle v2 dims=2,3 hidden=tanh output=tanh shiny=1",  // Unknown.
+      "rll-bundle v2 dims=2,3 hidden=tanh output=tanh embed_dim=7",
+      "rll-bundle v2 dims=2 hidden=tanh output=tanh",     // Too few dims.
+  };
+  for (const std::string& header : bad_headers) {
+    {
+      std::ofstream f(path);
+      f << header << "\n" << body;
+    }
+    auto loaded = ModelBundle::Load(path);
+    EXPECT_FALSE(loaded.ok()) << "accepted header: " << header;
+  }
+}
+
+TEST(ModelBundleTest, RejectsParameterShapeMismatchAgainstHeader) {
+  const std::string path = ::testing::TempDir() + "/shape_mismatch.ckpt";
+  {
+    std::ofstream f(path);
+    // Header declares dims=2,3 but the weight matrix is 2x4.
+    f << "rll-bundle v2 dims=2,3 hidden=tanh output=tanh layer_norm=0\n"
+      << "matrix 1 2\n0 0\nmatrix 1 2\n1 1\n"
+      << "matrix 2 4\n1 2 3 4 5 6 7 8\nmatrix 1 4\n0 0 0 0\n";
+  }
+  EXPECT_FALSE(ModelBundle::Load(path).ok());
 }
 
 // ----------------------------------------------------------------- Pipeline

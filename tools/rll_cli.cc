@@ -13,6 +13,9 @@
 //                     [--mode ...] [--epochs E] [--seed N]
 //   rll_cli embed     --features F.csv --model M --output EMB.csv
 //   rll_cli retrieve  --features F.csv --model M --query ROW [--k K]
+//   rll_cli serve     --model M [--corpus F.csv] [--host H] [--port P]
+//                     [--max-batch N] [--batch-timeout-us U] [--max-queue Q]
+//                     [--cache-size C] [--k K]
 //
 // Every command also accepts the common flags:
 //   --threads N             global thread-pool size (results are identical
@@ -27,6 +30,7 @@
 // simulated paper datasets so the whole flow is runnable offline.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -58,6 +62,8 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
+#include "serve/server_core.h"
+#include "serve/tcp_server.h"
 #include "tensor/serialize.h"
 
 namespace rll::cli {
@@ -103,6 +109,9 @@ int Usage() {
       "[--epochs E]\n"
       "  embed     --features F --model M --output EMB\n"
       "  retrieve  --features F --model M --query ROW [--k K]\n"
+      "  serve     --model M [--corpus F] [--host H] [--port P]\n"
+      "            [--max-batch N] [--batch-timeout-us U] [--max-queue Q]\n"
+      "            [--cache-size C] [--k K]\n"
       "common flags (any command):\n"
       "  --threads N              thread-pool size (same results at any N)\n"
       "  --log-level debug|info|warning|error\n"
@@ -137,6 +146,9 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
         "eta", "seed", "groups"}},
       {"embed", {"features", "model", "output"}},
       {"retrieve", {"features", "model", "query", "k"}},
+      {"serve",
+       {"model", "corpus", "host", "port", "max-batch", "batch-timeout-us",
+        "max-queue", "cache-size", "k"}},
   };
   return flags;
 }
@@ -431,8 +443,7 @@ int RunEvaluate(const Args& args, const ObsSession& obs_session) {
 
 // ------------------------------------------------------------------ train
 
-// Model bundle file: standardizer mean, standardizer stddev, then the
-// encoder parameter matrices (all in tensor text format).
+// Writes a model bundle (see core/model_bundle.h for the file format).
 int RunTrain(const Args& args, const ObsSession& obs_session) {
   auto dataset = LoadAnnotatedDataset(args);
   if (!dataset.ok()) {
@@ -658,6 +669,103 @@ int RunRetrieve(const Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------------------ serve
+
+// Written by the SIGINT/SIGTERM handler; polled by the accept loop so
+// Ctrl-C produces a graceful drain instead of an abort.
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
+
+int RunServe(const Args& args) {
+  const std::string model_path = args.Get("model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "--model is required\n");
+    return 2;
+  }
+  auto bundle = core::ModelBundle::Load(model_path);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "%s\n", bundle.status().ToString().c_str());
+    return 1;
+  }
+
+  // The corpus (a features CSV with expert labels) enables predict and
+  // neighbors; without it the server only answers embed requests.
+  data::Dataset corpus;
+  const data::Dataset* corpus_ptr = nullptr;
+  const std::string corpus_path = args.Get("corpus", "");
+  if (!corpus_path.empty()) {
+    auto loaded = data::LoadFeaturesCsv(corpus_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    corpus = std::move(*loaded);
+    corpus_ptr = &corpus;
+  }
+
+  serve::ServerCoreOptions core_options;
+  core_options.batcher.max_batch =
+      static_cast<size_t>(args.GetInt("max-batch", 32));
+  core_options.batcher.batch_timeout_us = args.GetInt("batch-timeout-us", 200);
+  core_options.batcher.max_queue =
+      static_cast<size_t>(args.GetInt("max-queue", 256));
+  core_options.cache_capacity =
+      static_cast<size_t>(args.GetInt("cache-size", 1024));
+  core_options.default_k = static_cast<size_t>(args.GetInt("k", 5));
+  auto server_core =
+      serve::ServerCore::Create(std::move(*bundle), corpus_ptr, core_options);
+  if (!server_core.ok()) {
+    std::fprintf(stderr, "%s\n", server_core.status().ToString().c_str());
+    return 1;
+  }
+  serve::ServerCore* core = server_core->get();
+
+  serve::TcpServerOptions tcp_options;
+  tcp_options.host = args.Get("host", "127.0.0.1");
+  tcp_options.port = static_cast<int>(args.GetInt("port", 0));
+  serve::TcpServer server(tcp_options, core);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  // Scraped by scripts (and the CI smoke test) to find the bound port, so
+  // it goes to stdout and is flushed before the blocking accept loop.
+  std::printf("serving on %s:%d\n", tcp_options.host.c_str(), server.port());
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "model=%s corpus=%zu rows predict=%s neighbors=%s "
+               "max-batch=%zu batch-timeout-us=%lld max-queue=%zu "
+               "cache-size=%zu\n",
+               model_path.c_str(), core->corpus_size(),
+               core->supports_predict() ? "on" : "off",
+               core->supports_neighbors() ? "on" : "off",
+               core_options.batcher.max_batch,
+               static_cast<long long>(core_options.batcher.batch_timeout_us),
+               core_options.batcher.max_queue, core_options.cache_capacity);
+
+  status = server.Serve(&g_stop_requested);
+  server.Stop();
+  core->Shutdown();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const serve::MicroBatcher& batcher = core->batcher();
+  std::fprintf(stderr,
+               "serve summary: batches=%llu rows=%llu max-batch-observed=%llu "
+               "rejected=%llu cache-hit-rate=%.3f\n",
+               static_cast<unsigned long long>(batcher.batches_run()),
+               static_cast<unsigned long long>(batcher.rows_batched()),
+               static_cast<unsigned long long>(batcher.max_batch_observed()),
+               static_cast<unsigned long long>(batcher.rejected()),
+               core->cache().HitRate());
+  return 0;
+}
+
 int Dispatch(const Args& args, const ObsSession& obs_session) {
   if (args.command == "synth") return RunSynth(args);
   if (args.command == "describe") return RunDescribe(args);
@@ -667,6 +775,7 @@ int Dispatch(const Args& args, const ObsSession& obs_session) {
   if (args.command == "train") return RunTrain(args, obs_session);
   if (args.command == "embed") return RunEmbed(args);
   if (args.command == "retrieve") return RunRetrieve(args);
+  if (args.command == "serve") return RunServe(args);
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
   return Usage();
 }
