@@ -72,8 +72,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  const auto now = std::chrono::system_clock::now();
-  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  // Log timestamps are the one legitimate wall-clock read: they label
+  // output for humans and never feed computation.
+  using Wall = std::chrono::system_clock;  // rll-analyze: allow(wall-clock)
+  const auto now = Wall::now();
+  const std::time_t seconds = Wall::to_time_t(now);
   const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
                           now.time_since_epoch())
                           .count() %

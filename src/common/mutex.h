@@ -1,0 +1,166 @@
+// Annotated mutex wrapper: the one lock vocabulary for src/.
+//
+// Clang's -Wthread-safety analysis proves at compile time that every
+// access to a RLL_GUARDED_BY member happens with its mutex held — but only
+// for types it can see capabilities on. std::mutex has none, so the repo
+// wraps it:
+//
+//   class RLL_CAPABILITY("mutex") Mutex     — lockable capability
+//   class RLL_SCOPED_CAPABILITY MutexLock   — RAII lock (std::lock_guard)
+//   class CondVar                            — condition variable whose
+//                                              Wait() REQUIRES the mutex
+//
+// Usage mirrors the std types it replaces:
+//
+//   Mutex mu_;
+//   std::deque<Task> queue_ RLL_GUARDED_BY(mu_);
+//   ...
+//   MutexLock lock(mu_);
+//   while (queue_.empty()) cv_.Wait(mu_);   // explicit loop, not a lambda
+//   queue_.pop_front();
+//
+// Condition-variable predicates are written as explicit while loops rather
+// than wait(lock, pred) lambdas: the analysis is intraprocedural, so a
+// lambda body would be checked without the caller's lock context and every
+// guarded access inside it would (correctly, but uselessly) warn.
+//
+// On non-Clang compilers the annotation macros expand to nothing and the
+// wrapper degrades to a zero-overhead veneer over std::mutex — every
+// method is a single inlined forwarding call. The thread-safety build
+// (CMake preset `thread-safety`, CI job `analysis`) compiles with
+// -Wthread-safety -Werror=thread-safety so violations break the build.
+//
+// tools/analyze's lock-discipline pass bans raw std::mutex / std::lock_guard
+// / std::condition_variable in src/ outside this file, so new concurrent
+// code cannot silently opt out of the analysis.
+
+#ifndef RLL_COMMON_MUTEX_H_
+#define RLL_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Annotation macros expand to Clang thread-safety attributes under Clang
+// and to nothing elsewhere (GCC accepts but ignores most of them, and the
+// spellings drift across versions — empty is the portable no-op).
+#if defined(__clang__)
+#define RLL_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RLL_THREAD_ANNOTATION_ATTRIBUTE__(x)
+#endif
+
+/// Declares a type to be a capability (lockable).
+#define RLL_CAPABILITY(x) RLL_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+/// Declares an RAII type that acquires on construction, releases on
+/// destruction.
+#define RLL_SCOPED_CAPABILITY \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+/// Data member readable/writable only with the given mutex held.
+#define RLL_GUARDED_BY(x) RLL_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+/// Pointer member whose pointee is guarded by the given mutex.
+#define RLL_PT_GUARDED_BY(x) \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+/// Function that must be called with the listed mutexes held.
+#define RLL_REQUIRES(...) \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+/// Function that acquires the listed mutexes and returns holding them.
+#define RLL_ACQUIRE(...) \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+/// Function that releases the listed mutexes.
+#define RLL_RELEASE(...) \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+/// Function that acquires on a true (or listed) return value.
+#define RLL_TRY_ACQUIRE(...) \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+/// Function that must NOT be called with the listed mutexes held.
+#define RLL_EXCLUDES(...) \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the mutex is held (informs the analysis).
+#define RLL_ASSERT_CAPABILITY(x) \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+/// Function returning a reference to the mutex guarding its result.
+#define RLL_RETURN_CAPABILITY(x) \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Use only where
+/// the locking pattern is genuinely invisible to the analysis, and say why.
+#define RLL_NO_THREAD_SAFETY_ANALYSIS \
+  RLL_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace rll {
+
+class CondVar;
+
+/// std::mutex with a thread-safety capability. Prefer MutexLock to manual
+/// Lock/Unlock pairs.
+class RLL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RLL_ACQUIRE() { mu_.lock(); }
+  void Unlock() RLL_RELEASE() { mu_.unlock(); }
+  bool TryLock() RLL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock, the analysis-aware std::lock_guard. Not movable: one scope,
+/// one lock.
+class RLL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RLL_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() RLL_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable for rll::Mutex. Wait-with-predicate is spelled as an
+/// explicit loop at the call site (see file comment):
+///
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires. Spurious
+  /// wakeups happen; always re-check the condition in a loop.
+  void Wait(Mutex& mu) RLL_REQUIRES(mu) {
+    // Adopt the held lock for the wait, then release ownership without
+    // unlocking: the caller's MutexLock still owns the mutex.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Wait, but give up at `deadline`. Returns std::cv_status::timeout when
+  /// the deadline passed (the mutex is reacquired either way).
+  std::cv_status WaitUntil(Mutex& mu,
+                           std::chrono::steady_clock::time_point deadline)
+      RLL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  /// Notification does not require the mutex (though holding it is fine).
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rll
+
+#endif  // RLL_COMMON_MUTEX_H_

@@ -49,10 +49,11 @@ size_t DefaultThreadCount() {
 
 // Completion state shared between one ParallelFor call and its chunks.
 struct ThreadPool::ForState {
-  std::mutex mu;
-  std::condition_variable done;
-  size_t remaining = 0;
-  std::exception_ptr error;  // First chunk exception, rethrown by the caller.
+  Mutex mu;
+  CondVar done;
+  size_t remaining RLL_GUARDED_BY(mu) = 0;
+  // First chunk exception, rethrown by the caller.
+  std::exception_ptr error RLL_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(size_t num_threads)
@@ -66,10 +67,10 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -83,8 +84,8 @@ void ThreadPool::WorkerLoop(size_t worker_id) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -111,9 +112,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
   const size_t chunks = (n + grain - 1) / grain;
   auto state = std::make_shared<ForState>();
-  state->remaining = chunks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock state_lock(state->mu);
+    state->remaining = chunks;
+  }
+  {
+    MutexLock lock(mu_);
     RLL_CHECK_MSG(!stopping_, "ParallelFor on a stopping ThreadPool");
     for (size_t c = 0; c < chunks; ++c) {
       const size_t lo = begin + c * grain;
@@ -133,35 +137,36 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
           try {
             fn(lo, hi);
           } catch (...) {
-            std::lock_guard<std::mutex> state_lock(state->mu);
+            MutexLock state_lock(state->mu);
             if (!state->error) state->error = std::current_exception();
           }
         }
         ActiveWorkersGauge()->Add(-1.0);
-        std::lock_guard<std::mutex> state_lock(state->mu);
-        if (--state->remaining == 0) state->done.notify_all();
+        MutexLock state_lock(state->mu);
+        if (--state->remaining == 0) state->done.NotifyAll();
       });
     }
     QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
     TasksCounter()->Increment(chunks);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&state] { return state->remaining == 0; });
+  MutexLock lock(state->mu);
+  while (state->remaining != 0) state->done.Wait(state->mu);
   if (state->error) std::rethrow_exception(state->error);
 }
 
 namespace {
 
-std::mutex g_pool_mu;
-std::shared_ptr<ThreadPool> g_pool;   // Guarded by g_pool_mu.
-size_t g_requested_threads = 0;       // 0 = use RLL_THREADS / default.
+Mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool RLL_GUARDED_BY(g_pool_mu);
+// 0 = use RLL_THREADS / default.
+size_t g_requested_threads RLL_GUARDED_BY(g_pool_mu) = 0;
 
 }  // namespace
 
 std::shared_ptr<ThreadPool> GlobalThreadPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   if (g_pool == nullptr) {
     const size_t threads =
         g_requested_threads > 0 ? g_requested_threads : DefaultThreadCount();
@@ -171,13 +176,13 @@ std::shared_ptr<ThreadPool> GlobalThreadPool() {
 }
 
 void SetGlobalThreads(size_t num_threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   g_requested_threads = num_threads;
   g_pool.reset();  // Recreated lazily at the new size.
 }
 
 size_t GlobalThreadCount() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   if (g_pool != nullptr) return g_pool->num_threads();
   return g_requested_threads > 0 ? g_requested_threads
                                  : DefaultThreadCount();

@@ -26,14 +26,14 @@
 #define RLL_COMMON_THREADING_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace rll {
 
@@ -75,10 +75,10 @@ class ThreadPool {
 
   size_t num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ RLL_GUARDED_BY(mu_);
+  bool stopping_ RLL_GUARDED_BY(mu_) = false;
 };
 
 /// The process-wide pool. Created on first use with the thread count from

@@ -7,7 +7,6 @@
 #define RLL_NN_OPTIMIZER_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "autograd/variable.h"

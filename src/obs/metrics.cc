@@ -160,7 +160,7 @@ MetricRegistry::Entry* MetricRegistry::FindOrCreate(
   for (const auto& [label_key, label_value] : labels) {
     key += '\x1f' + label_key + '\x1f' + label_value;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     RLL_CHECK_MSG(it->second.kind == kind,
@@ -204,12 +204,12 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
 }
 
 size_t MetricRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::string MetricRegistry::ExportText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [key, entry] : entries_) {
     const std::string id = entry.name + LabelsToText(entry.labels);
@@ -237,7 +237,7 @@ std::string MetricRegistry::ExportText() const {
 }
 
 std::string MetricRegistry::ExportJsonl() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [key, entry] : entries_) {
     std::string line = "{\"type\":\"metric\",\"name\":\"" +

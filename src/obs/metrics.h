@@ -24,9 +24,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace rll::obs {
 
@@ -167,8 +168,12 @@ class MetricRegistry {
   Entry* FindOrCreate(const std::string& name, const Labels& labels,
                       Kind kind, const HistogramOptions* options);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  // Key: name + serialized labels.
+  mutable Mutex mu_;
+  // Key: name + serialized labels. Instrument pointers handed out by the
+  // Get* methods stay valid after mu_ is released (std::map nodes are
+  // stable and entries are never erased), which is what makes the
+  // lock-free record path possible.
+  std::map<std::string, Entry> entries_ RLL_GUARDED_BY(mu_);
 };
 
 }  // namespace rll::obs

@@ -1,7 +1,5 @@
 #include "obs/observer.h"
 
-#include <mutex>
-
 #include "common/logging.h"
 #include "common/strings.h"
 #include "obs/json_util.h"
@@ -55,6 +53,9 @@ void MetricsObserver::OnTrainEnd(const TrainEndStats& /*stats*/) {
 // --------------------------------------------------------- JsonlObserver
 
 JsonlObserver::JsonlObserver(const std::string& path) {
+  // Uncontended (no other thread can hold a reference yet), but taking the
+  // lock keeps the guarded-by contract on file_ uniform for the analysis.
+  MutexLock lock(mu_);
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
     status_ = Status::IOError("cannot open " + path + " for write");
@@ -64,7 +65,7 @@ JsonlObserver::JsonlObserver(const std::string& path) {
 JsonlObserver::~JsonlObserver() { Close(); }
 
 void JsonlObserver::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) {
     if (std::fclose(file_) != 0 && status_.ok()) {
       status_ = Status::IOError("close failed");
@@ -81,7 +82,7 @@ void JsonlObserver::WriteLine(const std::string& line) {
 }
 
 void JsonlObserver::OnTrainBegin(const TrainBeginStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++run_;
   WriteLine(StrFormat(
       "{\"type\":\"train_begin\",\"run\":%d,\"examples\":%zu,"
@@ -90,7 +91,7 @@ void JsonlObserver::OnTrainBegin(const TrainBeginStats& stats) {
 }
 
 void JsonlObserver::OnEpochEnd(const EpochStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   WriteLine(StrFormat(
       "{\"type\":\"epoch\",\"run\":%d,\"epoch\":%d,\"loss\":%s,"
       "\"grad_norm\":%s,\"groups_per_sec\":%s,\"groups\":%zu,"
@@ -102,7 +103,7 @@ void JsonlObserver::OnEpochEnd(const EpochStats& stats) {
 }
 
 void JsonlObserver::OnValidation(const ValidationStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   WriteLine(StrFormat(
       "{\"type\":\"validation\",\"run\":%d,\"epoch\":%d,\"val_loss\":%s,"
       "\"improved\":%s}",
@@ -111,14 +112,14 @@ void JsonlObserver::OnValidation(const ValidationStats& stats) {
 }
 
 void JsonlObserver::OnEarlyStop(int epoch, int best_epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   WriteLine(StrFormat(
       "{\"type\":\"early_stop\",\"run\":%d,\"epoch\":%d,\"best_epoch\":%d}",
       run_, epoch, best_epoch));
 }
 
 void JsonlObserver::OnTrainEnd(const TrainEndStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   WriteLine(StrFormat(
       "{\"type\":\"train_end\",\"run\":%d,\"epochs_run\":%d,"
       "\"best_epoch\":%d,\"stopped_early\":%s,\"groups_trained\":%zu}",
@@ -135,14 +136,14 @@ ProgressObserver::ProgressObserver(int every_n_epochs)
     : every_n_epochs_(every_n_epochs > 0 ? every_n_epochs : 1) {}
 
 void ProgressObserver::OnTrainBegin(const TrainBeginStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   planned_epochs_ = stats.planned_epochs;
   RLL_LOG(Info) << "training " << stats.num_examples << " examples for "
                 << stats.planned_epochs << " epochs";
 }
 
 void ProgressObserver::OnEpochEnd(const EpochStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (stats.epoch % every_n_epochs_ != 0 &&
       stats.epoch != planned_epochs_ - 1) {
     return;
@@ -154,7 +155,7 @@ void ProgressObserver::OnEpochEnd(const EpochStats& stats) {
 }
 
 void ProgressObserver::OnEarlyStop(int epoch, int best_epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RLL_LOG(Info) << "early stop at epoch " << epoch << " (best epoch "
                 << best_epoch << ")";
 }

@@ -13,9 +13,9 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -128,12 +128,13 @@ class JsonlObserver : public TrainerObserver {
   const Status& status() const { return status_; }
 
  private:
-  /// Requires mu_ held.
-  void WriteLine(const std::string& line);
+  void WriteLine(const std::string& line) RLL_REQUIRES(mu_);
 
-  std::mutex mu_;  // Serializes concurrent folds sharing this observer.
-  std::FILE* file_ = nullptr;
-  int run_ = -1;  // Incremented by each OnTrainBegin.
+  Mutex mu_;  // Serializes concurrent folds sharing this observer.
+  std::FILE* file_ RLL_GUARDED_BY(mu_) = nullptr;
+  int run_ RLL_GUARDED_BY(mu_) = -1;  // Incremented by each OnTrainBegin.
+  // Written under mu_ by the callbacks; status() is read after training
+  // (single-threaded epilogue), so it stays unguarded by contract.
   Status status_;
 };
 
@@ -148,9 +149,9 @@ class ProgressObserver : public TrainerObserver {
   void OnEarlyStop(int epoch, int best_epoch) override;
 
  private:
-  std::mutex mu_;  // Serializes concurrent folds sharing this observer.
-  int every_n_epochs_;
-  int planned_epochs_ = 0;
+  Mutex mu_;  // Serializes concurrent folds sharing this observer.
+  const int every_n_epochs_;
+  int planned_epochs_ RLL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rll::obs

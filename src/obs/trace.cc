@@ -4,8 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "obs/json_util.h"
 
@@ -28,16 +28,16 @@ struct TraceEvent {
 // Each thread appends to its own buffer; the export path walks all buffers.
 // Buffers are shared_ptr so events survive thread exit until cleared.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  uint64_t dropped = 0;
-  uint32_t tid = 0;
+  Mutex mu;
+  std::vector<TraceEvent> events RLL_GUARDED_BY(mu);
+  uint64_t dropped RLL_GUARDED_BY(mu) = 0;
+  uint32_t tid = 0;  // Written once at registration, read-only after.
 };
 
 struct BufferDirectory {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  uint32_t next_tid = 1;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers RLL_GUARDED_BY(mu);
+  uint32_t next_tid RLL_GUARDED_BY(mu) = 1;
 };
 
 BufferDirectory& Directory() {
@@ -49,7 +49,7 @@ ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
     BufferDirectory& dir = Directory();
-    std::lock_guard<std::mutex> lock(dir.mu);
+    MutexLock lock(dir.mu);
     b->tid = dir.next_tid++;
     dir.buffers.push_back(b);
     return b;
@@ -81,9 +81,9 @@ int64_t TraceNowMicros() {
 
 void ClearTraceEvents() {
   BufferDirectory& dir = Directory();
-  std::lock_guard<std::mutex> lock(dir.mu);
+  MutexLock lock(dir.mu);
   for (const auto& buffer : dir.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
     buffer->dropped = 0;
   }
@@ -92,9 +92,9 @@ void ClearTraceEvents() {
 std::vector<TraceEventView> SnapshotTraceEvents() {
   std::vector<TraceEventView> out;
   BufferDirectory& dir = Directory();
-  std::lock_guard<std::mutex> lock(dir.mu);
+  MutexLock lock(dir.mu);
   for (const auto& buffer : dir.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     for (const TraceEvent& e : buffer->events) {
       out.push_back({e.name, e.start_us, e.dur_us, buffer->tid});
     }
@@ -110,9 +110,9 @@ std::vector<TraceEventView> SnapshotTraceEvents() {
 size_t TraceEventCount() {
   size_t total = 0;
   BufferDirectory& dir = Directory();
-  std::lock_guard<std::mutex> lock(dir.mu);
+  MutexLock lock(dir.mu);
   for (const auto& buffer : dir.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     total += buffer->events.size();
   }
   return total;
@@ -138,7 +138,7 @@ namespace internal {
 
 void RecordSpan(std::string name, int64_t start_us, int64_t end_us) {
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     ++buffer.dropped;
     return;

@@ -96,7 +96,7 @@ Result<Matrix> MicroBatcher::Embed(const Matrix& row) {
 
   std::future<Result<Matrix>> future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return ShuttingDownStatus();
     if (queue_.size() >= options_.max_queue) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -110,20 +110,20 @@ Result<Matrix> MicroBatcher::Embed(const Matrix& row) {
     queue_.push_back(std::move(pending));
     Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return future.get();
 }
 
 void MicroBatcher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       // Second caller: fall through to join (idempotence), but the flag
       // is already set.
     }
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
   stopped_.store(true, std::memory_order_release);
 }
@@ -132,8 +132,8 @@ void MicroBatcher::WorkerLoop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ && drained.
       // First request in hand: linger for stragglers up to the timeout
       // (skipped when already full or when shutting down — the drain
@@ -143,9 +143,9 @@ void MicroBatcher::WorkerLoop() {
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::microseconds(options_.batch_timeout_us);
-        cv_.wait_until(lock, deadline, [this] {
-          return stopping_ || queue_.size() >= options_.max_batch;
-        });
+        while (!stopping_ && queue_.size() < options_.max_batch) {
+          if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+        }
       }
       const size_t take = std::min(queue_.size(), options_.max_batch);
       batch.reserve(take);

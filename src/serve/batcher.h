@@ -25,15 +25,14 @@
 #define RLL_SERVE_BATCHER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "serve/cache.h"
 #include "tensor/matrix.h"
@@ -112,10 +111,10 @@ class MicroBatcher {
   const BatchFn batch_fn_;
   EmbeddingCache* const cache_;  // Not owned; may be nullptr.
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;  // Guarded by mu_; set once by Stop().
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Pending> queue_ RLL_GUARDED_BY(mu_);
+  bool stopping_ RLL_GUARDED_BY(mu_) = false;  // Set once by Stop().
   std::atomic<bool> stopped_{false};
 
   std::atomic<uint64_t> batches_run_{0};

@@ -36,7 +36,7 @@ bool EmbeddingCache::Lookup(uint64_t key, const Matrix& row,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_key_.find(key);
   if (it == by_key_.end() || !(it->second->row == row)) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -51,7 +51,7 @@ bool EmbeddingCache::Lookup(uint64_t key, const Matrix& row,
 void EmbeddingCache::Insert(uint64_t key, const Matrix& row,
                             const Matrix& embedding) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     // Refresh (also heals a colliding entry: last writer wins, and the
@@ -70,7 +70,7 @@ void EmbeddingCache::Insert(uint64_t key, const Matrix& row,
 }
 
 size_t EmbeddingCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

@@ -11,9 +11,9 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "tensor/matrix.h"
 
 namespace rll::serve {
@@ -54,9 +54,13 @@ class EmbeddingCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // Front = most recently used.
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_key_;
+  mutable Mutex mu_;
+  // Front = most recently used. The map is index-only (lookup by hash,
+  // never iterated), so its nondeterministic order cannot leak into
+  // results.
+  std::list<Entry> lru_ RLL_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_key_
+      RLL_GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

@@ -130,14 +130,14 @@ Status TcpServer::Serve(const volatile std::sig_atomic_t* stop_flag) {
     active->Set(
         static_cast<double>(active_connections_.load(std::memory_order_relaxed)));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       conn_fds_.push_back(fd);
       threads_.emplace_back([this, fd, active] {
         HandleConnection(fd);
         active_connections_.fetch_sub(1, std::memory_order_relaxed);
         active->Set(static_cast<double>(
             active_connections_.load(std::memory_order_relaxed)));
-        std::lock_guard<std::mutex> inner(mu_);
+        MutexLock inner(mu_);
         finished_.push_back(std::this_thread::get_id());
       });
     }
@@ -149,7 +149,7 @@ Status TcpServer::Serve(const volatile std::sig_atomic_t* stop_flag) {
 void TcpServer::ReapFinished() {
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (finished_.empty()) return;
     for (std::thread::id id : finished_) {
       for (auto it = threads_.begin(); it != threads_.end(); ++it) {
@@ -209,7 +209,7 @@ void TcpServer::HandleConnection(int fd) {
   // Deregister before closing so Stop() never calls shutdown() on an fd
   // number the kernel has already recycled for a newer connection.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
       if (*it == fd) {
         conn_fds_.erase(it);
@@ -227,7 +227,7 @@ void TcpServer::Stop() {
   CloseListener();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Wake blocked recv() calls; the threads then drain and close their
     // own fds.
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);

@@ -16,11 +16,11 @@
 
 #include <atomic>
 #include <csignal>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "serve/server_core.h"
 
@@ -77,10 +77,10 @@ class TcpServer {
   std::atomic<bool> stop_{false};
   std::atomic<size_t> active_connections_{0};
 
-  std::mutex mu_;  // Guards threads_, conn_fds_, finished_.
-  std::vector<std::thread> threads_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread::id> finished_;
+  Mutex mu_;
+  std::vector<std::thread> threads_ RLL_GUARDED_BY(mu_);
+  std::vector<int> conn_fds_ RLL_GUARDED_BY(mu_);
+  std::vector<std::thread::id> finished_ RLL_GUARDED_BY(mu_);
 };
 
 }  // namespace rll::serve

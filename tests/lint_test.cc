@@ -7,14 +7,14 @@
 
 #include <gtest/gtest.h>
 
-#include "lint/linter.h"
+#include "analyze/linter.h"
 
 namespace {
 
-using rll::lint::ExpectedHeaderGuard;
-using rll::lint::LintContent;
-using rll::lint::LintOptions;
-using rll::lint::Violation;
+using rll::analyze::ExpectedHeaderGuard;
+using rll::analyze::LintContent;
+using rll::analyze::LintOptions;
+using rll::analyze::Violation;
 
 std::vector<Violation> Lint(std::string_view path, std::string_view content,
                             bool own_header_exists = false) {
@@ -36,8 +36,8 @@ TEST(ExpectedHeaderGuardTest, DropsSrcPrefixAndUppercasesPath) {
             "RLL_COMMON_FINITE_CHECK_H_");
   EXPECT_EQ(ExpectedHeaderGuard("bench/bench_common.h"),
             "RLL_BENCH_BENCH_COMMON_H_");
-  EXPECT_EQ(ExpectedHeaderGuard("tools/lint/linter.h"),
-            "RLL_TOOLS_LINT_LINTER_H_");
+  EXPECT_EQ(ExpectedHeaderGuard("tools/analyze/linter.h"),
+            "RLL_TOOLS_ANALYZE_LINTER_H_");
 }
 
 TEST(HeaderGuardRuleTest, FiresOnWrongGuard) {
@@ -86,7 +86,7 @@ TEST(UsingNamespaceStdRuleTest, FiresInSourcesAndHeaders) {
 TEST(UsingNamespaceStdRuleTest, PassesOnScopedUsingAndComments) {
   EXPECT_TRUE(Lint("src/core/a.cc", "using std::string;\n").empty());
   EXPECT_TRUE(Lint("src/core/a.cc", "// using namespace std;\n").empty());
-  EXPECT_TRUE(Lint("src/core/a.cc", "using namespace rll::lint;\n").empty());
+  EXPECT_TRUE(Lint("src/core/a.cc", "using namespace rll::analyze;\n").empty());
 }
 
 TEST(IostreamInHeaderRuleTest, FiresOnlyInHeaders) {
@@ -190,7 +190,7 @@ TEST(WaiverTest, AllowCommentSuppressesNamedRuleOnly) {
 
 TEST(FormatViolationTest, MatchesCompilerDiagnosticShape) {
   const Violation v{"src/core/a.cc", 7, "raw-rand", "message"};
-  EXPECT_EQ(rll::lint::FormatViolation(v),
+  EXPECT_EQ(rll::analyze::FormatViolation(v),
             "src/core/a.cc:7: [raw-rand] message");
 }
 

@@ -1,4 +1,4 @@
-#include "lint/linter.h"
+#include "analyze/linter.h"
 
 #include <algorithm>
 #include <array>
@@ -6,175 +6,11 @@
 #include <fstream>
 #include <sstream>
 
-namespace rll::lint {
+#include "analyze/text_util.h"
+
+namespace rll::analyze {
 
 namespace {
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool StartsWith(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
-}
-
-bool EndsWith(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
-}
-
-/// Replaces comment bodies and string/char literal contents with spaces,
-/// preserving length and newlines, so the token rules never fire on prose
-/// or on fixture snippets embedded in test strings. Lines whose first
-/// non-blank character is '#' are preprocessor directives: their quoted
-/// include targets are kept (the include rules need them), only comments
-/// are stripped.
-std::string BlankCommentsAndLiterals(std::string_view src) {
-  std::string out(src);
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  bool preprocessor_line = false;
-  bool line_has_code = false;  // Any non-blank char seen on this line yet?
-  std::string raw_terminator;  // ")delim\"" that ends the raw string.
-  for (size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n' && state != State::kBlockComment &&
-        state != State::kRawString) {
-      if (state == State::kLineComment) state = State::kCode;
-      // Unterminated string/char on one line: malformed input, reset.
-      if (state == State::kString || state == State::kChar)
-        state = State::kCode;
-      preprocessor_line = false;
-      line_has_code = false;
-      continue;
-    }
-    switch (state) {
-      case State::kCode: {
-        if (!line_has_code && !std::isspace(static_cast<unsigned char>(c))) {
-          line_has_code = true;
-          if (c == '#') preprocessor_line = true;
-        }
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          // R"delim( ... )delim" — check for a raw-string prefix ending in R.
-          const bool raw =
-              i > 0 && src[i - 1] == 'R' &&
-              (i == 1 || !IsIdentChar(src[i - 2]) || src[i - 2] == 'u' ||
-               src[i - 2] == 'U' || src[i - 2] == 'L' || src[i - 2] == '8');
-          if (raw) {
-            size_t d = i + 1;
-            while (d < src.size() && src[d] != '(' && src[d] != '\n') ++d;
-            raw_terminator =
-                ")" + std::string(src.substr(i + 1, d - (i + 1))) + "\"";
-            state = State::kRawString;
-          } else if (!preprocessor_line) {
-            state = State::kString;
-          }
-          // Preprocessor "..." include targets stay intact.
-        } else if (c == '\'' && i > 0 && !IsIdentChar(src[i - 1])) {
-          // The ident-char guard skips digit separators (1'000) and
-          // literal suffixes.
-          state = State::kChar;
-        }
-        break;
-      }
-      case State::kLineComment:
-        out[i] = ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        const char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\0' && next != '\n') {
-            out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == quote) {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      }
-      case State::kRawString:
-        if (StartsWith(src.substr(i), raw_terminator)) {
-          for (size_t k = 0; k < raw_terminator.size(); ++k) out[i + k] = ' ';
-          i += raw_terminator.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string_view> SplitLines(std::string_view s) {
-  std::vector<std::string_view> lines;
-  size_t start = 0;
-  while (start <= s.size()) {
-    size_t end = s.find('\n', start);
-    if (end == std::string_view::npos) {
-      lines.push_back(s.substr(start));
-      break;
-    }
-    lines.push_back(s.substr(start, end - start));
-    start = end + 1;
-  }
-  return lines;
-}
-
-std::string_view Trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
-    s.remove_prefix(1);
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
-    s.remove_suffix(1);
-  return s;
-}
-
-/// `#include "a/b.h"` / `#include <x>` -> "a/b.h" / "x"; empty otherwise.
-std::string_view IncludeTarget(std::string_view line) {
-  std::string_view t = Trim(line);
-  if (!StartsWith(t, "#")) return {};
-  t.remove_prefix(1);
-  t = Trim(t);
-  if (!StartsWith(t, "include")) return {};
-  t.remove_prefix(7);
-  t = Trim(t);
-  if (t.size() < 2) return {};
-  const char open = t.front();
-  const char close = open == '"' ? '"' : (open == '<' ? '>' : '\0');
-  if (close == '\0') return {};
-  const size_t end = t.find(close, 1);
-  if (end == std::string_view::npos) return {};
-  return t.substr(1, end - 1);
-}
 
 bool IsHeader(std::string_view rel_path) { return EndsWith(rel_path, ".h"); }
 bool IsSource(std::string_view rel_path) { return EndsWith(rel_path, ".cc"); }
@@ -190,17 +26,6 @@ bool AllowsRawRand(std::string_view rel_path) {
 }
 bool AllowsNakedNew(std::string_view rel_path) {
   return StartsWith(rel_path, "src/tensor/");
-}
-
-/// True if `line` carries a `// rll-lint: allow(<rule>)` waiver for `rule`.
-bool LineWaives(std::string_view original_line, std::string_view rule) {
-  const size_t at = original_line.find("rll-lint: allow(");
-  if (at == std::string_view::npos) return false;
-  std::string_view rest = original_line.substr(at + 16);
-  const size_t close = rest.find(')');
-  if (close == std::string_view::npos) return false;
-  const std::string_view waived = Trim(rest.substr(0, close));
-  return waived == rule || waived == "all";
 }
 
 class FileLinter {
@@ -236,7 +61,7 @@ class FileLinter {
     const std::string_view original =
         line >= 1 && line <= raw_lines_.size() ? raw_lines_[line - 1]
                                                : std::string_view{};
-    if (LineWaives(original, rule)) return;
+    if (LineWaives(original, "rll-lint", rule)) return;
     violations_.push_back(
         {std::string(rel_path_), line, std::move(rule), std::move(message)});
   }
@@ -503,4 +328,4 @@ std::string FormatViolation(const Violation& v) {
   return out.str();
 }
 
-}  // namespace rll::lint
+}  // namespace rll::analyze

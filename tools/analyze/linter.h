@@ -20,15 +20,15 @@
 // suite can feed known-bad snippets and assert each rule fires; the
 // `rll_lint` binary wraps it with directory walking.
 
-#ifndef RLL_TOOLS_LINT_LINTER_H_
-#define RLL_TOOLS_LINT_LINTER_H_
+#ifndef RLL_TOOLS_ANALYZE_LINTER_H_
+#define RLL_TOOLS_ANALYZE_LINTER_H_
 
 #include <filesystem>
 #include <string>
 #include <string_view>
 #include <vector>
 
-namespace rll::lint {
+namespace rll::analyze {
 
 struct Violation {
   std::string file;     // Repo-relative path, '/' separators.
@@ -68,6 +68,6 @@ std::string FormatViolation(const Violation& v);
 /// "RLL_BENCH_BENCH_COMMON_H_". Exposed for tests.
 std::string ExpectedHeaderGuard(std::string_view rel_path);
 
-}  // namespace rll::lint
+}  // namespace rll::analyze
 
-#endif  // RLL_TOOLS_LINT_LINTER_H_
+#endif  // RLL_TOOLS_ANALYZE_LINTER_H_

@@ -1,0 +1,42 @@
+// Shared text scanning for the analyze suite (linter.cc and passes.cc):
+// comment/literal blanking, line splitting, include-target extraction, and
+// per-line waiver parsing. These operate on raw file text — the passes are
+// file-level, not AST-level, by design (zero compiler dependency, runs in
+// milliseconds on every ctest invocation).
+
+#ifndef RLL_TOOLS_ANALYZE_TEXT_UTIL_H_
+#define RLL_TOOLS_ANALYZE_TEXT_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rll::analyze {
+
+bool IsIdentChar(char c);
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces comment bodies and string/char literal contents with spaces,
+/// preserving length and newlines, so token rules never fire on prose or
+/// on fixture snippets embedded in test strings. Lines whose first
+/// non-blank character is '#' are preprocessor directives: their quoted
+/// include targets are kept (the include rules need them), only comments
+/// are stripped.
+std::string BlankCommentsAndLiterals(std::string_view src);
+
+std::vector<std::string_view> SplitLines(std::string_view s);
+
+std::string_view Trim(std::string_view s);
+
+/// `#include "a/b.h"` / `#include <x>` -> "a/b.h" / "x"; empty otherwise.
+std::string_view IncludeTarget(std::string_view line);
+
+/// True if `line` carries a `// <tool>: allow(<rule>)` waiver for `rule`
+/// (or for "all"). `tool` is "rll-lint" or "rll-analyze".
+bool LineWaives(std::string_view original_line, std::string_view tool,
+                std::string_view rule);
+
+}  // namespace rll::analyze
+
+#endif  // RLL_TOOLS_ANALYZE_TEXT_UTIL_H_

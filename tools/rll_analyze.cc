@@ -1,0 +1,112 @@
+// Command-line driver for the analysis passes (tools/analyze/passes.h).
+//
+//   rll_analyze [--root <dir>] [--allowlist <file>] [file...]
+//
+// With no files, walks src/ under the root (default: cwd) and runs the
+// layering, determinism, and lock-discipline passes over every .h/.cc.
+// With files, analyzes just those (paths relative to the root). The
+// layering allowlist defaults to <root>/tools/analyze/layering_allowlist.txt
+// and is optional — a missing file means an empty allowlist. Exit code:
+// 0 clean, 1 violations, 2 usage error. Registered as a CTest test so
+// `ctest` fails on any new violation.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+
+namespace {
+
+/// Drops trailing slashes ("/repo/" -> "/repo") so reported paths never
+/// contain "//". Leaves bare "/" and "." alone.
+std::string NormalizeRoot(std::string root) {
+  while (root.size() > 1 && (root.back() == '/' || root.back() == '\\')) {
+    root.pop_back();
+  }
+  return root;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string allowlist_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rll_analyze: --root requires a directory\n");
+        return 2;
+      }
+      root = NormalizeRoot(argv[++i]);
+    } else if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rll_analyze: --allowlist requires a file\n");
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: rll_analyze [--root <dir>] [--allowlist <file>] "
+          "[file...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rll_analyze: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  // A mistyped root would otherwise analyze zero files and "pass".
+  if (!std::filesystem::is_directory(root)) {
+    std::fprintf(stderr, "rll_analyze: root '%s' is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+
+  rll::analyze::AnalyzeOptions options;
+  const bool explicit_allowlist = !allowlist_path.empty();
+  if (!explicit_allowlist) {
+    allowlist_path = root + "/tools/analyze/layering_allowlist.txt";
+  }
+  {
+    std::ifstream in(allowlist_path, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      options.layering_allowlist =
+          rll::analyze::ParseLayeringAllowlist(buffer.str());
+    } else if (explicit_allowlist) {
+      std::fprintf(stderr, "rll_analyze: cannot read allowlist '%s'\n",
+                   allowlist_path.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<rll::analyze::Violation> violations;
+  if (files.empty()) {
+    violations = rll::analyze::AnalyzeTree(root, options);
+  } else {
+    for (const std::string& f : files) {
+      std::vector<rll::analyze::Violation> v =
+          rll::analyze::AnalyzeFile(root, f, options);
+      violations.insert(violations.end(), v.begin(), v.end());
+    }
+  }
+
+  for (const rll::analyze::Violation& v : violations) {
+    std::printf("%s\n", rll::analyze::FormatViolation(v).c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "rll_analyze: %zu violation(s)\n",
+                 violations.size());
+    return 1;
+  }
+  return 0;
+}

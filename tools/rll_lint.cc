@@ -1,4 +1,6 @@
-// Command-line driver for the in-repo linter (tools/lint/linter.h).
+// Command-line driver for the in-repo style linter
+// (tools/analyze/linter.h). Style rules live here; the layering /
+// determinism / lock-discipline passes are rll_analyze.
 //
 //   rll_lint [--root <dir>] [file...]
 //
@@ -13,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "lint/linter.h"
+#include "analyze/linter.h"
 
 int main(int argc, char** argv) {
   std::string root = ".";
@@ -26,6 +28,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+      // Drop trailing slashes ("/repo/" -> "/repo") so reported paths
+      // never contain "//".
+      while (root.size() > 1 &&
+             (root.back() == '/' || root.back() == '\\')) {
+        root.pop_back();
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: rll_lint [--root <dir>] [file...]\n");
       return 0;
@@ -44,18 +52,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<rll::lint::Violation> violations;
+  std::vector<rll::analyze::Violation> violations;
   if (files.empty()) {
-    violations = rll::lint::LintTree(root);
+    violations = rll::analyze::LintTree(root);
   } else {
     for (const std::string& f : files) {
-      std::vector<rll::lint::Violation> v = rll::lint::LintFile(root, f);
+      std::vector<rll::analyze::Violation> v = rll::analyze::LintFile(root, f);
       violations.insert(violations.end(), v.begin(), v.end());
     }
   }
 
-  for (const rll::lint::Violation& v : violations) {
-    std::printf("%s\n", rll::lint::FormatViolation(v).c_str());
+  for (const rll::analyze::Violation& v : violations) {
+    std::printf("%s\n", rll::analyze::FormatViolation(v).c_str());
   }
   if (!violations.empty()) {
     std::fprintf(stderr, "rll_lint: %zu violation(s)\n", violations.size());
