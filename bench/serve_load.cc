@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "core/model_bundle.h"
 #include "core/rll_model.h"
@@ -85,6 +86,8 @@ int Run(int argc, char** argv) {
   // harness measures latency under batching, not rejection behavior.
   options.cache_capacity = 256;  // Below the corpus size, so uniform
   // traffic keeps missing while the hot set stays resident.
+  options.window.intervals = 120;  // 120s window: covers the whole run,
+  // so the windowed percentiles below must agree with the lifetime ones.
   auto core = serve::ServerCore::Create(std::move(*bundle), &dataset,
                                         options);
   if (!core.ok()) {
@@ -161,6 +164,24 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // metricsz scrape RTT: the per-refresh cost an operator's `rll_cli top`
+  // pays, measured over the same HandleLine path the transport uses.
+  const size_t scrapes = 20;
+  double scrape_total_ms = 0.0;
+  size_t scrape_failures = 0;
+  for (size_t s = 0; s < scrapes; ++s) {
+    Stopwatch scrape_timer;
+    const std::string response =
+        core->get()->HandleLine("{\"id\":\"bench\",\"type\":\"metricsz\"}");
+    scrape_total_ms += scrape_timer.ElapsedMillis();
+    if (response.find("\"ok\":true") == std::string::npos) ++scrape_failures;
+  }
+
+  // Windowed snapshot before Shutdown, while the run is still inside the
+  // 120s window configured above.
+  const obs::WindowedHistogram::Snapshot windowed =
+      core->get()->windowed_latency(serve::RequestType::kEmbed).GetSnapshot();
+
   core->get()->Shutdown();
 
   auto& registry = obs::MetricRegistry::Global();
@@ -186,6 +207,20 @@ int Run(int argc, char** argv) {
   reporter.Record("max_batch_observed",
                   static_cast<double>(batcher.max_batch_observed()));
 
+  // Windowed-vs-lifetime agreement: both views observe the identical
+  // request stream through the same bucket math, so with the window
+  // covering the whole run the percentiles must coincide (epoch-boundary
+  // slot recycling may shave a handful of observations, hence a ratio
+  // rather than an equality check). 1.0 = identical.
+  const auto agreement = [](double a, double b) {
+    if (a <= 0.0 || b <= 0.0) return a == b ? 1.0 : 0.0;
+    return a < b ? a / b : b / a;
+  };
+  reporter.Record("windowed_p50_agreement", agreement(windowed.p50, p50));
+  reporter.Record("windowed_p99_agreement", agreement(windowed.p99, p99));
+  reporter.Record("metricsz_scrape_rtt_ms",
+                  scrape_total_ms / static_cast<double>(scrapes));
+
   std::printf("serve_load: %zu clients x %zu requests (%llu total, "
               "%llu failed)\n",
               clients, iterations,
@@ -209,6 +244,11 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(cache.misses()));
   std::printf("  batched-vs-direct bitwise mismatches: %zu / %zu\n",
               mismatches, sample);
+  std::printf("  windowed p50 %.4f p99 %.4f (agreement %.3f / %.3f), "
+              "metricsz rtt %.4f ms\n",
+              windowed.p50, windowed.p99, agreement(windowed.p50, p50),
+              agreement(windowed.p99, p99),
+              scrape_total_ms / static_cast<double>(scrapes));
 
   int rc = reporter.Finish();
   if (total_failures > 0) {
@@ -225,6 +265,17 @@ int Run(int argc, char** argv) {
   }
   if (mismatches > 0) {
     std::fprintf(stderr, "FAIL: batched embeddings differ from direct\n");
+    rc = 1;
+  }
+  if (scrape_failures > 0) {
+    std::fprintf(stderr, "FAIL: %zu metricsz scrapes failed\n",
+                 scrape_failures);
+    rc = 1;
+  }
+  if (agreement(windowed.p99, p99) < 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: windowed p99 %.4f disagrees with lifetime %.4f\n",
+                 windowed.p99, p99);
     rc = 1;
   }
   return rc;

@@ -55,16 +55,16 @@ std::string LabelsToText(const Labels& labels) {
 
 }  // namespace
 
-Histogram::Histogram(HistogramOptions options)
-    : options_(options), min_(kInf), max_(-kInf) {
+std::vector<double> HistogramBucketBounds(const HistogramOptions& options) {
   RLL_CHECK_GT(options.count, 0u);
-  bounds_.reserve(options.count);
+  std::vector<double> bounds;
+  bounds.reserve(options.count);
   if (options.buckets == HistogramOptions::Buckets::kExponential) {
     RLL_CHECK_GT(options.start, 0.0);
     RLL_CHECK_GT(options.growth, 1.0);
     double bound = options.start;
     for (size_t i = 0; i < options.count; ++i) {
-      bounds_.push_back(bound);
+      bounds.push_back(bound);
       bound *= options.growth;
     }
   } else {
@@ -72,9 +72,61 @@ Histogram::Histogram(HistogramOptions options)
     const double width =
         (options.max - options.min) / static_cast<double>(options.count);
     for (size_t i = 0; i < options.count; ++i) {
-      bounds_.push_back(options.min + width * static_cast<double>(i + 1));
+      bounds.push_back(options.min + width * static_cast<double>(i + 1));
     }
   }
+  return bounds;
+}
+
+double QuantileFromBuckets(const HistogramOptions& options,
+                           const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& counts, double q,
+                           double observed_min, double observed_max) {
+  RLL_CHECK_GE(q, 0.0);
+  RLL_CHECK_LE(q, 1.0);
+  RLL_CHECK_EQ(counts.size(), bounds.size() + 1);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside bucket i. The first bucket's lower edge is the
+      // range minimum (linear) or 0 (exponential); the overflow bucket is
+      // pinned to the observed maximum.
+      double lower;
+      if (i == 0) {
+        lower = options.buckets == HistogramOptions::Buckets::kLinear
+                    ? options.min
+                    : 0.0;
+      } else {
+        lower = bounds[i - 1];
+      }
+      const double upper = i < bounds.size() ? bounds[i] : observed_max;
+      if (upper <= lower) {
+        return std::clamp(upper, observed_min, observed_max);
+      }
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(counts[i]);
+      // Clamp to the observed range: bucket interpolation must never
+      // report a quantile outside the data.
+      return std::clamp(lower + (upper - lower) * std::clamp(frac, 0.0, 1.0),
+                        observed_min, observed_max);
+    }
+    cumulative = next;
+  }
+  return observed_max;
+}
+
+Histogram::Histogram(HistogramOptions options)
+    : options_(options),
+      bounds_(HistogramBucketBounds(options)),
+      min_(kInf),
+      max_(-kInf) {
   counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
 }
 
@@ -105,42 +157,8 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::Percentile(double q) const {
-  RLL_CHECK_GE(q, 0.0);
-  RLL_CHECK_LE(q, 1.0);
-  const std::vector<uint64_t> counts = bucket_counts();
-  uint64_t total = 0;
-  for (uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-
-  const double target = q * static_cast<double>(total);
-  uint64_t cumulative = 0;
-  for (size_t i = 0; i < counts.size(); ++i) {
-    if (counts[i] == 0) continue;
-    const uint64_t next = cumulative + counts[i];
-    if (static_cast<double>(next) >= target) {
-      // Interpolate inside bucket i. The first bucket's lower edge is the
-      // range minimum (linear) or 0 (exponential); the overflow bucket is
-      // pinned to the observed maximum.
-      double lower;
-      if (i == 0) {
-        lower = options_.buckets == HistogramOptions::Buckets::kLinear
-                    ? options_.min
-                    : 0.0;
-      } else {
-        lower = bounds_[i - 1];
-      }
-      const double upper = i < bounds_.size() ? bounds_[i] : max();
-      if (upper <= lower) return std::clamp(upper, min(), max());
-      const double frac = (target - static_cast<double>(cumulative)) /
-                          static_cast<double>(counts[i]);
-      // Clamp to the observed range: bucket interpolation must never
-      // report a quantile outside the data.
-      return std::clamp(lower + (upper - lower) * std::clamp(frac, 0.0, 1.0),
-                        min(), max());
-    }
-    cumulative = next;
-  }
-  return max();
+  return QuantileFromBuckets(options_, bounds_, bucket_counts(), q, min(),
+                             max());
 }
 
 std::function<void(double)> ObserveMillis(Histogram* histogram) {
@@ -210,7 +228,7 @@ size_t MetricRegistry::size() const {
 
 std::string MetricRegistry::ExportText() const {
   MutexLock lock(mu_);
-  std::string out;
+  std::string out = StrFormat("# schema_version %d\n", kMetricsSchemaVersion);
   for (const auto& [key, entry] : entries_) {
     const std::string id = entry.name + LabelsToText(entry.labels);
     switch (entry.kind) {
@@ -238,7 +256,8 @@ std::string MetricRegistry::ExportText() const {
 
 std::string MetricRegistry::ExportJsonl() const {
   MutexLock lock(mu_);
-  std::string out;
+  std::string out = StrFormat("{\"type\":\"meta\",\"schema_version\":%d}\n",
+                              kMetricsSchemaVersion);
   for (const auto& [key, entry] : entries_) {
     std::string line = "{\"type\":\"metric\",\"name\":\"" +
                        JsonEscape(entry.name) + "\",\"labels\":" +
@@ -279,6 +298,53 @@ std::string MetricRegistry::ExportJsonl() const {
       }
     }
     out += line + "}\n";
+  }
+  return out;
+}
+
+std::string MetricRegistry::ExportJson() const {
+  MutexLock lock(mu_);
+  std::string out = StrFormat("{\"schema_version\":%d,\"metrics\":{",
+                              kMetricsSchemaVersion);
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    const std::string id = entry.name + LabelsToText(entry.labels);
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(id) + "\":";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += StrFormat("%llu", static_cast<unsigned long long>(
+                                     entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        out += JsonNumber(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += StrFormat("{\"kind\":\"histogram\",\"count\":%llu",
+                         static_cast<unsigned long long>(h.count()));
+        out += ",\"mean\":" + JsonNumber(h.mean());
+        out += ",\"min\":" + JsonNumber(h.count() ? h.min() : 0.0);
+        out += ",\"max\":" + JsonNumber(h.count() ? h.max() : 0.0);
+        out += ",\"p50\":" + JsonNumber(h.Percentile(0.50));
+        out += ",\"p95\":" + JsonNumber(h.Percentile(0.95));
+        out += ",\"p99\":" + JsonNumber(h.Percentile(0.99));
+        out += ",\"sum\":" + JsonNumber(h.sum()) + "}";
+        break;
+      }
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+std::map<std::string, uint64_t> MetricRegistry::CounterValues() const {
+  MutexLock lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.kind != Kind::kCounter) continue;
+    out[entry.name + LabelsToText(entry.labels)] = entry.counter->value();
   }
   return out;
 }

@@ -60,6 +60,11 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Version stamp emitted by the registry exporters. Bump when the export
+/// shape changes so downstream consumers (bench_gate, scrape parsers) can
+/// reject files they do not understand.
+inline constexpr int kMetricsSchemaVersion = 2;
+
 struct HistogramOptions {
   enum class Buckets {
     /// Upper bounds start, start·growth, start·growth², … (durations,
@@ -120,6 +125,21 @@ class Histogram {
   std::atomic<double> max_;
 };
 
+/// Ascending finite upper bounds for `options` (the overflow bucket is
+/// implied). Shared by Histogram and WindowedHistogram so both aggregate
+/// into identical bucket layouts.
+std::vector<double> HistogramBucketBounds(const HistogramOptions& options);
+
+/// Interpolated quantile over a fixed bucket table: `counts` has
+/// bounds.size() + 1 entries (overflow last), the overflow bucket's upper
+/// edge is pinned to `observed_max`, and the result is clamped to the
+/// observed [min, max]. Returns 0 when the table is empty. Shared by
+/// Histogram::Percentile and WindowedHistogram snapshots.
+double QuantileFromBuckets(const HistogramOptions& options,
+                           const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& counts, double q,
+                           double observed_min, double observed_max);
+
 /// Callback for common/stopwatch.h's ScopedTimer: reports the elapsed
 /// milliseconds into `histogram` when the timer scope exits.
 std::function<void(double)> ObserveMillis(Histogram* histogram);
@@ -143,14 +163,31 @@ class MetricRegistry {
                           HistogramOptions options = {});
 
   /// Human-readable dump, one "name{labels} value" line per instrument,
-  /// histograms with count/mean/p50/p95/p99.
+  /// histograms with count/mean/p50/p95/p99. Starts with a
+  /// "# schema_version N" comment line; instrument lines are ordered by
+  /// registration key, so two exports of the same registry state are
+  /// byte-identical.
   std::string ExportText() const;
 
   /// One JSON object per line:
+  ///   {"type":"meta","schema_version":N}
   ///   {"type":"metric","kind":"counter","name":...,"labels":{...},...}
   /// Counters/gauges carry "value"; histograms carry count/sum/min/max/
   /// p50/p95/p99 and the full bucket table as [upper_bound, count] pairs.
+  /// Line order is deterministic (registration-key order).
   std::string ExportJsonl() const;
+
+  /// One JSON object for scrape endpoints:
+  ///   {"schema_version":N,"metrics":{"name{labels}":...}}
+  /// Counters and gauges map to bare numbers; histograms to
+  /// {"kind":"histogram","count":...,"mean","min","max","p50","p95",
+  /// "p99","sum"} (no bucket table — scrapes stay small). Key order is
+  /// deterministic.
+  std::string ExportJson() const;
+
+  /// Snapshot of every counter as "name{labels}" → value, for
+  /// since-last-scrape delta views. Deterministic order (std::map).
+  std::map<std::string, uint64_t> CounterValues() const;
 
   size_t size() const;
 

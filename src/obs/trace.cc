@@ -134,6 +134,12 @@ std::string TraceToChromeJson() {
   return out;
 }
 
+void RecordSpanWithId(const char* name, int64_t id, int64_t start_us) {
+  if (!TracingEnabled()) return;
+  internal::RecordSpan(StrFormat("%s:%lld", name, static_cast<long long>(id)),
+                       start_us, TraceNowMicros());
+}
+
 namespace internal {
 
 void RecordSpan(std::string name, int64_t start_us, int64_t end_us) {

@@ -52,6 +52,12 @@ namespace internal {
 void RecordSpan(std::string name, int64_t start_us, int64_t end_us);
 }  // namespace internal
 
+/// Records a completed "name:id" span from `start_us` to now. For call
+/// sites where RAII does not fit — e.g. the batcher stamping one linked
+/// span per sampled row after a batch completes. No-op when tracing is
+/// off; pair with TraceNowMicros() captured at the start of the work.
+void RecordSpanWithId(const char* name, int64_t id, int64_t start_us);
+
 /// RAII span. Prefer the macros; use the class directly when the scope is
 /// not lexical.
 class TraceSpan {
@@ -62,6 +68,17 @@ class TraceSpan {
   /// Records "name:id" — the id is formatted only when tracing is on.
   TraceSpan(const char* name, int64_t id) {
     if (TracingEnabled()) OpenWithId(name, id);
+  }
+  /// Records "name:id" when `with_id`, plain "name" otherwise — for call
+  /// sites where a sampler decides at runtime whether the span carries a
+  /// correlation id.
+  TraceSpan(const char* name, int64_t id, bool with_id) {
+    if (!TracingEnabled()) return;
+    if (with_id) {
+      OpenWithId(name, id);
+    } else {
+      Open(name);
+    }
   }
   ~TraceSpan() {
     if (open_) {

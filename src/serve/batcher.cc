@@ -79,21 +79,30 @@ MicroBatcher::MicroBatcher(const MicroBatcherOptions& options,
 
 MicroBatcher::~MicroBatcher() { Stop(); }
 
-Result<Matrix> MicroBatcher::Embed(const Matrix& row) {
+Result<Matrix> MicroBatcher::Embed(const Matrix& row, int64_t trace_id) {
   if (row.rows() != 1) {
     return Status::InvalidArgument("Embed expects a single 1xdim row");
   }
+  // Span starts are only stamped for sampled requests (trace_id > 0);
+  // RecordSpanWithId itself no-ops when tracing is globally off.
   uint64_t key = 0;
   if (cache_ != nullptr) {
+    const int64_t probe_start =
+        trace_id > 0 ? obs::TraceNowMicros() : 0;
     key = EmbeddingCache::HashRow(row);
     Matrix cached;
-    if (cache_->Lookup(key, row, &cached)) {
+    const bool hit = cache_->Lookup(key, row, &cached);
+    if (trace_id > 0) {
+      obs::RecordSpanWithId("serve_cache_probe", trace_id, probe_start);
+    }
+    if (hit) {
       Metrics().cache_hits->Increment();
       return cached;
     }
     Metrics().cache_misses->Increment();
   }
 
+  const int64_t wait_start = trace_id > 0 ? obs::TraceNowMicros() : 0;
   std::future<Result<Matrix>> future;
   {
     MutexLock lock(mu_);
@@ -106,12 +115,19 @@ Result<Matrix> MicroBatcher::Embed(const Matrix& row) {
     Pending pending;
     pending.row = row;
     pending.key = key;
+    pending.trace_id = trace_id;
     future = pending.promise.get_future();
     queue_.push_back(std::move(pending));
     Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
   }
   cv_.NotifyAll();
-  return future.get();
+  Result<Matrix> result = future.get();
+  if (trace_id > 0) {
+    // Covers enqueue → batch completion, i.e. queueing plus the batch
+    // itself; the overlapping serve_batch_row span isolates the latter.
+    obs::RecordSpanWithId("serve_queue_wait", trace_id, wait_start);
+  }
+  return result;
 }
 
 void MicroBatcher::Stop() {
@@ -161,6 +177,7 @@ void MicroBatcher::WorkerLoop() {
 
 void MicroBatcher::RunBatch(std::vector<Pending> batch) {
   RLL_TRACE_SPAN("serve_batch");
+  const int64_t batch_start = obs::TraceNowMicros();
   const size_t n = batch.size();
   Matrix stacked(n, batch[0].row.cols());
   std::vector<bool> failed(n, false);
@@ -203,6 +220,12 @@ void MicroBatcher::RunBatch(std::vector<Pending> batch) {
     if (failed[i]) continue;
     Matrix row = embedded.Row(i);
     if (cache_ != nullptr) cache_->Insert(batch[i].key, batch[i].row, row);
+    if (batch[i].trace_id > 0) {
+      // One linked span per sampled row: assembly through demux, so a
+      // sampled request's timeline shows its share of the coalesced batch.
+      obs::RecordSpanWithId("serve_batch_row", batch[i].trace_id,
+                            batch_start);
+    }
     batch[i].promise.set_value(std::move(row));
   }
 }

@@ -74,8 +74,10 @@ class MicroBatcher {
 
   /// Embeds one 1×in row. Blocks until the coalesced batch containing it
   /// completes. Fails fast with OverloadedStatus() / ShuttingDownStatus()
-  /// under backpressure or after Stop().
-  Result<Matrix> Embed(const Matrix& row);
+  /// under backpressure or after Stop(). `trace_id` > 0 marks a sampled
+  /// request: the cache probe, the queue wait, and the row's slice of the
+  /// batch are recorded as linked "name:id" spans.
+  Result<Matrix> Embed(const Matrix& row, int64_t trace_id = 0);
 
   /// Drains queued requests, then joins the worker. Idempotent.
   void Stop();
@@ -100,6 +102,7 @@ class MicroBatcher {
   struct Pending {
     Matrix row;
     uint64_t key = 0;
+    int64_t trace_id = 0;  // > 0: emit linked spans for this row.
     std::promise<Result<Matrix>> promise;
   };
 

@@ -29,9 +29,20 @@ const char* RequestTypeName(RequestType type) {
       return "predict";
     case RequestType::kNeighbors:
       return "neighbors";
+    case RequestType::kHealthz:
+      return "healthz";
+    case RequestType::kStatusz:
+      return "statusz";
+    case RequestType::kMetricsz:
+      return "metricsz";
   }
   RLL_CHECK_MSG(false, "unknown request type");
   return "";
+}
+
+bool IsAdminRequest(RequestType type) {
+  return type == RequestType::kHealthz || type == RequestType::kStatusz ||
+         type == RequestType::kMetricsz;
 }
 
 const char* ServeErrorName(ServeError error) {
@@ -74,8 +85,25 @@ Result<Request> ParseRequest(const std::string& line, std::string* id_json) {
     request.type = RequestType::kPredict;
   } else if (type->string == "neighbors") {
     request.type = RequestType::kNeighbors;
+  } else if (type->string == "healthz") {
+    request.type = RequestType::kHealthz;
+  } else if (type->string == "statusz") {
+    request.type = RequestType::kStatusz;
+  } else if (type->string == "metricsz") {
+    request.type = RequestType::kMetricsz;
   } else {
     return Status::InvalidArgument("unknown \"type\": " + type->string);
+  }
+
+  if (IsAdminRequest(request.type)) {
+    if (root.Find("features") != nullptr) {
+      return Status::InvalidArgument("\"" + type->string +
+                                     "\" takes no \"features\"");
+    }
+    if (root.Find("k") != nullptr) {
+      return Status::InvalidArgument("\"k\" is only valid for neighbors");
+    }
+    return request;
   }
 
   const JsonValue* features = root.Find("features");
@@ -117,6 +145,9 @@ std::string SerializeResponse(const Response& response) {
     out += "\",";
   }
   out += response.ok ? "\"ok\":true" : "\"ok\":false";
+  if (response.trace_id != 0) {
+    out += ",\"trace_id\":" + std::to_string(response.trace_id);
+  }
   if (!response.ok) {
     out += ",\"error\":\"";
     out += ServeErrorName(response.error);
@@ -149,6 +180,15 @@ std::string SerializeResponse(const Response& response) {
         out += ",\"similarity\":" + obs::JsonNumber(hit.similarity) + "}";
       }
       out += "]";
+      break;
+    }
+    case RequestType::kHealthz:
+    case RequestType::kStatusz:
+    case RequestType::kMetricsz: {
+      // payload_json is produced server-side (never from client input), so
+      // it is spliced in verbatim as a complete JSON document.
+      out += ",\"payload\":";
+      out += response.payload_json.empty() ? "{}" : response.payload_json;
       break;
     }
   }

@@ -7,6 +7,15 @@
 //   {"id": 8, "type": "predict",   "features": [...]}
 //   {"id": 9, "type": "neighbors", "features": [...], "k": 5}
 //
+// Admin requests (no features; answered by the server core itself, never
+// routed through the batcher):
+//   {"id": 1, "type": "healthz"}     — liveness, answers even while draining
+//   {"id": 2, "type": "statusz"}     — uptime, bundle dims, configuration
+//   {"id": 3, "type": "metricsz"}    — metric snapshot: cumulative,
+//                                      since-last-scrape delta, and
+//                                      sliding-window views
+// Admin responses carry the JSON document in a "payload" member.
+//
 // Responses (always one line, always carry "ok"):
 //   {"id": 7, "type": "embed",   "ok": true, "embedding": [...]}
 //   {"id": 8, "type": "predict", "ok": true, "score": 0.93, "label": 1}
@@ -30,9 +39,20 @@
 
 namespace rll::serve {
 
-enum class RequestType { kEmbed, kPredict, kNeighbors };
+enum class RequestType {
+  kEmbed,
+  kPredict,
+  kNeighbors,
+  kHealthz,
+  kStatusz,
+  kMetricsz,
+};
 
 const char* RequestTypeName(RequestType type);
+
+/// True for the introspection commands (healthz/statusz/metricsz), which
+/// carry no features and bypass the model entirely.
+bool IsAdminRequest(RequestType type);
 
 /// Machine-readable error classes, mirrored into the "error" field and the
 /// serve_requests_total{status=...} metric label.
@@ -70,6 +90,12 @@ struct Response {
   double score = 0.0;                    // predict
   int label = 0;                         // predict
   std::vector<NeighborHit> neighbors;    // neighbors
+  /// Admin responses: a complete JSON document spliced verbatim into the
+  /// "payload" member (empty renders as {}).
+  std::string payload_json;
+  /// Nonzero when the request was trace-sampled; echoed as "trace_id" so
+  /// clients can correlate responses with server-side trace spans.
+  uint64_t trace_id = 0;
   ServeError error = ServeError::kInternal;  // when !ok
   std::string message;                       // when !ok
 };

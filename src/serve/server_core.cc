@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/threading.h"
+#include "obs/json_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -24,11 +28,42 @@ void RecordRequest(const char* type, const char* status, double millis) {
       ->Observe(millis);
 }
 
+/// Data-plane request types index windowed_latency_by_type_.
+size_t TypeIndex(RequestType type) {
+  const size_t index = static_cast<size_t>(type);
+  RLL_DCHECK_LT(index, 3u);
+  return index;
+}
+
+std::string WindowedHistogramJson(
+    const obs::WindowedHistogram::Snapshot& s) {
+  std::string out = StrFormat("{\"count\":%llu",
+                              static_cast<unsigned long long>(s.count));
+  out += ",\"max\":" + obs::JsonNumber(s.max);
+  out += ",\"mean\":" + obs::JsonNumber(s.mean);
+  out += ",\"min\":" + obs::JsonNumber(s.min);
+  out += ",\"p50\":" + obs::JsonNumber(s.p50);
+  out += ",\"p95\":" + obs::JsonNumber(s.p95);
+  out += ",\"p99\":" + obs::JsonNumber(s.p99);
+  out += ",\"rate_per_sec\":" + obs::JsonNumber(s.rate_per_sec);
+  out += ",\"window_seconds\":" + obs::JsonNumber(s.window_seconds) + "}";
+  return out;
+}
+
 }  // namespace
 
 ServerCore::ServerCore(core::ModelBundle bundle,
                        const ServerCoreOptions& options)
-    : options_(options), bundle_(std::move(bundle)) {
+    : options_(options),
+      bundle_(std::move(bundle)),
+      windowed_requests_(options.window) {
+  windowed_latency_all_ =
+      std::make_unique<obs::WindowedHistogram>(obs::HistogramOptions{},
+                                               options_.window);
+  for (auto& histogram : windowed_latency_by_type_) {
+    histogram = std::make_unique<obs::WindowedHistogram>(
+        obs::HistogramOptions{}, options_.window);
+  }
   cache_ = std::make_unique<EmbeddingCache>(options_.cache_capacity);
   // The batch function runs on the batcher's worker thread; RllModel::
   // Embed is const and the bundle is immutable after construction, so no
@@ -37,6 +72,11 @@ ServerCore::ServerCore(core::ModelBundle bundle,
       options_.batcher,
       [this](const Matrix& x) { return bundle_.model().Embed(x); },
       cache_.get());
+}
+
+const obs::WindowedHistogram& ServerCore::windowed_latency(
+    RequestType type) const {
+  return *windowed_latency_by_type_[TypeIndex(type)];
 }
 
 ServerCore::~ServerCore() { Shutdown(); }
@@ -68,23 +108,39 @@ Result<std::unique_ptr<ServerCore>> ServerCore::Create(
   return server;
 }
 
-Result<Matrix> ServerCore::EmbedRow(const std::vector<double>& features) {
+Result<Matrix> ServerCore::EmbedRow(const std::vector<double>& features,
+                                    int64_t trace_id) {
   const Matrix raw = Matrix::RowVector(features);
-  return batcher_->Embed(bundle_.standardizer().Transform(raw));
+  return batcher_->Embed(bundle_.standardizer().Transform(raw), trace_id);
 }
 
 Response ServerCore::Handle(const Request& request) {
-  RLL_TRACE_SPAN("serve_request");
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool sampled = options_.trace_sample_every > 0 &&
+                       request_id % options_.trace_sample_every == 0;
+  const int64_t trace_id = sampled ? static_cast<int64_t>(request_id) : 0;
+  obs::TraceSpan span("serve_request", trace_id, sampled);
   Stopwatch timer;
-  Response response = HandleInternal(request);
+  Response response = HandleInternal(request, trace_id);
+  if (sampled) response.trace_id = request_id;
+  const double millis = timer.ElapsedMillis();
   const char* status =
       response.ok ? "ok" : ServeErrorName(response.error);
-  RecordRequest(RequestTypeName(request.type), status,
-                timer.ElapsedMillis());
+  RecordRequest(RequestTypeName(request.type), status, millis);
+  if (!IsAdminRequest(request.type)) {
+    windowed_requests_.Increment();
+    windowed_latency_all_->Observe(millis);
+    windowed_latency_by_type_[TypeIndex(request.type)]->Observe(millis);
+  }
   return response;
 }
 
-Response ServerCore::HandleInternal(const Request& request) {
+Response ServerCore::HandleInternal(const Request& request,
+                                    int64_t trace_id) {
+  // Admin commands answer even while draining: an operator watching a
+  // shutdown is exactly when introspection must keep working.
+  if (IsAdminRequest(request.type)) return HandleAdmin(request);
   if (shutting_down()) {
     return MakeErrorResponse(request.id_json, ServeError::kShutdown,
                              "server is shutting down");
@@ -96,7 +152,7 @@ Response ServerCore::HandleInternal(const Request& request) {
             " features, got " + std::to_string(request.features.size()));
   }
 
-  Result<Matrix> embedded = EmbedRow(request.features);
+  Result<Matrix> embedded = EmbedRow(request.features, trace_id);
   if (!embedded.ok()) {
     ServeError error = ServeError::kInternal;
     if (IsOverloaded(embedded.status())) error = ServeError::kOverloaded;
@@ -134,7 +190,12 @@ Response ServerCore::HandleInternal(const Request& request) {
             "neighbors needs a corpus (start the server with one)");
       }
       const size_t k = request.k > 0 ? request.k : options_.default_k;
+      const int64_t query_start =
+          trace_id > 0 ? obs::TraceNowMicros() : 0;
       auto hits = index_.Query(*embedded, k);
+      if (trace_id > 0) {
+        obs::RecordSpanWithId("serve_index_query", trace_id, query_start);
+      }
       if (!hits.ok()) {
         return MakeErrorResponse(request.id_json, ServeError::kInternal,
                                  hits.status().message());
@@ -147,9 +208,139 @@ Response ServerCore::HandleInternal(const Request& request) {
       response.ok = true;
       return response;
     }
+    case RequestType::kHealthz:
+    case RequestType::kStatusz:
+    case RequestType::kMetricsz:
+      break;  // Unreachable: dispatched to HandleAdmin above.
   }
   return MakeErrorResponse(request.id_json, ServeError::kInternal,
                            "unhandled request type");
+}
+
+Response ServerCore::HandleAdmin(const Request& request) {
+  Response response;
+  response.id_json = request.id_json;
+  response.has_type = true;
+  response.type = request.type;
+  switch (request.type) {
+    case RequestType::kHealthz:
+      response.payload_json = HealthzPayload();
+      break;
+    case RequestType::kStatusz:
+      response.payload_json = StatuszPayload();
+      break;
+    case RequestType::kMetricsz:
+      response.payload_json = MetricszPayload();
+      break;
+    default:
+      return MakeErrorResponse(request.id_json, ServeError::kInternal,
+                               "non-admin type in HandleAdmin");
+  }
+  response.ok = true;
+  return response;
+}
+
+std::string ServerCore::HealthzPayload() const {
+  return StrFormat(
+      "{\"status\":\"%s\",\"uptime_s\":%s}",
+      shutting_down() ? "draining" : "serving",
+      obs::JsonNumber(uptime_seconds()).c_str());
+}
+
+std::string ServerCore::StatuszPayload() const {
+  std::string out = "{";
+  out += StrFormat("\"batch_timeout_us\":%lld",
+                   static_cast<long long>(options_.batcher.batch_timeout_us));
+  out += StrFormat(",\"cache_capacity\":%zu", cache_->capacity());
+  out += StrFormat(",\"cache_size\":%zu", cache_->size());
+  out += StrFormat(",\"corpus_size\":%zu", corpus_size());
+  out += StrFormat(",\"default_k\":%zu", options_.default_k);
+  out += StrFormat(",\"embedding_dim\":%zu", bundle_.embedding_dim());
+  out += StrFormat(",\"input_dim\":%zu", bundle_.input_dim());
+  out += StrFormat(",\"max_batch\":%zu", options_.batcher.max_batch);
+  out += StrFormat(",\"max_queue\":%zu", options_.batcher.max_queue);
+  out += StrFormat(",\"requests_handled\":%llu",
+                   static_cast<unsigned long long>(requests_handled()));
+  out += StrFormat(",\"schema_version\":%d", obs::kMetricsSchemaVersion);
+  out += StrFormat(",\"status\":\"%s\"",
+                   shutting_down() ? "draining" : "serving");
+  out += StrFormat(",\"supports_neighbors\":%s",
+                   supports_neighbors() ? "true" : "false");
+  out += StrFormat(",\"supports_predict\":%s",
+                   supports_predict() ? "true" : "false");
+  out += StrFormat(",\"threads\":%zu", GlobalThreadCount());
+  out += StrFormat(",\"trace_sample_every\":%llu",
+                   static_cast<unsigned long long>(
+                       options_.trace_sample_every));
+  out += ",\"uptime_s\":" + obs::JsonNumber(uptime_seconds());
+  out += StrFormat(",\"window_interval_us\":%lld",
+                   static_cast<long long>(options_.window.interval_us));
+  out += StrFormat(",\"window_intervals\":%zu}", options_.window.intervals);
+  return out;
+}
+
+std::string ServerCore::MetricszPayload() {
+  auto& registry = obs::MetricRegistry::Global();
+  // Counters are snapshotted once and reused for the delta, so the two
+  // views in one payload never disagree with each other.
+  const std::map<std::string, uint64_t> counters = registry.CounterValues();
+  const std::string cumulative = registry.ExportJson();
+
+  double delta_seconds;
+  unsigned long long seq;
+  std::string delta = "{";
+  {
+    MutexLock lock(admin_mu_);
+    delta_seconds = has_scrape_ ? last_scrape_.ElapsedSeconds()
+                                : uptime_.ElapsedSeconds();
+    seq = static_cast<unsigned long long>(++scrape_seq_);
+    bool first = true;
+    for (const auto& [id, value] : counters) {
+      uint64_t previous = 0;
+      if (const auto it = last_counters_.find(id);
+          it != last_counters_.end()) {
+        previous = it->second;
+      }
+      if (!first) delta += ",";
+      first = false;
+      delta += "\"" + obs::JsonEscape(id) +
+               "\":" + std::to_string(value - previous);
+    }
+    last_counters_ = counters;
+    last_scrape_.Restart();
+    has_scrape_ = true;
+  }
+  delta += "}";
+
+  std::string windowed = "{\"latency_ms\":{";
+  windowed +=
+      "\"all\":" + WindowedHistogramJson(windowed_latency_all_->GetSnapshot());
+  windowed += ",\"embed\":" +
+              WindowedHistogramJson(
+                  windowed_latency(RequestType::kEmbed).GetSnapshot());
+  windowed += ",\"neighbors\":" +
+              WindowedHistogramJson(
+                  windowed_latency(RequestType::kNeighbors).GetSnapshot());
+  windowed += ",\"predict\":" +
+              WindowedHistogramJson(
+                  windowed_latency(RequestType::kPredict).GetSnapshot());
+  const obs::WindowedCounter::Snapshot requests =
+      windowed_requests_.GetSnapshot();
+  windowed += StrFormat(
+      "},\"requests\":{\"count\":%llu,\"rate_per_sec\":%s,"
+      "\"window_seconds\":%s}}",
+      static_cast<unsigned long long>(requests.count),
+      obs::JsonNumber(requests.rate_per_sec).c_str(),
+      obs::JsonNumber(requests.window_seconds).c_str());
+
+  std::string out = "{\"cumulative\":" + cumulative;
+  out += ",\"delta\":" + delta;
+  out += ",\"delta_seconds\":" + obs::JsonNumber(delta_seconds);
+  out += StrFormat(",\"schema_version\":%d", obs::kMetricsSchemaVersion);
+  out += StrFormat(",\"scrape_seq\":%llu", seq);
+  out += ",\"uptime_s\":" + obs::JsonNumber(uptime_seconds());
+  out += ",\"windowed\":" + windowed + "}";
+  return out;
 }
 
 std::string ServerCore::HandleLine(const std::string& line) {

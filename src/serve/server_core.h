@@ -19,14 +19,19 @@
 #define RLL_SERVE_SERVER_CORE_H_
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "classify/logistic_regression.h"
+#include "common/mutex.h"
+#include "common/stopwatch.h"
 #include "core/embedding_index.h"
 #include "core/model_bundle.h"
 #include "data/dataset.h"
+#include "obs/window.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
@@ -39,6 +44,13 @@ struct ServerCoreOptions {
   size_t cache_capacity = 1024;
   /// k used by neighbors requests that do not pass one.
   size_t default_k = 5;
+  /// Trace sampling: every Nth request gets linked "name:id" spans down
+  /// the whole pipeline and its id echoed as "trace_id". 0 disables
+  /// sampling (requests still get plain unlinked spans when tracing is
+  /// on).
+  uint64_t trace_sample_every = 0;
+  /// Ring shape for the sliding-window views served by metricsz.
+  obs::WindowOptions window;
 };
 
 class ServerCore {
@@ -84,12 +96,36 @@ class ServerCore {
   bool supports_neighbors() const { return !index_.empty(); }
   const ServerCoreOptions& options() const { return options_; }
 
+  /// Sliding-window views backing metricsz (data-plane requests only;
+  /// admin scrapes are excluded so watching the server does not move the
+  /// latency it reports).
+  const obs::WindowedCounter& windowed_requests() const {
+    return windowed_requests_;
+  }
+  const obs::WindowedHistogram& windowed_latency() const {
+    return *windowed_latency_all_;
+  }
+  /// Per-type latency window; `type` must be a data-plane type.
+  const obs::WindowedHistogram& windowed_latency(RequestType type) const;
+
+  /// Total requests minted so far (every Handle call, admin included).
+  uint64_t requests_handled() const {
+    return next_request_id_.load(std::memory_order_relaxed);
+  }
+  double uptime_seconds() const { return uptime_.ElapsedSeconds(); }
+
  private:
   ServerCore(core::ModelBundle bundle, const ServerCoreOptions& options);
 
   /// Standardizes one raw feature row and embeds it through the batcher.
-  Result<Matrix> EmbedRow(const std::vector<double>& features);
-  Response HandleInternal(const Request& request);
+  /// `trace_id` > 0 threads linked spans through the batcher pipeline.
+  Result<Matrix> EmbedRow(const std::vector<double>& features,
+                          int64_t trace_id);
+  Response HandleInternal(const Request& request, int64_t trace_id);
+  Response HandleAdmin(const Request& request);
+  std::string HealthzPayload() const;
+  std::string StatuszPayload() const;
+  std::string MetricszPayload();
 
   const ServerCoreOptions options_;
   core::ModelBundle bundle_;
@@ -99,6 +135,21 @@ class ServerCore {
   std::unique_ptr<EmbeddingCache> cache_;
   std::unique_ptr<MicroBatcher> batcher_;
   std::atomic<bool> shutdown_{false};
+
+  Stopwatch uptime_;
+  std::atomic<uint64_t> next_request_id_{0};
+  obs::WindowedCounter windowed_requests_;
+  std::unique_ptr<obs::WindowedHistogram> windowed_latency_all_;
+  /// Indexed by RequestType value; data-plane types only.
+  std::unique_ptr<obs::WindowedHistogram> windowed_latency_by_type_[3];
+
+  // Since-last-scrape state for the metricsz delta view. Scrapes are rare
+  // (seconds apart), so one mutex here costs nothing on the request path.
+  mutable Mutex admin_mu_;
+  std::map<std::string, uint64_t> last_counters_ RLL_GUARDED_BY(admin_mu_);
+  Stopwatch last_scrape_ RLL_GUARDED_BY(admin_mu_);
+  uint64_t scrape_seq_ RLL_GUARDED_BY(admin_mu_) = 0;
+  bool has_scrape_ RLL_GUARDED_BY(admin_mu_) = false;
 };
 
 }  // namespace rll::serve

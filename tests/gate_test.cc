@@ -1,0 +1,175 @@
+// Tests for the bench regression gate (tools/gate/): metric extraction
+// from the three JSON shapes the repo emits, direction heuristics,
+// tolerance-band comparison (including an injected 2x latency
+// regression), and self-comparison of the checked-in baselines.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "gate/bench_gate_lib.h"
+#include "serve/json.h"
+
+namespace rll::gate {
+namespace {
+
+std::vector<Metric> Extract(const std::string& json,
+                            const std::string& key = "") {
+  auto parsed = serve::ParseJson(json);
+  RLL_CHECK(parsed.ok());
+  auto metrics = ExtractMetrics(*parsed, key);
+  RLL_CHECK_MSG(metrics.ok(), metrics.status().ToString().c_str());
+  return *metrics;
+}
+
+TEST(GateExtractTest, ReadsBenchReporterRecords) {
+  const auto metrics = Extract(
+      R"({"bench":"x","records":[
+           {"name":"closed_loop","wall_ms":12.5,"throughput":100.0},
+           {"name":"latency_p99_ms","wall_ms":3.5,"throughput":null}]})");
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].name, "closed_loop");
+  EXPECT_DOUBLE_EQ(metrics[0].value, 12.5);
+  EXPECT_EQ(metrics[1].name, "latency_p99_ms");
+  EXPECT_DOUBLE_EQ(metrics[1].value, 3.5);
+}
+
+TEST(GateExtractTest, ScalesGoogleBenchmarkTimeUnits) {
+  const auto metrics = Extract(
+      R"({"benchmarks":[
+           {"name":"BM_Matmul/32","real_time":2500000.0,"time_unit":"ns"},
+           {"name":"BM_Dot/8","real_time":1500.0,"time_unit":"us"},
+           {"name":"BM_Slow","real_time":2.0,"time_unit":"s"}]})");
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(metrics[0].value, 2.5);    // ns -> ms
+  EXPECT_DOUBLE_EQ(metrics[1].value, 1.5);    // us -> ms
+  EXPECT_DOUBLE_EQ(metrics[2].value, 2000.0); // s -> ms
+}
+
+TEST(GateExtractTest, WalksDottedKeyPaths) {
+  const std::string doc =
+      R"({"micro_ops":{"threads_1":[{"name":"BM_A","real_time_ms":1.25}]},
+          "table1_methods":{"threads_1":{"glad":0.9,"majority":0.8}}})";
+  const auto array_metrics = Extract(doc, "micro_ops.threads_1");
+  ASSERT_EQ(array_metrics.size(), 1u);
+  EXPECT_EQ(array_metrics[0].name, "BM_A");
+  EXPECT_DOUBLE_EQ(array_metrics[0].value, 1.25);
+
+  // Objects of bare numbers become (key, value) metrics.
+  const auto object_metrics = Extract(doc, "table1_methods.threads_1");
+  ASSERT_EQ(object_metrics.size(), 2u);
+}
+
+TEST(GateExtractTest, RejectsUnknownShapesAndPaths) {
+  auto parsed = serve::ParseJson(R"({"other":[1,2]})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(ExtractMetrics(*parsed, "").ok());
+  EXPECT_FALSE(ExtractMetrics(*parsed, "missing.path").ok());
+  EXPECT_FALSE(LoadMetricsFile("/nonexistent/bench.json", "").ok());
+}
+
+TEST(GateDirectionTest, ClassifiesByKeyword) {
+  EXPECT_EQ(DirectionFor("latency_p99_ms"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionFor("embed_wall_ms"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionFor("metricsz_scrape_rtt_ms"),
+            Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionFor("cache_hit_rate"), Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionFor("windowed_p99_agreement"),
+            Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionFor("rows_per_sec"), Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionFor("mean_batch_size"), Direction::kBand);
+}
+
+TEST(GateCompareTest, PassesIdenticalRunsAndCatchesRegression) {
+  const std::vector<Metric> baseline = {{"latency_p99_ms", 10.0},
+                                        {"rows_per_sec", 100.0}};
+  GateOptions options;  // tolerance 2.0
+
+  EXPECT_TRUE(Compare(baseline, baseline, options).pass());
+
+  // Injected 2x latency regression (2.5x to clear the 2.0 band): fails.
+  const std::vector<Metric> slower = {{"latency_p99_ms", 25.0},
+                                      {"rows_per_sec", 100.0}};
+  const GateReport report = Compare(baseline, slower, options);
+  EXPECT_FALSE(report.pass());
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_EQ(report.verdicts[0].name, "latency_p99_ms");
+  EXPECT_FALSE(report.verdicts[0].pass);
+  EXPECT_NE(FormatReport(report).find("FAIL"), std::string::npos);
+
+  // A throughput collapse fails the higher-is-better bound.
+  const std::vector<Metric> starved = {{"latency_p99_ms", 10.0},
+                                       {"rows_per_sec", 20.0}};
+  EXPECT_FALSE(Compare(baseline, starved, options).pass());
+  // A throughput improvement does not.
+  const std::vector<Metric> faster = {{"latency_p99_ms", 1.0},
+                                      {"rows_per_sec", 900.0}};
+  EXPECT_TRUE(Compare(baseline, faster, options).pass());
+}
+
+TEST(GateCompareTest, AbsoluteSlackShieldsSubNoiseTimings) {
+  // p50 of 1us "tripling" to 3us is timer noise, not a regression.
+  const std::vector<Metric> baseline = {{"latency_p50_ms", 0.001}};
+  const std::vector<Metric> current = {{"latency_p50_ms", 0.003}};
+  GateOptions options;
+  EXPECT_TRUE(Compare(baseline, current, options).pass());
+  options.abs_slack = 0.0;
+  EXPECT_FALSE(Compare(baseline, current, options).pass());
+}
+
+TEST(GateCompareTest, PerMetricToleranceAndSkip) {
+  const std::vector<Metric> baseline = {{"noisy_wall_ms", 1.0},
+                                        {"steady_wall_ms", 1.0}};
+  const std::vector<Metric> current = {{"noisy_wall_ms", 8.0},
+                                       {"steady_wall_ms", 1.0}};
+  GateOptions options;
+  EXPECT_FALSE(Compare(baseline, current, options).pass());
+  options.per_metric_tolerance["noisy_wall_ms"] = 10.0;
+  EXPECT_TRUE(Compare(baseline, current, options).pass());
+
+  options.per_metric_tolerance.clear();
+  options.skip_substrings = {"noisy"};
+  const GateReport report = Compare(baseline, current, options);
+  EXPECT_TRUE(report.pass());
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.compared, 1u);
+}
+
+TEST(GateCompareTest, MissingMetricsFailOnlyUnderRequireAll) {
+  const std::vector<Metric> baseline = {{"a_wall_ms", 1.0},
+                                        {"b_wall_ms", 1.0}};
+  const std::vector<Metric> current = {{"a_wall_ms", 1.0}};
+  GateOptions options;
+  GateReport lenient = Compare(baseline, current, options);
+  EXPECT_TRUE(lenient.pass());
+  EXPECT_EQ(lenient.missing, 1u);
+  options.require_all = true;
+  EXPECT_FALSE(Compare(baseline, current, options).pass());
+}
+
+// The checked-in baselines must always gate-pass against themselves:
+// this pins the whole pipeline (file load, shape detection, extraction,
+// direction rules, comparison) on the real artifacts CI uses.
+TEST(GateSelfTest, CheckedInBaselinesSelfCompare) {
+  const std::string root = RLL_SOURCE_DIR;
+  auto serve_metrics = LoadMetricsFile(root + "/BENCH_serve.json", "");
+  ASSERT_TRUE(serve_metrics.ok()) << serve_metrics.status().ToString();
+  ASSERT_FALSE(serve_metrics->empty());
+  {
+    GateOptions options;
+    options.require_all = true;
+    EXPECT_TRUE(Compare(*serve_metrics, *serve_metrics, options).pass());
+  }
+  auto threads =
+      LoadMetricsFile(root + "/BENCH_threads.json", "micro_ops.threads_1");
+  ASSERT_TRUE(threads.ok()) << threads.status().ToString();
+  ASSERT_FALSE(threads->empty());
+  GateOptions options;
+  options.require_all = true;
+  EXPECT_TRUE(Compare(*threads, *threads, options).pass());
+}
+
+}  // namespace
+}  // namespace rll::gate

@@ -8,12 +8,15 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
 #include "core/rll_trainer.h"
 #include "crowd/worker_pool.h"
 #include "data/synthetic.h"
@@ -21,6 +24,7 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace rll::obs {
 namespace {
@@ -313,14 +317,66 @@ TEST(MetricRegistryTest, ExportersEmitEveryInstrument) {
   const std::string jsonl = registry.ExportJsonl();
   std::istringstream lines(jsonl);
   std::string line;
-  size_t count = 0;
+  size_t metric_lines = 0;
+  size_t meta_lines = 0;
+  bool first = true;
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
     EXPECT_TRUE(JsonChecker::Valid(line)) << line;
-    EXPECT_NE(line.find("\"type\":\"metric\""), std::string::npos) << line;
-    ++count;
+    if (line.find("\"type\":\"meta\"") != std::string::npos) {
+      // The schema header must come first so stream consumers can
+      // version-dispatch before reading any metric line.
+      EXPECT_TRUE(first) << line;
+      EXPECT_NE(line.find("\"schema_version\""), std::string::npos) << line;
+      ++meta_lines;
+    } else {
+      EXPECT_NE(line.find("\"type\":\"metric\""), std::string::npos) << line;
+      ++metric_lines;
+    }
+    first = false;
   }
-  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(meta_lines, 1u);
+  EXPECT_EQ(metric_lines, 3u);
+
+  EXPECT_NE(registry.ExportText().find(
+                StrFormat("# schema_version %d", kMetricsSchemaVersion)),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, ExportJsonIsValidAndVersioned) {
+  MetricRegistry registry;
+  registry.GetCounter("events_total")->Increment(3);
+  registry.GetGauge("lr", {{"opt", "adam"}})->Set(0.001);
+  registry.GetHistogram("latency_ms")->Observe(1.5);
+
+  const std::string json = registry.ExportJson();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+  EXPECT_NE(json.find(StrFormat("\"schema_version\":%d",
+                                kMetricsSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"events_total\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("lr{opt=\\\"adam\\\"}"), std::string::npos) << json;
+  // Histograms export as an object with the full summary.
+  for (const char* key : {"\"kind\":\"histogram\"", "\"count\":", "\"p50\":",
+                          "\"p95\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Keys are emitted in sorted order, so exports diff cleanly run-to-run.
+  EXPECT_LT(json.find("events_total"), json.find("latency_ms"));
+  EXPECT_LT(json.find("latency_ms"), json.find("lr{opt="));
+}
+
+TEST(MetricRegistryTest, CounterValuesSnapshotsCountersOnly) {
+  MetricRegistry registry;
+  registry.GetCounter("a_total")->Increment(2);
+  registry.GetCounter("b_total", {{"k", "v"}})->Increment(5);
+  registry.GetGauge("not_a_counter")->Set(9.0);
+  registry.GetHistogram("nor_this")->Observe(1.0);
+
+  const std::map<std::string, uint64_t> values = registry.CounterValues();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values.at("a_total"), 2u);
+  EXPECT_EQ(values.at("b_total{k=\"v\"}"), 5u);
 }
 
 TEST(MetricRegistryTest, ObserveMillisBridgesScopedTimer) {
@@ -331,6 +387,145 @@ TEST(MetricRegistryTest, ObserveMillisBridgesScopedTimer) {
   }
   EXPECT_EQ(h->count(), 1u);
   EXPECT_GE(h->sum(), 0.0);
+}
+
+// ---------------------------------------------------------------- windowed
+
+TEST(WindowedCounterTest, CountsWithinWindowAndComputesRate) {
+  WindowOptions options;
+  options.intervals = 5;
+  options.interval_us = 1'000'000;
+  WindowedCounter counter(options);
+
+  const int64_t t0 = 100'000'000;  // Arbitrary steady-clock origin.
+  counter.IncrementAt(3, t0);
+  counter.IncrementAt(2, t0 + 1'000'000);
+
+  const auto snapshot = counter.SnapshotAt(t0 + 1'000'000);
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_DOUBLE_EQ(snapshot.window_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(snapshot.rate_per_sec, 1.0);
+}
+
+TEST(WindowedCounterTest, OldIntervalsAgeOutOfTheWindow) {
+  WindowOptions options;
+  options.intervals = 3;
+  options.interval_us = 1'000'000;
+  WindowedCounter counter(options);
+
+  const int64_t t0 = 50'000'000;
+  counter.IncrementAt(10, t0);
+  // Within the 3s window the burst is visible...
+  EXPECT_EQ(counter.SnapshotAt(t0 + 2'000'000).count, 10u);
+  // ...one interval past the edge it is gone, even though its slot has
+  // not been recycled by a writer.
+  EXPECT_EQ(counter.SnapshotAt(t0 + 3'000'000).count, 0u);
+}
+
+TEST(WindowedCounterTest, SlotRecyclingZeroesStaleEpochs) {
+  WindowOptions options;
+  options.intervals = 2;
+  options.interval_us = 1'000'000;
+  WindowedCounter counter(options);
+
+  const int64_t t0 = 1'000'000;
+  counter.IncrementAt(7, t0);
+  // Same ring slot (epoch + intervals), much later: the old count must
+  // not leak into the fresh interval.
+  counter.IncrementAt(1, t0 + 2'000'000);
+  EXPECT_EQ(counter.SnapshotAt(t0 + 2'000'000).count, 1u);
+}
+
+TEST(WindowedHistogramTest, PercentilesMatchLifetimeHistogram) {
+  // Identical observation stream through a lifetime Histogram and a
+  // WindowedHistogram whose window covers all of it: the shared bucket
+  // math must produce identical percentiles.
+  HistogramOptions histogram_options;
+  WindowOptions window_options;
+  window_options.intervals = 100;
+  Histogram lifetime(histogram_options);
+  WindowedHistogram windowed(histogram_options, window_options);
+
+  Rng rng(7);
+  const int64_t t0 = 10'000'000;
+  for (int i = 0; i < 2000; ++i) {
+    const double value = std::exp(rng.Normal() * 1.5);
+    lifetime.Observe(value);
+    // Spread across 50 intervals, all inside the 100-interval window.
+    windowed.ObserveAt(value, t0 + (i % 50) * window_options.interval_us);
+  }
+
+  const auto snapshot =
+      windowed.SnapshotAt(t0 + 49 * window_options.interval_us);
+  EXPECT_EQ(snapshot.count, lifetime.count());
+  // Slot sums accumulate in a different order than the lifetime total, so
+  // the aggregate can differ by a few ulps.
+  EXPECT_NEAR(snapshot.sum, lifetime.sum(), 1e-8);
+  EXPECT_DOUBLE_EQ(snapshot.min, lifetime.min());
+  EXPECT_DOUBLE_EQ(snapshot.max, lifetime.max());
+  EXPECT_DOUBLE_EQ(snapshot.p50, lifetime.Percentile(0.50));
+  EXPECT_DOUBLE_EQ(snapshot.p95, lifetime.Percentile(0.95));
+  EXPECT_DOUBLE_EQ(snapshot.p99, lifetime.Percentile(0.99));
+}
+
+TEST(WindowedHistogramTest, WindowForgetsOldLoad) {
+  WindowOptions window_options;
+  window_options.intervals = 4;
+  WindowedHistogram windowed({}, window_options);
+
+  const int64_t t0 = 20'000'000;
+  // A slow burst, then — well past the window — a fast one.
+  for (int i = 0; i < 100; ++i) windowed.ObserveAt(80.0, t0);
+  const int64_t t1 = t0 + 10 * window_options.interval_us;
+  for (int i = 0; i < 100; ++i) windowed.ObserveAt(1.0, t1);
+
+  const auto snapshot = windowed.SnapshotAt(t1);
+  EXPECT_EQ(snapshot.count, 100u);
+  EXPECT_DOUBLE_EQ(snapshot.max, 1.0);
+  EXPECT_LT(snapshot.p99, 2.0);  // The 80ms burst aged out.
+}
+
+TEST(WindowedHistogramTest, EmptyWindowSnapshotsToZeros) {
+  WindowedHistogram windowed;
+  const auto snapshot = windowed.SnapshotAt(123'000'000);
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.p99, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.rate_per_sec, 0.0);
+}
+
+TEST(WindowedHistogramTest, ConcurrentWritersLoseNothingWithinAnInterval) {
+  // All writers land in one interval (no recycling races), so the relaxed
+  // counters must account for every observation. Run under TSan, this is
+  // also the data-race check for the lock-free writer path.
+  WindowOptions window_options;
+  window_options.intervals = 8;
+  window_options.interval_us = 60'000'000;  // 60s: one interval, no wrap.
+  WindowedHistogram windowed({}, window_options);
+  WindowedCounter counter({8, 60'000'000});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&windowed, &counter, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        windowed.Observe(static_cast<double>(t + 1));
+        counter.Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const auto histogram_snapshot = windowed.GetSnapshot();
+  EXPECT_EQ(histogram_snapshot.count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(histogram_snapshot.min, 1.0);
+  EXPECT_DOUBLE_EQ(histogram_snapshot.max, static_cast<double>(kThreads));
+  EXPECT_EQ(counter.GetSnapshot().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
 // ------------------------------------------------------------------- trace

@@ -25,6 +25,7 @@
 #include "data/dataset.h"
 #include "data/standardize.h"
 #include "obs/json_util.h"
+#include "obs/trace.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
 #include "serve/json.h"
@@ -656,6 +657,182 @@ TEST(ServerCoreTest, CreateValidatesCorpus) {
   EXPECT_FALSE(ServerCore::Create(TestBundle(), nullptr, bad_k).ok());
 }
 
+// ---------------------------------------------------- admin introspection
+
+TEST(ProtocolTest, ParsesAdminRequestsAndRejectsPayloads) {
+  std::string id;
+  for (const char* type : {"healthz", "statusz", "metricsz"}) {
+    const std::string line =
+        std::string("{\"id\": 1, \"type\": \"") + type + "\"}";
+    auto request = ParseRequest(line, &id);
+    ASSERT_TRUE(request.ok()) << type;
+    EXPECT_TRUE(IsAdminRequest(request->type));
+  }
+  EXPECT_FALSE(IsAdminRequest(RequestType::kEmbed));
+  // Admin requests carry no data-plane payload.
+  EXPECT_FALSE(
+      ParseRequest(R"({"type": "healthz", "features": [1]})", &id).ok());
+  EXPECT_FALSE(ParseRequest(R"({"type": "metricsz", "k": 3})", &id).ok());
+}
+
+TEST(ProtocolTest, SerializesTraceId) {
+  Response response;
+  response.id_json = "5";
+  response.ok = true;
+  response.has_type = true;
+  response.type = RequestType::kEmbed;
+  response.embedding = {1.0};
+  response.trace_id = 40;
+  EXPECT_NE(SerializeResponse(response).find("\"trace_id\":40"),
+            std::string::npos);
+  response.trace_id = 0;  // Unsampled: the field is absent, not 0.
+  EXPECT_EQ(SerializeResponse(response).find("trace_id"),
+            std::string::npos);
+}
+
+TEST(ServerCoreTest, HealthzAndStatuszRoundTrip) {
+  const data::Dataset corpus = TestCorpus();
+  auto core = MakeCore(&corpus);
+
+  auto healthz = ParseJson(core->HandleLine(R"({"id": 1, "type": "healthz"})"));
+  ASSERT_TRUE(healthz.ok());
+  EXPECT_TRUE(healthz->Find("ok")->boolean);
+  const JsonValue* payload = healthz->Find("payload");
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(payload->Find("status")->string, "serving");
+  EXPECT_GE(payload->Find("uptime_s")->number, 0.0);
+
+  auto statusz = ParseJson(core->HandleLine(R"({"id": 2, "type": "statusz"})"));
+  ASSERT_TRUE(statusz.ok());
+  const JsonValue* config = statusz->Find("payload");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->Find("input_dim")->number, 3.0);
+  EXPECT_EQ(config->Find("corpus_size")->number, 24.0);
+  EXPECT_TRUE(config->Find("supports_predict")->boolean);
+  EXPECT_TRUE(config->Find("supports_neighbors")->boolean);
+  EXPECT_GT(config->Find("threads")->number, 0.0);
+  EXPECT_GT(config->Find("max_batch")->number, 0.0);
+
+  // Admin answers keep flowing while the server drains.
+  core->Shutdown();
+  const std::string draining =
+      core->HandleLine(R"({"id": 3, "type": "healthz"})");
+  EXPECT_NE(draining.find("\"ok\":true"), std::string::npos) << draining;
+  EXPECT_NE(draining.find("draining"), std::string::npos) << draining;
+}
+
+TEST(ServerCoreTest, MetricszReportsWindowedLoadAndDeltas) {
+  ServerCoreOptions options;
+  options.cache_capacity = 0;  // Every request takes the full batcher path.
+  auto core = MakeCore(nullptr, options);
+  constexpr size_t kRequests = 60;
+  for (size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(
+        core->Handle(EmbedRequest({static_cast<double>(i), 0.0, 1.0})).ok);
+  }
+
+  auto first =
+      ParseJson(core->HandleLine(R"({"id": 1, "type": "metricsz"})"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->Find("ok")->boolean);
+  const JsonValue* payload = first->Find("payload");
+  ASSERT_NE(payload, nullptr);
+
+  // The windowed view reflects the load just generated: all 60 requests
+  // are inside the default 10s window, with real (positive) percentiles.
+  const JsonValue* windowed = payload->Find("windowed");
+  ASSERT_NE(windowed, nullptr);
+  const JsonValue* requests = windowed->Find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->Find("count")->number, static_cast<double>(kRequests));
+  EXPECT_GT(requests->Find("rate_per_sec")->number, 0.0);
+  const JsonValue* embed_latency =
+      windowed->Find("latency_ms")->Find("embed");
+  ASSERT_NE(embed_latency, nullptr);
+  EXPECT_EQ(embed_latency->Find("count")->number,
+            static_cast<double>(kRequests));
+  EXPECT_GT(embed_latency->Find("p99")->number, 0.0);
+  EXPECT_GE(embed_latency->Find("p99")->number,
+            embed_latency->Find("p50")->number);
+
+  // Cumulative + delta views and scrape bookkeeping.
+  EXPECT_NE(payload->Find("cumulative"), nullptr);
+  EXPECT_GE(payload->Find("delta_seconds")->number, 0.0);
+  const double first_seq = payload->Find("scrape_seq")->number;
+
+  // Five more requests between scrapes: the registry is process-global,
+  // but the delta isolates exactly this window's traffic.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(core->Handle(EmbedRequest({1.0, 2.0, 3.0})).ok);
+  }
+  auto second =
+      ParseJson(core->HandleLine(R"({"id": 2, "type": "metricsz"})"));
+  ASSERT_TRUE(second.ok());
+  const JsonValue* delta = second->Find("payload")->Find("delta");
+  ASSERT_NE(delta, nullptr);
+  double embed_delta = 0.0;
+  for (const auto& [key, value] : delta->object) {
+    if (key.find("serve_requests_total") != std::string::npos &&
+        key.find("embed") != std::string::npos) {
+      embed_delta += value.number;
+    }
+  }
+  EXPECT_EQ(embed_delta, 5.0);
+  EXPECT_EQ(second->Find("payload")->Find("scrape_seq")->number,
+            first_seq + 1.0);
+
+  // Admin scrapes are excluded from the windowed request counter.
+  auto third =
+      ParseJson(core->HandleLine(R"({"id": 3, "type": "metricsz"})"));
+  EXPECT_EQ(third->Find("payload")
+                ->Find("windowed")
+                ->Find("requests")
+                ->Find("count")
+                ->number,
+            static_cast<double>(kRequests) + 5.0);
+  core->Shutdown();
+}
+
+TEST(ServerCoreTest, TraceIdPropagatesThroughPipeline) {
+  obs::SetTracingEnabled(true);
+  obs::ClearTraceEvents();
+  ServerCoreOptions options;
+  options.trace_sample_every = 1;  // Sample everything.
+  options.cache_capacity = 16;
+  auto core = MakeCore(nullptr, options);
+  const Response response = core->Handle(EmbedRequest({1.0, 2.0, 3.0}));
+  obs::SetTracingEnabled(false);
+  ASSERT_TRUE(response.ok) << response.message;
+  EXPECT_EQ(response.trace_id, 1u);
+
+  // The request id links every pipeline stage's span: request → cache
+  // probe (miss) → queue wait → batch row.
+  const std::vector<obs::TraceEventView> events = obs::SnapshotTraceEvents();
+  const auto has = [&events](const char* name) {
+    for (const obs::TraceEventView& event : events) {
+      if (event.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("serve_request:1"));
+  EXPECT_TRUE(has("serve_cache_probe:1"));
+  EXPECT_TRUE(has("serve_queue_wait:1"));
+  EXPECT_TRUE(has("serve_batch_row:1"));
+  obs::ClearTraceEvents();
+}
+
+TEST(ServerCoreTest, TraceSamplerSelectsEveryNth) {
+  ServerCoreOptions options;
+  options.trace_sample_every = 2;
+  auto core = MakeCore(nullptr, options);
+  // The trace_id echo is independent of global tracing (spans no-op when
+  // tracing is off, but the wire contract holds).
+  EXPECT_EQ(core->Handle(EmbedRequest({1.0, 2.0, 3.0})).trace_id, 0u);
+  EXPECT_EQ(core->Handle(EmbedRequest({1.0, 2.0, 3.0})).trace_id, 2u);
+  EXPECT_EQ(core->Handle(EmbedRequest({1.0, 2.0, 3.0})).trace_id, 0u);
+  EXPECT_EQ(core->Handle(EmbedRequest({1.0, 2.0, 3.0})).trace_id, 4u);
+}
+
 // -------------------------------------------------------------- TcpServer
 
 int ConnectLoopback(int port) {
@@ -714,6 +891,30 @@ TEST(TcpServerTest, ServesRequestsOverLoopback) {
   SendAll(fd, R"({"id": 2, "type": "embed", "features": [1, 2, 3]})"
               "\n");
   EXPECT_NE(RecvLine(fd).find("\"id\":2"), std::string::npos);
+
+  ::close(fd);
+  server.Stop();
+  serve_thread.join();
+  core->Shutdown();
+}
+
+TEST(TcpServerTest, AnswersAdminOverLoopback) {
+  auto core = MakeCore(nullptr);
+  TcpServer server({}, core.get());
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serve_thread([&] { ASSERT_TRUE(server.Serve().ok()); });
+
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, "{\"id\": 1, \"type\": \"healthz\"}\n");
+  const std::string healthz = RecvLine(fd);
+  EXPECT_NE(healthz.find("\"ok\":true"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"status\":\"serving\""), std::string::npos)
+      << healthz;
+  SendAll(fd, "{\"id\": 2, \"type\": \"metricsz\"}\n");
+  const std::string metricsz = RecvLine(fd);
+  auto parsed = ParseJson(metricsz);
+  ASSERT_TRUE(parsed.ok()) << metricsz;
+  EXPECT_NE(parsed->Find("payload")->Find("windowed"), nullptr);
 
   ::close(fd);
   server.Stop();

@@ -1,0 +1,145 @@
+// bench_gate: CI perf-regression gate. Diffs a fresh bench --json run
+// against a checked-in BENCH_*.json baseline and exits non-zero when a
+// metric drifts outside its tolerance band.
+//
+//   bench_gate --baseline BENCH_serve.json --current /tmp/serve.json
+//   bench_gate --baseline BENCH_threads.json --current bench.json
+//              --baseline-key micro_ops.threads_1 --tolerance 5
+//
+// Exit codes: 0 = all comparisons pass, 1 = at least one regression,
+// 2 = usage or I/O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gate/bench_gate_lib.h"
+
+namespace rll::gate {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: bench_gate --baseline FILE --current FILE [options]\n"
+    "\n"
+    "options:\n"
+    "  --baseline FILE        checked-in baseline JSON (required)\n"
+    "  --current FILE         fresh bench run JSON (required)\n"
+    "  --baseline-key PATH    dotted key path to the baseline series\n"
+    "                         (default: autodetect records/benchmarks)\n"
+    "  --current-key PATH     dotted key path to the current series\n"
+    "  --tolerance R          allowed degradation ratio (default 2.0)\n"
+    "  --abs-slack MS         absolute |current-baseline| that always\n"
+    "                         passes (default 0.05)\n"
+    "  --metric-tolerance L   per-metric overrides, name=R[,name=R...]\n"
+    "  --skip LIST            comma-separated name substrings to skip\n"
+    "  --require-all          fail when a baseline metric is missing\n"
+    "                         from the current run\n";
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (char c : text) {
+    if (c == ',') {
+      if (!part.empty()) parts.push_back(part);
+      part.clear();
+    } else {
+      part += c;
+    }
+  }
+  if (!part.empty()) parts.push_back(part);
+  return parts;
+}
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "bench_gate: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  std::string baseline_key;
+  std::string current_key;
+  GateOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (flag == "--require-all") {
+      options.require_all = true;
+      continue;
+    }
+    if (i + 1 >= argc) return UsageError(flag + " needs a value");
+    const std::string value = argv[++i];
+    if (flag == "--baseline") {
+      baseline_path = value;
+    } else if (flag == "--current") {
+      current_path = value;
+    } else if (flag == "--baseline-key") {
+      baseline_key = value;
+    } else if (flag == "--current-key") {
+      current_key = value;
+    } else if (flag == "--tolerance") {
+      options.tolerance = std::atof(value.c_str());
+      if (options.tolerance <= 1.0) {
+        return UsageError("--tolerance must be > 1");
+      }
+    } else if (flag == "--abs-slack") {
+      options.abs_slack = std::atof(value.c_str());
+      if (options.abs_slack < 0.0) {
+        return UsageError("--abs-slack must be >= 0");
+      }
+    } else if (flag == "--metric-tolerance") {
+      for (const std::string& pair : SplitCommas(value)) {
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          return UsageError("--metric-tolerance entries are name=R: " + pair);
+        }
+        const double ratio = std::atof(pair.c_str() + eq + 1);
+        if (ratio <= 1.0) {
+          return UsageError("per-metric tolerance must be > 1: " + pair);
+        }
+        options.per_metric_tolerance[pair.substr(0, eq)] = ratio;
+      }
+    } else if (flag == "--skip") {
+      for (std::string& part : SplitCommas(value)) {
+        options.skip_substrings.push_back(std::move(part));
+      }
+    } else {
+      return UsageError("unknown flag: " + flag);
+    }
+  }
+  if (baseline_path.empty()) return UsageError("--baseline is required");
+  if (current_path.empty()) return UsageError("--current is required");
+
+  auto baseline = LoadMetricsFile(baseline_path, baseline_key);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_gate: %s\n",
+                 baseline.status().message().c_str());
+    return 2;
+  }
+  auto current = LoadMetricsFile(current_path, current_key);
+  if (!current.ok()) {
+    std::fprintf(stderr, "bench_gate: %s\n",
+                 current.status().message().c_str());
+    return 2;
+  }
+  if (baseline->empty()) {
+    std::fprintf(stderr, "bench_gate: baseline %s has no metrics\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  const GateReport report = Compare(*baseline, *current, options);
+  std::fputs(FormatReport(report).c_str(), stdout);
+  return report.pass() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rll::gate
+
+int main(int argc, char** argv) { return rll::gate::Run(argc, argv); }

@@ -15,7 +15,8 @@
 //   rll_cli retrieve  --features F.csv --model M --query ROW [--k K]
 //   rll_cli serve     --model M [--corpus F.csv] [--host H] [--port P]
 //                     [--max-batch N] [--batch-timeout-us U] [--max-queue Q]
-//                     [--cache-size C] [--k K]
+//                     [--cache-size C] [--k K] [--trace-sample N]
+//   rll_cli top       --port P [--host H] [--interval-ms MS] [--count N]
 //
 // Every command also accepts the common flags:
 //   --threads N             global thread-pool size (results are identical
@@ -29,7 +30,13 @@
 // "example_id,worker_id,label". `synth` writes both files from the
 // simulated paper datasets so the whole flow is runnable offline.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -38,12 +45,14 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/label_source.h"
 #include "classify/metrics.h"
 #include "classify/ranking_metrics.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/threading.h"
 #include "core/embedding_index.h"
@@ -62,6 +71,7 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
+#include "serve/json.h"
 #include "serve/server_core.h"
 #include "serve/tcp_server.h"
 #include "tensor/serialize.h"
@@ -111,7 +121,8 @@ int Usage() {
       "  retrieve  --features F --model M --query ROW [--k K]\n"
       "  serve     --model M [--corpus F] [--host H] [--port P]\n"
       "            [--max-batch N] [--batch-timeout-us U] [--max-queue Q]\n"
-      "            [--cache-size C] [--k K]\n"
+      "            [--cache-size C] [--k K] [--trace-sample N]\n"
+      "  top       --port P [--host H] [--interval-ms MS] [--count N]\n"
       "common flags (any command):\n"
       "  --threads N              thread-pool size (same results at any N)\n"
       "  --log-level debug|info|warning|error\n"
@@ -148,7 +159,8 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"retrieve", {"features", "model", "query", "k"}},
       {"serve",
        {"model", "corpus", "host", "port", "max-batch", "batch-timeout-us",
-        "max-queue", "cache-size", "k"}},
+        "max-queue", "cache-size", "k", "trace-sample"}},
+      {"top", {"host", "port", "interval-ms", "count"}},
   };
   return flags;
 }
@@ -712,6 +724,8 @@ int RunServe(const Args& args) {
   core_options.cache_capacity =
       static_cast<size_t>(args.GetInt("cache-size", 1024));
   core_options.default_k = static_cast<size_t>(args.GetInt("k", 5));
+  core_options.trace_sample_every =
+      static_cast<uint64_t>(args.GetInt("trace-sample", 0));
   auto server_core =
       serve::ServerCore::Create(std::move(*bundle), corpus_ptr, core_options);
   if (!server_core.ok()) {
@@ -739,13 +753,15 @@ int RunServe(const Args& args) {
   std::fprintf(stderr,
                "model=%s corpus=%zu rows predict=%s neighbors=%s "
                "max-batch=%zu batch-timeout-us=%lld max-queue=%zu "
-               "cache-size=%zu\n",
+               "cache-size=%zu trace-sample=%llu\n",
                model_path.c_str(), core->corpus_size(),
                core->supports_predict() ? "on" : "off",
                core->supports_neighbors() ? "on" : "off",
                core_options.batcher.max_batch,
                static_cast<long long>(core_options.batcher.batch_timeout_us),
-               core_options.batcher.max_queue, core_options.cache_capacity);
+               core_options.batcher.max_queue, core_options.cache_capacity,
+               static_cast<unsigned long long>(
+                   core_options.trace_sample_every));
 
   status = server.Serve(&g_stop_requested);
   server.Stop();
@@ -766,6 +782,204 @@ int RunServe(const Args& args) {
   return 0;
 }
 
+// -------------------------------------------------------------------- top
+//
+// `rll_cli top` scrapes a running server's metricsz on an interval and
+// renders a one-screen summary, like top(1) for the serving stack. Each
+// scrape opens a fresh connection, so it also exercises the accept path.
+
+int ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends one request line and reads one newline-terminated response.
+Result<std::string> RequestOverTcp(const std::string& host, int port,
+                                   const std::string& line) {
+  const int fd = ConnectTcp(host, port);
+  if (fd < 0) {
+    return Status::IOError("cannot connect to " + host + ":" +
+                           std::to_string(port));
+  }
+  const std::string out = line + "\n";
+  size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+    if (response.find('\n') != std::string::npos) break;
+  }
+  ::close(fd);
+  const size_t eol = response.find('\n');
+  if (eol == std::string::npos) {
+    return Status::IOError("connection closed before a full response line");
+  }
+  response.resize(eol);
+  return response;
+}
+
+const serve::JsonValue* FindPath(const serve::JsonValue* root,
+                                 const std::vector<const char*>& path) {
+  for (const char* key : path) {
+    if (root == nullptr) return nullptr;
+    root = root->Find(key);
+  }
+  return root;
+}
+
+double NumberAt(const serve::JsonValue* root,
+                const std::vector<const char*>& path, double fallback) {
+  const serve::JsonValue* v = FindPath(root, path);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+/// Sums "serve_requests_total{...}" members of a delta/cumulative metrics
+/// object; `errors_only` restricts to entries whose status label != ok.
+double SumRequestCounters(const serve::JsonValue* metrics, bool errors_only) {
+  if (metrics == nullptr || !metrics->is_object()) return 0.0;
+  double total = 0.0;
+  for (const auto& [key, value] : metrics->object) {
+    if (key.rfind("serve_requests_total{", 0) != 0 || !value.is_number()) {
+      continue;
+    }
+    if (errors_only && key.find("status=\"ok\"") != std::string::npos) {
+      continue;
+    }
+    total += value.number;
+  }
+  return total;
+}
+
+int RunTop(const Args& args) {
+  const std::string host = args.Get("host", "127.0.0.1");
+  const int port = static_cast<int>(args.GetInt("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+  const int64_t interval_ms = args.GetInt("interval-ms", 1000);
+  const int64_t count = args.GetInt("count", 0);  // 0 = until Ctrl-C.
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+
+  for (int64_t scrape = 0; (count == 0 || scrape < count) &&
+                           g_stop_requested == 0;
+       ++scrape) {
+    if (scrape > 0) {
+      // Sleep in short slices so Ctrl-C stays responsive mid-interval.
+      int64_t remaining = interval_ms;
+      while (remaining > 0 && g_stop_requested == 0) {
+        const int64_t slice = std::min<int64_t>(remaining, 50);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        remaining -= slice;
+      }
+      if (g_stop_requested != 0) break;
+    }
+
+    Stopwatch rtt;
+    auto line = RequestOverTcp(host, port,
+                               "{\"id\":\"top\",\"type\":\"metricsz\"}");
+    const double rtt_ms = rtt.ElapsedMillis();
+    if (!line.ok()) {
+      std::fprintf(stderr, "%s\n", line.status().ToString().c_str());
+      return 1;
+    }
+    auto doc = serve::ParseJson(*line);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "unparseable metricsz response: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    const serve::JsonValue* ok = doc->Find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->boolean) {
+      std::fprintf(stderr, "metricsz answered an error: %s\n",
+                   line->c_str());
+      return 1;
+    }
+    const serve::JsonValue* payload = doc->Find("payload");
+    const serve::JsonValue* cumulative =
+        FindPath(payload, {"cumulative", "metrics"});
+
+    const double uptime_s = NumberAt(payload, {"uptime_s"}, 0.0);
+    const double scrape_seq = NumberAt(payload, {"scrape_seq"}, 0.0);
+    const double delta_seconds =
+        NumberAt(payload, {"delta_seconds"}, 0.0);
+    const serve::JsonValue* delta = FindPath(payload, {"delta"});
+    const double delta_requests =
+        SumRequestCounters(delta, /*errors_only=*/false);
+    const double delta_rate =
+        delta_seconds > 0.0 ? delta_requests / delta_seconds : 0.0;
+    const double total_requests =
+        SumRequestCounters(cumulative, /*errors_only=*/false);
+    const double total_errors =
+        SumRequestCounters(cumulative, /*errors_only=*/true);
+    const double window_rate =
+        NumberAt(payload, {"windowed", "requests", "rate_per_sec"}, 0.0);
+    const double window_seconds =
+        NumberAt(payload, {"windowed", "requests", "window_seconds"}, 0.0);
+    const double p50 =
+        NumberAt(payload, {"windowed", "latency_ms", "all", "p50"}, 0.0);
+    const double p95 =
+        NumberAt(payload, {"windowed", "latency_ms", "all", "p95"}, 0.0);
+    const double p99 =
+        NumberAt(payload, {"windowed", "latency_ms", "all", "p99"}, 0.0);
+    const double queue_depth =
+        NumberAt(cumulative, {"serve_queue_depth"}, 0.0);
+    const double mean_batch =
+        NumberAt(cumulative, {"serve_batch_size", "mean"}, 0.0);
+    const double batches =
+        NumberAt(cumulative, {"serve_batches_total"}, 0.0);
+    const double rejected =
+        NumberAt(cumulative, {"serve_rejected_total"}, 0.0);
+    const double hits =
+        NumberAt(cumulative, {"serve_cache_hits_total"}, 0.0);
+    const double misses =
+        NumberAt(cumulative, {"serve_cache_misses_total"}, 0.0);
+    const double hit_rate =
+        hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+
+    if (tty) std::printf("\x1b[H\x1b[2J");  // Home + clear: refresh in place.
+    std::printf("rll top — %s:%d   scrape %.0f   uptime %.1fs   rtt %.2fms\n",
+                host.c_str(), port, scrape_seq, uptime_s, rtt_ms);
+    std::printf(
+        "requests   total %.0f   errors %.0f   %.1f/s over %.0fs window   "
+        "%.1f/s since last scrape\n",
+        total_requests, total_errors, window_rate, window_seconds,
+        delta_rate);
+    std::printf("latency ms windowed p50 %.3f   p95 %.3f   p99 %.3f\n", p50,
+                p95, p99);
+    std::printf(
+        "batcher    batches %.0f   mean batch %.2f   queue depth %.0f   "
+        "rejected %.0f\n",
+        batches, mean_batch, queue_depth, rejected);
+    std::printf("cache      hits %.0f   misses %.0f   hit rate %.3f\n", hits,
+                misses, hit_rate);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int Dispatch(const Args& args, const ObsSession& obs_session) {
   if (args.command == "synth") return RunSynth(args);
   if (args.command == "describe") return RunDescribe(args);
@@ -776,6 +990,7 @@ int Dispatch(const Args& args, const ObsSession& obs_session) {
   if (args.command == "embed") return RunEmbed(args);
   if (args.command == "retrieve") return RunRetrieve(args);
   if (args.command == "serve") return RunServe(args);
+  if (args.command == "top") return RunTop(args);
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
   return Usage();
 }
