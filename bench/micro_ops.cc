@@ -14,7 +14,9 @@
 #include <cstring>
 
 #include "autograd/ops.h"
+#include "common/arena.h"
 #include "common/threading.h"
+#include "obs/alloc_count.h"
 #include "baselines/raykar.h"
 #include "classify/pca.h"
 #include "core/embedding_index.h"
@@ -35,14 +37,47 @@
 namespace rll {
 namespace {
 
+// Attaches an "allocs_per_op" user counter to the enclosing benchmark:
+// operator-new calls made during the timed loop divided by iterations.
+// Construct it immediately before `for (auto _ : state)` so setup
+// allocations stay out of the count. Surfaces in the JSON output, where
+// tools/gate treats it as its own lower-is-better metric — loops that are
+// allocation-free at steady state pin (near) zero and CI holds them there.
+// No-op when the build does not define RLL_COUNT_ALLOCS.
+class AllocCounter {
+ public:
+  explicit AllocCounter(benchmark::State& state)
+      : state_(state), start_(obs::AllocationCount()) {}
+  ~AllocCounter() { Done(); }
+
+  /// Call immediately after the timed loop when the benchmark does more
+  /// work before returning (SetItemsProcessed and friends allocate, and
+  /// scope exit would charge that to the loop).
+  void Done() {
+    if (done_) return;
+    done_ = true;
+    if (!obs::AllocCountingActive() || state_.iterations() == 0) return;
+    state_.counters["allocs_per_op"] =
+        static_cast<double>(obs::AllocationCount() - start_) /
+        static_cast<double>(state_.iterations());
+  }
+
+ private:
+  benchmark::State& state_;
+  const uint64_t start_;
+  bool done_ = false;
+};
+
 void BM_Matmul(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(1);
   Matrix a = RandomNormal(n, n, &rng);
   Matrix b = RandomNormal(n, n, &rng);
+  AllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(Matmul(a, b));
   }
+  allocs.Done();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n * n * n));
 }
@@ -56,10 +91,13 @@ void BM_MulInto(benchmark::State& state) {
   Matrix a = RandomNormal(n, n, &rng);
   Matrix b = RandomNormal(n, n, &rng);
   Matrix out;
+  MulInto(a, b, out);  // Warm the buffer; the timed loop is alloc-free.
+  AllocCounter allocs(state);
   for (auto _ : state) {
     MulInto(a, b, out);
     benchmark::DoNotOptimize(out.data());
   }
+  allocs.Done();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(n * n * n));
 }
@@ -79,11 +117,28 @@ void BM_MlpForward(benchmark::State& state) {
   Rng rng(3);
   nn::Mlp mlp({.dims = {16, 64, 32}}, &rng);
   Matrix x = RandomNormal(64, 16, &rng);
+  AllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(mlp.Embed(x));
   }
 }
 BENCHMARK(BM_MlpForward);
+
+void BM_MlpEmbedWorkspace(benchmark::State& state) {
+  // BM_MlpForward minus the result copy: EmbedInto against a caller
+  // workspace is the serve batcher's steady-state call. Expected
+  // allocs_per_op: 0 after the first pass warms the buffers.
+  Rng rng(3);
+  nn::Mlp mlp({.dims = {16, 64, 32}}, &rng);
+  Matrix x = RandomNormal(64, 16, &rng);
+  Workspace ws;
+  mlp.EmbedInto(x, ws);
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.EmbedInto(x, ws));
+  }
+}
+BENCHMARK(BM_MlpEmbedWorkspace);
 
 void BM_MlpForwardBackward(benchmark::State& state) {
   Rng rng(4);
@@ -133,6 +188,7 @@ void BM_RllTrainingStep(benchmark::State& state) {
   const std::vector<std::vector<size_t>*> slots = {&slot0, &slot1, &slot2,
                                                    &slot3};
   std::vector<Matrix> conf(4, Matrix(64, 1, 0.9));
+  AllocCounter allocs(state);
   for (auto _ : state) {
     adam.ZeroGrad();
     ag::Var anchor_emb =
@@ -146,9 +202,67 @@ void BM_RllTrainingStep(benchmark::State& state) {
     ag::Backward(loss);
     adam.Step();
   }
+  allocs.Done();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_RllTrainingStep);
+
+void BM_RllTrainingStepArena(benchmark::State& state) {
+  // BM_RllTrainingStep on the arena memory plane — the shape RllTrainer
+  // actually runs: graph nodes, gradients, and index blocks land in an
+  // arena that Reset() recycles between steps. Expected allocs_per_op: 0
+  // once the first step has sized the chunks (the delta against
+  // BM_RllTrainingStep is the whole point of the arena).
+  Rng rng(6);
+  data::Dataset d = GenerateSynthetic(data::OralSimConfig(), &rng);
+  core::RllModel model(
+      {.input_dim = d.dim(), .hidden_dims = {64, 32}}, &rng);
+  nn::Adam adam(model.Parameters(), {});
+  std::vector<int> labels = d.true_labels();
+  core::GroupSampler sampler(labels, {.negatives_per_group = 3});
+  auto groups = sampler.Sample(64, &rng);
+  std::vector<size_t> anchors, slot0, slot1, slot2, slot3;
+  for (const core::Group& g : *groups) {
+    anchors.push_back(g.anchor);
+    slot0.push_back(g.positive);
+    slot1.push_back(g.negatives[0]);
+    slot2.push_back(g.negatives[1]);
+    slot3.push_back(g.negatives[2]);
+  }
+  const std::vector<std::vector<size_t>*> slots = {&slot0, &slot1, &slot2,
+                                                   &slot3};
+  std::vector<Matrix> conf(4, Matrix(64, 1, 0.9));
+  Arena arena;
+  const auto step = [&] {
+    {
+      ArenaScope scope(&arena);
+      ag::Var anchor_emb = model.Forward(
+          ag::Constant(d.features().GatherRows(anchors.data(), 64)));
+      ag::VarList cands;
+      cands.reserve(4);
+      MatrixList slot_conf(conf.begin(), conf.end());
+      for (const auto* slot : slots) {
+        cands.push_back(model.Forward(
+            ag::Constant(d.features().GatherRows(slot->data(), 64))));
+      }
+      ag::Var loss = core::GroupNllLoss(anchor_emb, cands, slot_conf, 10.0);
+      ag::Backward(loss);
+      adam.Step();
+      // Inside the scope, like the trainer: the arena-backed grads must
+      // be released while their headers are intact.
+      adam.ZeroGrad();
+    }
+    arena.Reset();
+  };
+  step();  // Size the arena chunks; the timed loop is the steady state.
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    step();
+  }
+  allocs.Done();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_RllTrainingStepArena);
 
 data::Dataset AnnotatedDataset(size_t votes) {
   Rng rng(7);
@@ -253,6 +367,8 @@ void BM_EmbeddingIndexQuery(benchmark::State& state) {
   core::EmbeddingIndex index;
   if (!index.Build(corpus).ok()) return;
   Matrix query = RandomNormal(1, 32, &rng);
+  index.Query(query, 10);  // Warm the per-thread scratch buffers.
+  AllocCounter allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(index.Query(query, 10));
   }

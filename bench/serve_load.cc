@@ -28,6 +28,7 @@
 #include "core/model_bundle.h"
 #include "core/rll_model.h"
 #include "data/standardize.h"
+#include "obs/alloc_count.h"
 #include "obs/metrics.h"
 #include "serve/server_core.h"
 
@@ -117,6 +118,12 @@ int Run(int argc, char** argv) {
   const size_t hot_rows = 64;
 
   std::vector<ClientStats> stats(clients);
+  // Allocation accounting over the whole closed loop (all client threads
+  // plus the batcher worker). The request path cannot be literally
+  // allocation-free — promises, result rows, and response JSON cross
+  // threads and so own their storage — but the per-request count must not
+  // grow: the checked-in baseline pins it and tools/gate fails a rise.
+  const uint64_t allocs_before = obs::AllocationCount();
   {
     auto timer = reporter.Time("closed_loop",
                                static_cast<double>(clients * iterations));
@@ -130,6 +137,8 @@ int Run(int argc, char** argv) {
     }
     for (std::thread& t : threads) t.join();
   }
+
+  const uint64_t closed_loop_allocs = obs::AllocationCount() - allocs_before;
 
   uint64_t total_requests = 0, total_failures = 0;
   for (const ClientStats& s : stats) {
@@ -206,6 +215,11 @@ int Run(int argc, char** argv) {
                       : 0.0);
   reporter.Record("max_batch_observed",
                   static_cast<double>(batcher.max_batch_observed()));
+  if (obs::AllocCountingActive() && total_requests > 0) {
+    reporter.Record("allocs_per_op",
+                    static_cast<double>(closed_loop_allocs) /
+                        static_cast<double>(total_requests));
+  }
 
   // Windowed-vs-lifetime agreement: both views observe the identical
   // request stream through the same bucket math, so with the window

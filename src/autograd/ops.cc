@@ -10,18 +10,21 @@ namespace rll::ag {
 
 namespace {
 
-/// Builds a result node wired to its parents; `backward` is only attached
-/// when gradients are needed.
-Var MakeOp(Matrix value, std::vector<Var> parents,
-           std::function<void(Node*)> backward) {
+/// Builds a result node wired to its parents; the backward closure is only
+/// materialized (into scratch storage, via BackwardFn) when gradients are
+/// needed. allocate_shared draws the node + control block from the same
+/// scratch allocator, so an op inside an ArenaScope is allocation-free.
+template <typename F>
+Var MakeOp(Matrix value, VarList parents, F&& backward) {
   // Every autograd op funnels through here: a NaN/Inf forward value aborts
   // (debug builds) at the op that produced it.
   RLL_DCHECK_FINITE(value);
   bool needs_grad = false;
   for (const Var& p : parents) needs_grad = needs_grad || p->requires_grad;
-  Var out = std::make_shared<Node>(std::move(value), needs_grad);
+  Var out = std::allocate_shared<Node>(ScratchAllocator<Node>{},
+                                       std::move(value), needs_grad);
   out->parents = std::move(parents);
-  if (needs_grad) out->backward_fn = std::move(backward);
+  if (needs_grad) out->backward_fn = BackwardFn(std::forward<F>(backward));
   return out;
 }
 
@@ -325,17 +328,21 @@ Var RowCosine(const Var& a, const Var& b, double eps) {
       });
 }
 
-Var ConcatCols(const std::vector<Var>& parts) {
-  RLL_CHECK(!parts.empty());
+namespace {
+
+// Pointer-based core shared by the std::vector and VarList overloads.
+Var ConcatColsImpl(const Var* parts, size_t count) {
+  RLL_CHECK(count > 0);
   const size_t rows = parts[0]->value.rows();
   size_t total_cols = 0;
-  for (const Var& p : parts) {
-    RLL_CHECK_EQ(p->value.rows(), rows);
-    total_cols += p->value.cols();
+  for (size_t i = 0; i < count; ++i) {
+    RLL_CHECK_EQ(parts[i]->value.rows(), rows);
+    total_cols += parts[i]->value.cols();
   }
   Matrix value(rows, total_cols);
   size_t offset = 0;
-  for (const Var& p : parts) {
+  for (size_t i = 0; i < count; ++i) {
+    const Var& p = parts[i];
     for (size_t r = 0; r < rows; ++r) {
       const double* src = p->value.row_data(r);
       double* dst = value.row_data(r) + offset;
@@ -343,7 +350,7 @@ Var ConcatCols(const std::vector<Var>& parts) {
     }
     offset += p->value.cols();
   }
-  return MakeOp(std::move(value), parts, [](Node* n) {
+  return MakeOp(std::move(value), VarList(parts, parts + count), [](Node* n) {
     size_t offset = 0;
     for (const Var& p : n->parents) {
       const size_t pc = p->value.cols();
@@ -361,23 +368,26 @@ Var ConcatCols(const std::vector<Var>& parts) {
   });
 }
 
-Var ConcatRows(const std::vector<Var>& parts) {
-  RLL_CHECK(!parts.empty());
+Var ConcatRowsImpl(const Var* parts, size_t count) {
+  RLL_CHECK(count > 0);
   const size_t cols = parts[0]->value.cols();
   size_t total_rows = 0;
-  for (const Var& p : parts) {
-    RLL_CHECK_EQ(p->value.cols(), cols);
-    total_rows += p->value.rows();
+  for (size_t i = 0; i < count; ++i) {
+    RLL_CHECK_EQ(parts[i]->value.cols(), cols);
+    total_rows += parts[i]->value.rows();
   }
   Matrix value(total_rows, cols);
   size_t offset = 0;
-  for (const Var& p : parts) {
+  for (size_t i = 0; i < count; ++i) {
+    const Var& p = parts[i];
     for (size_t r = 0; r < p->value.rows(); ++r) {
-      value.SetRow(offset + r, p->value.Row(r));
+      const double* src = p->value.row_data(r);
+      double* dst = value.row_data(offset + r);
+      for (size_t c = 0; c < cols; ++c) dst[c] = src[c];
     }
     offset += p->value.rows();
   }
-  return MakeOp(std::move(value), parts, [](Node* n) {
+  return MakeOp(std::move(value), VarList(parts, parts + count), [](Node* n) {
     size_t offset = 0;
     for (const Var& p : n->parents) {
       const size_t pr = p->value.rows();
@@ -393,6 +403,21 @@ Var ConcatRows(const std::vector<Var>& parts) {
       offset += pr;
     }
   });
+}
+
+}  // namespace
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  return ConcatColsImpl(parts.data(), parts.size());
+}
+Var ConcatCols(const VarList& parts) {
+  return ConcatColsImpl(parts.data(), parts.size());
+}
+Var ConcatRows(const std::vector<Var>& parts) {
+  return ConcatRowsImpl(parts.data(), parts.size());
+}
+Var ConcatRows(const VarList& parts) {
+  return ConcatRowsImpl(parts.data(), parts.size());
 }
 
 Var LogSoftmaxRows(const Var& a) {
@@ -422,37 +447,60 @@ Var LogSoftmaxRows(const Var& a) {
 }
 
 Var NllRows(const Var& logp, const std::vector<size_t>& targets) {
-  return WeightedNllRows(logp, targets,
-                         std::vector<double>(targets.size(), 1.0));
+  return WeightedNllRows(logp, targets.data(), /*weights=*/nullptr,
+                         targets.size());
+}
+
+Var NllRows(const Var& logp, const size_t* targets, size_t count) {
+  return WeightedNllRows(logp, targets, /*weights=*/nullptr, count);
 }
 
 Var WeightedNllRows(const Var& logp, const std::vector<size_t>& targets,
                     const std::vector<double>& weights) {
-  RLL_CHECK_EQ(logp->value.rows(), targets.size());
   RLL_CHECK_EQ(targets.size(), weights.size());
-  RLL_CHECK(!targets.empty());
+  return WeightedNllRows(logp, targets.data(), weights.data(),
+                         targets.size());
+}
+
+Var WeightedNllRows(const Var& logp, const size_t* targets,
+                    const double* weights, size_t count) {
+  RLL_CHECK_EQ(logp->value.rows(), count);
+  RLL_CHECK(count > 0);
   double wsum = 0.0;
-  for (double w : weights) {
-    RLL_CHECK_GE(w, 0.0);
-    wsum += w;
+  if (weights != nullptr) {
+    for (size_t i = 0; i < count; ++i) {
+      RLL_CHECK_GE(weights[i], 0.0);
+      wsum += weights[i];
+    }
+  } else {
+    wsum = static_cast<double>(count);
   }
   RLL_CHECK_GT(wsum, 0.0);
   double loss = 0.0;
-  for (size_t i = 0; i < targets.size(); ++i) {
+  for (size_t i = 0; i < count; ++i) {
     RLL_CHECK_LT(targets[i], logp->value.cols());
-    loss -= weights[i] * logp->value(i, targets[i]);
+    const double w = weights != nullptr ? weights[i] : 1.0;
+    loss -= w * logp->value(i, targets[i]);
   }
   Matrix value(1, 1, loss / wsum);
-  return MakeOp(std::move(value), {logp},
-                [targets, weights, wsum](Node* n) {
-                  const double g = n->grad(0, 0);
-                  const Matrix& lp = n->parents[0]->value;
-                  Matrix grad(lp.rows(), lp.cols());
-                  for (size_t i = 0; i < targets.size(); ++i) {
-                    grad(i, targets[i]) = -g * weights[i] / wsum;
-                  }
-                  n->parents[0]->AccumulateGrad(std::move(grad));
-                });
+  // The closure copies targets/weights into scratch vectors: inside an
+  // ArenaScope both the copies and the closure itself are arena-backed.
+  ScratchVector<size_t> targets_copy(targets, targets + count);
+  ScratchVector<double> weights_copy;
+  if (weights != nullptr) weights_copy.assign(weights, weights + count);
+  return MakeOp(
+      std::move(value), {logp},
+      [targets = std::move(targets_copy), weights = std::move(weights_copy),
+       wsum](Node* n) {
+        const double g = n->grad(0, 0);
+        const Matrix& lp = n->parents[0]->value;
+        Matrix grad(lp.rows(), lp.cols());
+        for (size_t i = 0; i < targets.size(); ++i) {
+          const double w = weights.empty() ? 1.0 : weights[i];
+          grad(i, targets[i]) = -g * w / wsum;
+        }
+        n->parents[0]->AccumulateGrad(std::move(grad));
+      });
 }
 
 }  // namespace rll::ag

@@ -1,18 +1,31 @@
 #include "autograd/variable.h"
 
-#include <unordered_set>
+#include <atomic>
 #include <utility>
 
 #include "common/finite_check.h"
 
 namespace rll::ag {
 
+namespace {
+
+// Visit epochs for TopologicalOrder. Atomic so concurrent walks over
+// distinct (thread-private) graphs each get a unique epoch; starts at 1 so
+// the zero-initialized Node::visit_epoch never reads as already-visited.
+std::atomic<uint64_t> g_visit_epoch{0};
+
+uint64_t NextVisitEpoch() {
+  return g_visit_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 Node::~Node() {
   // Move the parent list out, then drain it with an explicit stack. Any
   // node we hold the last reference to gets its own parents stolen before
   // its (now shallow) destructor runs, so destruction never recurses
   // deeper than one node regardless of graph depth.
-  std::vector<Var> pending = std::move(parents);
+  VarList pending = std::move(parents);
   while (!pending.empty()) {
     Var node = std::move(pending.back());
     pending.pop_back();
@@ -38,31 +51,37 @@ void Node::AccumulateGrad(Matrix g) {
 }
 
 Var Constant(Matrix value) {
-  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+  // allocate_shared: node and shared_ptr control block come from one
+  // scratch allocation — inside an ArenaScope, building a leaf is a bump.
+  return std::allocate_shared<Node>(ScratchAllocator<Node>{},
+                                    std::move(value),
+                                    /*requires_grad=*/false);
 }
 
 Var Parameter(Matrix value) {
-  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+  return std::allocate_shared<Node>(ScratchAllocator<Node>{},
+                                    std::move(value),
+                                    /*requires_grad=*/true);
 }
 
-std::vector<Node*> TopologicalOrder(const Var& root) {
-  std::vector<Node*> order;
-  std::unordered_set<Node*> visited;
+ScratchVector<Node*> TopologicalOrder(const Var& root) {
+  const uint64_t epoch = NextVisitEpoch();
+  ScratchVector<Node*> order;
   // Iterative post-order DFS; graphs from long training loops can be deep
   // enough to overflow the stack with recursion.
   struct Frame {
     Node* node;
     size_t next_parent;
   };
-  std::vector<Frame> stack;
-  if (visited.insert(root.get()).second) {
-    stack.push_back({root.get(), 0});
-  }
+  ScratchVector<Frame> stack;
+  root->visit_epoch = epoch;
+  stack.push_back({root.get(), 0});
   while (!stack.empty()) {
     Frame& top = stack.back();
     if (top.next_parent < top.node->parents.size()) {
       Node* parent = top.node->parents[top.next_parent++].get();
-      if (visited.insert(parent).second) {
+      if (parent->visit_epoch != epoch) {
+        parent->visit_epoch = epoch;
         stack.push_back({parent, 0});
       }
     } else {
@@ -76,7 +95,7 @@ std::vector<Node*> TopologicalOrder(const Var& root) {
 void Backward(const Var& loss) {
   RLL_CHECK_MSG(loss->value.rows() == 1 && loss->value.cols() == 1,
                 "Backward requires a 1x1 scalar loss");
-  std::vector<Node*> order = TopologicalOrder(loss);
+  ScratchVector<Node*> order = TopologicalOrder(loss);
   loss->AccumulateGrad(Matrix(1, 1, 1.0));
   // Children before parents: walk in reverse topological order.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {

@@ -5,14 +5,31 @@
 // into every node with requires_grad. The graph is rebuilt on every forward
 // pass (define-by-run), which keeps control flow — like RLL's per-group
 // candidate lists — ordinary C++.
+//
+// Memory plane: every piece of per-graph storage — the Node itself (via
+// std::allocate_shared), its parent list, its gradient matrices, and the
+// type-erased backward closure — is obtained through ScratchAllocator, so
+// a graph built inside an ArenaScope (the trainer opens one per batch)
+// costs pointer bumps and is reclaimed wholesale by Arena::Reset().
+// Outside a scope the allocator degrades to the aligned heap and nothing
+// changes semantically. One rule follows: a graph built inside a scope
+// must be dropped before the arena is reset (see common/arena.h).
+//
+// Graphs are thread-private: build, walk, and drop a graph on one thread.
+// (Distinct threads may each run their own graphs concurrently — the
+// visit-epoch counter used by TopologicalOrder is atomic, and nodes are
+// never shared across graphs.)
 
 #ifndef RLL_AUTOGRAD_VARIABLE_H_
 #define RLL_AUTOGRAD_VARIABLE_H_
 
-#include <functional>
 #include <memory>
+#include <new>  // rll-lint: allow(naked-new-delete) — placement new below
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "tensor/matrix.h"
 
 namespace rll::ag {
@@ -20,6 +37,78 @@ namespace rll::ag {
 class Node;
 /// Handle type used by all autograd ops.
 using Var = std::shared_ptr<Node>;
+/// Parent/operand lists; scratch-backed like everything else per-graph.
+using VarList = ScratchVector<Var>;
+
+/// Move-only type-erased `void(Node*)` callable for backward closures.
+/// Unlike std::function (whose small-buffer optimization tops out around
+/// two pointers, sending every capturing autograd closure to the heap),
+/// this always stores the closure through ScratchAllocator — so inside an
+/// ArenaScope a closure capturing index lists or matrices still costs a
+/// pointer bump.
+class BackwardFn {
+ public:
+  BackwardFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, BackwardFn>>>
+  BackwardFn(F&& fn) {  // NOLINT(runtime/explicit)
+    using Closure = std::decay_t<F>;
+    static_assert(alignof(Closure) <= Arena::kAlignment,
+                  "closure over-aligned for scratch storage");
+    bytes_ = sizeof(Closure);
+    data_ = ScratchAllocator<unsigned char>{}.allocate(bytes_);
+    new (data_) Closure(std::forward<F>(fn));  // rll-lint: allow(naked-new-delete)
+    call_ = [](void* data, Node* node) {
+      (*static_cast<Closure*>(data))(node);
+    };
+    destroy_ = [](void* data) { static_cast<Closure*>(data)->~Closure(); };
+  }
+
+  BackwardFn(BackwardFn&& other) noexcept
+      : data_(other.data_), call_(other.call_), destroy_(other.destroy_),
+        bytes_(other.bytes_) {
+    other.data_ = nullptr;
+    other.call_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+  BackwardFn& operator=(BackwardFn&& other) noexcept {
+    if (this != &other) {
+      Release();
+      data_ = other.data_;
+      call_ = other.call_;
+      destroy_ = other.destroy_;
+      bytes_ = other.bytes_;
+      other.data_ = nullptr;
+      other.call_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+  ~BackwardFn() { Release(); }
+
+  explicit operator bool() const { return call_ != nullptr; }
+  void operator()(Node* node) const { call_(data_, node); }
+
+ private:
+  void Release() {
+    if (data_ == nullptr) return;
+    destroy_(data_);
+    ScratchAllocator<unsigned char>{}.deallocate(
+        static_cast<unsigned char*>(data_), bytes_);
+    data_ = nullptr;
+    call_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  void* data_ = nullptr;
+  void (*call_)(void*, Node*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  size_t bytes_ = 0;
+};
 
 class Node {
  public:
@@ -38,11 +127,16 @@ class Node {
   Matrix grad;
   /// Whether gradients should flow into (and through) this node.
   bool requires_grad;
+  /// Last TopologicalOrder sweep that visited this node. Replaces a
+  /// per-walk unordered_set (and its per-node rehash allocations): each
+  /// sweep draws a fresh epoch from a global atomic counter, so stale
+  /// marks from earlier sweeps can never read as "visited".
+  uint64_t visit_epoch = 0;
   /// Upstream nodes; drives the topological sort.
-  std::vector<Var> parents;
+  VarList parents;
   /// Propagates this->grad into parents' grads. Null for leaves and for
   /// nodes with requires_grad == false.
-  std::function<void(Node*)> backward_fn;
+  BackwardFn backward_fn;
 
   /// Adds g into grad. Taken by value: the first accumulation into a node
   /// (the common case — most nodes have a single consumer) moves the
@@ -69,7 +163,7 @@ void Backward(const Var& loss);
 
 /// Collects every distinct node reachable from `root` in topological order
 /// (parents before children). Exposed for testing.
-std::vector<Node*> TopologicalOrder(const Var& root);
+ScratchVector<Node*> TopologicalOrder(const Var& root);
 
 }  // namespace rll::ag
 

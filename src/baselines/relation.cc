@@ -39,7 +39,8 @@ Status RelationMethod::TrainEncoder(nn::Mlp* encoder, const Matrix& features,
 
       ag::Var e1 = encoder->Forward(ag::Constant(features.GatherRows(left)));
       ag::Var e2 = encoder->Forward(ag::Constant(features.GatherRows(right)));
-      ag::Var score = relation_head.Forward(ag::ConcatCols({e1, e2}));
+      ag::Var score =
+          relation_head.Forward(ag::ConcatCols(ag::VarList{e1, e2}));
       ag::Var loss =
           ag::Mean(ag::Square(ag::Sub(score, ag::Constant(target))));
 

@@ -1,0 +1,124 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/mutex.h"
+
+namespace rll {
+namespace {
+
+// Chunk growth doubles from the arena's minimum up to this cap, bounding
+// both the number of system allocations during warm-up and the worst-case
+// over-reservation once the working set stabilizes.
+constexpr size_t kMaxChunkBytes = size_t{8} << 20;
+
+// Registry of live arenas, for the process-wide gauge snapshot. A plain
+// vector: arenas are few (one per trainer, one per test) and churn is
+// construction/destruction only, never the allocation path.
+Mutex& RegistryMutex() {
+  static Mutex mu;
+  return mu;
+}
+
+std::vector<Arena*>& Registry() RLL_REQUIRES(RegistryMutex()) {
+  static std::vector<Arena*> arenas;
+  return arenas;
+}
+
+// The arena ScratchAllocator routes to on this thread; null means heap.
+Arena*& TlsArenaSlot() {
+  thread_local Arena* slot = nullptr;
+  return slot;
+}
+
+size_t AlignUp(size_t bytes) {
+  return (bytes + Arena::kAlignment - 1) & ~(Arena::kAlignment - 1);
+}
+
+}  // namespace
+
+Arena::Arena(size_t min_chunk_bytes)
+    : next_chunk_bytes_(std::max(AlignUp(min_chunk_bytes), kAlignment)) {
+  MutexLock lock(RegistryMutex());
+  Registry().push_back(this);
+}
+
+Arena::~Arena() {
+  {
+    MutexLock lock(RegistryMutex());
+    std::vector<Arena*>& arenas = Registry();
+    arenas.erase(std::remove(arenas.begin(), arenas.end(), this),
+                 arenas.end());
+  }
+  for (Chunk& chunk : chunks_) {
+    ::operator delete(chunk.base, std::align_val_t{kAlignment});  // rll-lint: allow(naked-new-delete)
+  }
+}
+
+void* Arena::Allocate(size_t bytes) {
+  bytes = AlignUp(std::max(bytes, size_t{1}));
+  if (active_ >= chunks_.size() ||
+      chunks_[active_].used + bytes > chunks_[active_].capacity) {
+    EnsureRoom(bytes);
+  }
+  Chunk& chunk = chunks_[active_];
+  void* out = chunk.base + chunk.used;
+  chunk.used += bytes;
+  const size_t used = bytes_used_.load(std::memory_order_relaxed) + bytes;
+  bytes_used_.store(used, std::memory_order_relaxed);
+  if (used > high_water_.load(std::memory_order_relaxed)) {
+    high_water_.store(used, std::memory_order_relaxed);
+  }
+  allocation_count_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void Arena::EnsureRoom(size_t bytes) {
+  // Walk forward over chunks retained by earlier epochs before growing:
+  // after a Reset they are all empty, so a stable working set settles into
+  // the same chunk sequence every epoch with no new reservations.
+  while (active_ + 1 < chunks_.size()) {
+    ++active_;
+    if (chunks_[active_].used + bytes <= chunks_[active_].capacity) return;
+  }
+  Chunk chunk;
+  chunk.capacity = std::max(next_chunk_bytes_, bytes);
+  chunk.base = static_cast<std::byte*>(::operator new(  // rll-lint: allow(naked-new-delete)
+      chunk.capacity, std::align_val_t{kAlignment}));
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  bytes_reserved_.fetch_add(chunk.capacity, std::memory_order_relaxed);
+  chunks_.push_back(chunk);
+  active_ = chunks_.size() - 1;
+}
+
+void Arena::Reset() {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  active_ = 0;
+  bytes_used_.store(0, std::memory_order_relaxed);
+}
+
+Arena* CurrentArena() { return TlsArenaSlot(); }
+
+ArenaScope::ArenaScope(Arena* arena) : prev_(TlsArenaSlot()) {
+  TlsArenaSlot() = arena;
+}
+
+ArenaScope::~ArenaScope() { TlsArenaSlot() = prev_; }
+
+ArenaPause::ArenaPause() : prev_(TlsArenaSlot()) { TlsArenaSlot() = nullptr; }
+
+ArenaPause::~ArenaPause() { TlsArenaSlot() = prev_; }
+
+ArenaStatsSnapshot GlobalArenaStats() {
+  ArenaStatsSnapshot snapshot;
+  MutexLock lock(RegistryMutex());
+  for (const Arena* arena : Registry()) {
+    ++snapshot.live_arenas;
+    snapshot.bytes_used += arena->bytes_used();
+    snapshot.bytes_reserved += arena->bytes_reserved();
+    snapshot.high_water += arena->high_water();
+  }
+  return snapshot;
+}
+
+}  // namespace rll

@@ -188,9 +188,4 @@ size_t GlobalThreadCount() {
                                  : DefaultThreadCount();
 }
 
-void ParallelFor(size_t begin, size_t end, size_t grain,
-                 const std::function<void(size_t, size_t)>& fn) {
-  GlobalThreadPool()->ParallelFor(begin, end, grain, fn);
-}
-
 }  // namespace rll

@@ -96,9 +96,26 @@ void SetGlobalThreads(size_t num_threads);
 /// Worker count the global pool has (or would be created with).
 size_t GlobalThreadCount();
 
-/// ParallelFor on the global pool.
-void ParallelFor(size_t begin, size_t end, size_t grain,
-                 const std::function<void(size_t, size_t)>& fn);
+/// ParallelFor on the global pool. A template so the serial paths — a
+/// size-1 pool, a range that fits one chunk, a nested call from a worker —
+/// invoke `fn` directly: no std::function is materialized, which keeps the
+/// hot loops built on these kernels allocation-free at --threads 1. Only
+/// an actual pool dispatch pays the type-erasure (and task-queue) cost.
+/// The chunk partition is the same either way, so results stay bitwise
+/// identical at any thread count.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t grain, const Fn& fn) {
+  if (end <= begin) return;
+  grain = std::max<size_t>(grain, 1);
+  const std::shared_ptr<ThreadPool> pool = GlobalThreadPool();
+  if (pool->num_threads() == 1 || end - begin <= grain ||
+      pool->OnWorkerThread()) {
+    fn(begin, end);
+    return;
+  }
+  pool->ParallelFor(begin, end, grain,
+                    std::function<void(size_t, size_t)>(std::cref(fn)));
+}
 
 /// Deterministic tree reduction over [begin, end): `map_chunk(lo, hi)`
 /// produces one partial per grain-sized chunk (computed in parallel), and
@@ -111,6 +128,21 @@ T ParallelReduce(size_t begin, size_t end, size_t grain, T identity,
   if (end <= begin) return identity;
   grain = std::max<size_t>(grain, 1);
   const size_t chunks = (end - begin + grain - 1) / grain;
+  {
+    const std::shared_ptr<ThreadPool> pool = GlobalThreadPool();
+    if (pool->num_threads() == 1 || chunks == 1 || pool->OnWorkerThread()) {
+      // Serial fold with the SAME chunk boundaries and combine order as
+      // the parallel path — bitwise identical result — but no partials
+      // buffer and no dispatch, so the path allocates nothing.
+      T acc = identity;
+      for (size_t c = 0; c < chunks; ++c) {
+        const size_t lo = begin + c * grain;
+        const size_t hi = std::min(end, lo + grain);
+        acc = combine(acc, map_chunk(lo, hi));
+      }
+      return acc;
+    }
+  }
   std::vector<T> partials(chunks, identity);
   ParallelFor(0, chunks, 1, [&](size_t chunk_begin, size_t chunk_end) {
     for (size_t c = chunk_begin; c < chunk_end; ++c) {

@@ -17,17 +17,22 @@ RllModel::RllModel(const RllModelConfig& config, Rng* rng) : config_(config) {
   encoder_ = std::make_unique<nn::Mlp>(mlp_config, rng);
 }
 
-ag::Var GroupNllLoss(const ag::Var& anchor_emb,
-                     const std::vector<ag::Var>& candidate_embs,
-                     const std::vector<Matrix>& slot_confidence, double eta) {
-  RLL_CHECK(!candidate_embs.empty());
-  RLL_CHECK_EQ(candidate_embs.size(), slot_confidence.size());
+namespace {
+
+// Pointer-based core shared by both GroupNllLoss overloads. Everything it
+// builds — score list, targets, graph nodes — is scratch-backed, so inside
+// an ArenaScope the whole loss construction is allocation-free.
+ag::Var GroupNllLossImpl(const ag::Var& anchor_emb,
+                         const ag::Var* candidate_embs,
+                         const Matrix* slot_confidence, size_t slots,
+                         double eta) {
+  RLL_CHECK(slots > 0);
   RLL_CHECK_GT(eta, 0.0);
   const size_t batch = anchor_emb->value.rows();
 
-  std::vector<ag::Var> scores;
-  scores.reserve(candidate_embs.size());
-  for (size_t s = 0; s < candidate_embs.size(); ++s) {
+  ag::VarList scores;
+  scores.reserve(slots);
+  for (size_t s = 0; s < slots; ++s) {
     RLL_CHECK_EQ(candidate_embs[s]->value.rows(), batch);
     RLL_CHECK_EQ(slot_confidence[s].rows(), batch);
     RLL_CHECK_EQ(slot_confidence[s].cols(), 1u);
@@ -38,7 +43,26 @@ ag::Var GroupNllLoss(const ag::Var& anchor_emb,
   }
   ag::Var logits = ag::ConcatCols(scores);          // batch×(k+1)
   ag::Var logp = ag::LogSoftmaxRows(logits);        // slot 0 is the target
-  return ag::NllRows(logp, std::vector<size_t>(batch, 0));
+  ScratchVector<size_t> targets(batch, 0);
+  return ag::NllRows(logp, targets.data(), batch);
+}
+
+}  // namespace
+
+ag::Var GroupNllLoss(const ag::Var& anchor_emb,
+                     const std::vector<ag::Var>& candidate_embs,
+                     const std::vector<Matrix>& slot_confidence, double eta) {
+  RLL_CHECK_EQ(candidate_embs.size(), slot_confidence.size());
+  return GroupNllLossImpl(anchor_emb, candidate_embs.data(),
+                          slot_confidence.data(), candidate_embs.size(), eta);
+}
+
+ag::Var GroupNllLoss(const ag::Var& anchor_emb,
+                     const ag::VarList& candidate_embs,
+                     const MatrixList& slot_confidence, double eta) {
+  RLL_CHECK_EQ(candidate_embs.size(), slot_confidence.size());
+  return GroupNllLossImpl(anchor_emb, candidate_embs.data(),
+                          slot_confidence.data(), candidate_embs.size(), eta);
 }
 
 }  // namespace rll::core

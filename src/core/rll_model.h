@@ -41,6 +41,13 @@ class RllModel {
   /// Inference: raw features (n×input_dim) → embeddings (n×embedding_dim).
   Matrix Embed(const Matrix& x) const { return encoder_->Embed(x); }
 
+  /// Allocation-free inference: intermediates and the result live in
+  /// caller-provided Workspace buffers (bitwise identical to Embed). The
+  /// returned reference is valid until the next EmbedInto on `ws`.
+  const Matrix& EmbedInto(const Matrix& x, Workspace& ws) const {
+    return encoder_->EmbedInto(x, ws);
+  }
+
   std::vector<ag::Var> Parameters() const { return encoder_->Parameters(); }
 
   size_t input_dim() const { return config_.input_dim; }
@@ -65,6 +72,11 @@ class RllModel {
 ag::Var GroupNllLoss(const ag::Var& anchor_emb,
                      const std::vector<ag::Var>& candidate_embs,
                      const std::vector<Matrix>& slot_confidence, double eta);
+/// Scratch-backed overload — the trainer's hot path: inside an ArenaScope
+/// the operand lists, the graph, and the loss all come from the arena.
+ag::Var GroupNllLoss(const ag::Var& anchor_emb,
+                     const ag::VarList& candidate_embs,
+                     const MatrixList& slot_confidence, double eta);
 
 }  // namespace rll::core
 

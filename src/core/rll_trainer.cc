@@ -94,40 +94,53 @@ Result<RllTrainSummary> RllTrainer::Train(
 
   // Builds the confidence-weighted group loss for groups [start, end).
   // Dropout (if configured) only applies on the training path, drawing from
-  // the per-epoch rng.
+  // the per-epoch rng. Every local here is scratch-backed: called inside an
+  // ArenaScope (as both call sites below do), building the loss performs no
+  // heap allocation — index blocks, embeddings, and the graph all land in
+  // the batch arena and vanish on Reset().
   auto build_loss = [&](const std::vector<Group>& groups, size_t start,
                         size_t end, bool training, Rng* rng) {
     const size_t batch = end - start;
-    std::vector<size_t> anchor_idx(batch);
-    std::vector<std::vector<size_t>> slot_idx(k + 1,
-                                              std::vector<size_t>(batch));
+    // Slot-major index block: entries [s*batch, (s+1)*batch) hold the
+    // feature rows for candidate slot s (slot 0 = paired positive).
+    ScratchVector<size_t> anchor_idx(batch);
+    ScratchVector<size_t> slot_idx((k + 1) * batch);
     for (size_t b = 0; b < batch; ++b) {
       const Group& g = groups[start + b];
       anchor_idx[b] = g.anchor;
-      slot_idx[0][b] = g.positive;
-      for (size_t s = 0; s < k; ++s) slot_idx[s + 1][b] = g.negatives[s];
+      slot_idx[b] = g.positive;
+      for (size_t s = 0; s < k; ++s) slot_idx[(s + 1) * batch + b] = g.negatives[s];
     }
-    auto embed = [&](const std::vector<size_t>& idx) {
-      ag::Var input = ag::Constant(features.GatherRows(idx));
+    auto embed = [&](const size_t* idx, size_t count) {
+      ag::Var input = ag::Constant(features.GatherRows(idx, count));
       return training ? model_->ForwardTrain(input, rng)
                       : model_->Forward(input);
     };
-    ag::Var anchor_emb = embed(anchor_idx);
-    std::vector<ag::Var> candidate_embs;
-    std::vector<Matrix> slot_confidence;
+    ag::Var anchor_emb = embed(anchor_idx.data(), batch);
+    ag::VarList candidate_embs;
+    MatrixList slot_confidence;
     candidate_embs.reserve(k + 1);
     slot_confidence.reserve(k + 1);
     for (size_t s = 0; s <= k; ++s) {
-      candidate_embs.push_back(embed(slot_idx[s]));
+      const size_t* idx = slot_idx.data() + s * batch;
+      candidate_embs.push_back(embed(idx, batch));
       Matrix delta(batch, 1);
       for (size_t b = 0; b < batch; ++b) {
-        delta(b, 0) = confidence[slot_idx[s][b]];
+        delta(b, 0) = confidence[idx[b]];
       }
       slot_confidence.push_back(std::move(delta));
     }
     return GroupNllLoss(anchor_emb, candidate_embs, slot_confidence,
                         options_.eta);
   };
+
+  // One arena backs every batch and validation graph; Reset() between
+  // batches reuses the same chunks, so the steady-state loop below is
+  // allocation-free (asserted under RLL_COUNT_ALLOCS in arena_test).
+  Arena arena;
+  // Hoisted: Parameters() builds a fresh vector, which must not happen
+  // inside the batch loop.
+  const std::vector<ag::Var> params = model_->Parameters();
 
   // ---- Epoch loop with optional early stopping on validation NLL.
   RllTrainSummary summary;
@@ -154,30 +167,43 @@ Result<RllTrainSummary> RllTrainer::Train(
          start += options_.batch_size) {
       RLL_TRACE_SPAN("batch");
       const size_t end = std::min(start + options_.batch_size, groups.size());
-      ag::Var loss =
-          build_loss(groups, start, end, /*training=*/true, &epoch_rng);
-      // The confidence-weighted group NLL must stay finite every step; a
-      // NaN here means an upstream op or a bad confidence slipped through.
-      RLL_DCHECK_FINITE(loss->value(0, 0));
-      optimizer.ZeroGrad();
-      ag::Backward(loss);
-      if (observing) {
-        // ClipGradNorm at +inf never rescales — it is only the global-norm
-        // reduction. Skipped entirely when nothing observes it.
-        const double grad_norm = nn::ClipGradNorm(
-            model_->Parameters(), std::numeric_limits<double>::infinity());
-        epoch_grad_norm += grad_norm;
-        const obs::BatchStats stats{.epoch = epoch,
-                                    .batch = batches,
-                                    .groups = end - start,
-                                    .loss = loss->value(0, 0),
-                                    .grad_norm = grad_norm};
-        for (obs::TrainerObserver* o : options_.observers) {
-          o->OnBatchEnd(stats);
+      {
+        // Everything built this batch — graph nodes, gradients, backward
+        // closures — lands in the arena and is reclaimed by the Reset()
+        // below. The inner block bounds the graph's lifetime: the loss
+        // (and the parameter grads, via ZeroGrad) must be released while
+        // their allocation headers are intact, i.e. before Reset().
+        ArenaScope scope(&arena);
+        ag::Var loss =
+            build_loss(groups, start, end, /*training=*/true, &epoch_rng);
+        // The confidence-weighted group NLL must stay finite every step; a
+        // NaN here means an upstream op or a bad confidence slipped
+        // through.
+        RLL_DCHECK_FINITE(loss->value(0, 0));
+        ag::Backward(loss);
+        if (observing) {
+          // ClipGradNorm at +inf never rescales — it is only the
+          // global-norm reduction. Skipped entirely when nothing observes.
+          const double grad_norm = nn::ClipGradNorm(
+              params, std::numeric_limits<double>::infinity());
+          epoch_grad_norm += grad_norm;
+          const obs::BatchStats stats{.epoch = epoch,
+                                      .batch = batches,
+                                      .groups = end - start,
+                                      .loss = loss->value(0, 0),
+                                      .grad_norm = grad_norm};
+          for (obs::TrainerObserver* o : options_.observers) {
+            o->OnBatchEnd(stats);
+          }
         }
+        optimizer.Step();
+        epoch_loss += loss->value(0, 0);
+        // Zeroing at batch END (inside the scope) frees the arena-backed
+        // parameter grads before their storage is recycled; grads start
+        // empty, so the first batch needs no leading ZeroGrad.
+        optimizer.ZeroGrad();
       }
-      optimizer.Step();
-      epoch_loss += loss->value(0, 0);
+      arena.Reset();
       ++batches;
     }
     summary.epoch_losses.push_back(epoch_loss /
@@ -207,10 +233,17 @@ Result<RllTrainSummary> RllTrainer::Train(
 
     if (!validation_groups.empty()) {
       RLL_TRACE_SPAN("validate");
-      const double val_loss =
-          build_loss(validation_groups, 0, validation_groups.size(),
-                     /*training=*/false, nullptr)
-              ->value(0, 0);
+      double val_loss = 0.0;
+      {
+        // Forward-only graph: same arena, reclaimed before the
+        // best-params snapshot below so the copied parameter matrices are
+        // heap-backed (they outlive every scope).
+        ArenaScope scope(&arena);
+        val_loss = build_loss(validation_groups, 0, validation_groups.size(),
+                              /*training=*/false, nullptr)
+                       ->value(0, 0);
+      }
+      arena.Reset();
       RLL_DCHECK_FINITE(val_loss);
       summary.validation_losses.push_back(val_loss);
       const bool improved = best_params.empty() || val_loss < best_val_loss;

@@ -1,3 +1,5 @@
+// rll-analyze: hot-path — Embed/EmbedInto sit on the serve request path
+// and Run() inside the trainer batch loop; per-call containers are banned.
 #include "nn/mlp.h"
 
 #include <cmath>
@@ -127,23 +129,44 @@ ag::Var Mlp::ForwardTrain(const ag::Var& x, Rng* rng) const {
 }
 
 Matrix Mlp::Embed(const Matrix& x) const {
-  // LayerNorm keeps its math in one place (the autograd op), so fall back
-  // to the graph there.
-  if (config_.layer_norm) return Forward(ag::Constant(x))->value;
-  // Graph-free path: two ping-pong scratch buffers instead of one graph
+  // Thin wrapper: run the workspace path against per-thread buffers and
+  // hand back a copy the caller owns. Call sites that want the copy
+  // elided (the serve batcher) pass their own workspace to EmbedInto.
+  thread_local Workspace ws;
+  return EmbedInto(x, ws);
+}
+
+const Matrix& Mlp::EmbedInto(const Matrix& x, Workspace& ws) const {
+  // Workspace buffers outlive any ArenaScope, so suspend arena routing for
+  // the whole pass — growth (first call, or a larger batch) must be
+  // heap-backed. Steady state performs zero allocations either way.
+  ArenaPause pause;
+  if (config_.layer_norm) {
+    // LayerNorm keeps its math in one place (the autograd op), so fall
+    // back to the graph there; only the result lands in the workspace.
+    const Matrix value = Forward(ag::Constant(x))->value;
+    Matrix& out = ws.GetReshaped("mlp.embed.pong", value.rows(),
+                                 value.cols());
+    out = value;
+    return out;
+  }
+  // Graph-free path: two ping-pong workspace buffers instead of one graph
   // node + value matrix per layer. This is the steady-state inference call
-  // (every evaluation batch hits it), so the allocation savings add up.
-  Matrix cur = x;
-  Matrix next;
+  // (every serve batch hits it), so the reuse pays every request.
+  const Matrix* cur = &x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    MulInto(cur, layers_[i].weight()->value, next);
+    const Matrix& weight = layers_[i].weight()->value;
+    Matrix& next = ws.GetReshaped(
+        i % 2 == 0 ? "mlp.embed.ping" : "mlp.embed.pong", x.rows(),
+        weight.cols());
+    MulInto(*cur, weight, next);
     AddRowBroadcastInPlace(next, layers_[i].bias()->value);
     const bool last = (i + 1 == layers_.size());
     ActivateInPlace(next, last ? config_.output_activation
                                : config_.hidden_activation);
-    std::swap(cur, next);
+    cur = &next;
   }
-  return cur;
+  return *cur;
 }
 
 std::vector<ag::Var> Mlp::Parameters() const {

@@ -57,6 +57,13 @@ class Mlp {
   /// intent at call sites.
   Matrix Embed(const Matrix& x) const;
 
+  /// Allocation-free Embed: every intermediate (and the result) lives in
+  /// keyed `ws` buffers, reused across calls — the steady-state serve
+  /// path. Bitwise identical to Embed (same kernels, same order). The
+  /// returned reference aliases a `ws` buffer and is valid until the next
+  /// EmbedInto against the same workspace.
+  const Matrix& EmbedInto(const Matrix& x, Workspace& ws) const;
+
   /// All trainable leaves, layer by layer.
   std::vector<ag::Var> Parameters() const;
 

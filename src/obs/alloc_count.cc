@@ -1,0 +1,121 @@
+#include "obs/alloc_count.h"
+
+#ifdef RLL_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace rll::obs {
+namespace {
+
+std::atomic<uint64_t> g_allocation_count{0};
+
+void* CountedAlloc(size_t size, size_t alignment) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* out = nullptr;
+    if (alignment <= alignof(max_align_t)) {
+      out = std::malloc(size);
+    } else if (posix_memalign(&out, alignment, size) != 0) {
+      out = nullptr;
+    }
+    if (out != nullptr) {
+      g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void* CountedAllocOrThrow(size_t size, size_t alignment) {
+  void* out = CountedAlloc(size, alignment);
+  if (out == nullptr) throw std::bad_alloc();
+  return out;
+}
+
+}  // namespace
+
+bool AllocCountingActive() { return true; }
+
+uint64_t AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace rll::obs
+
+// Replacement global allocation functions. All forms funnel through
+// malloc/posix_memalign (so sanitizers still intercept the underlying
+// allocation) and bump one process-wide counter. Sized operator deletes
+// are not replaced: the defaults forward to the unsized forms below.
+// rll-lint: allow(naked-new-delete) — this file IS the operator-new hook.
+
+void* operator new(size_t size) {
+  return rll::obs::CountedAllocOrThrow(size, 0);
+}
+void* operator new[](size_t size) {
+  return rll::obs::CountedAllocOrThrow(size, 0);
+}
+void* operator new(size_t size, std::align_val_t alignment) {
+  return rll::obs::CountedAllocOrThrow(size, static_cast<size_t>(alignment));
+}
+void* operator new[](size_t size, std::align_val_t alignment) {
+  return rll::obs::CountedAllocOrThrow(size, static_cast<size_t>(alignment));
+}
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return rll::obs::CountedAlloc(size, 0);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return rll::obs::CountedAlloc(size, 0);
+}
+void* operator new(size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return rll::obs::CountedAlloc(size, static_cast<size_t>(alignment));
+}
+void* operator new[](size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return rll::obs::CountedAlloc(size, static_cast<size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+#else  // !RLL_COUNT_ALLOCS
+
+namespace rll::obs {
+
+bool AllocCountingActive() { return false; }
+uint64_t AllocationCount() { return 0; }
+
+}  // namespace rll::obs
+
+#endif  // RLL_COUNT_ALLOCS

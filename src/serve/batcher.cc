@@ -1,3 +1,6 @@
+// rll-analyze: hot-path — WorkerLoop/RunBatch execute once per coalesced
+// batch on the serve request path; per-batch containers are banned (the
+// batch vector, failure flags, and stacked matrix are all reused).
 #include "serve/batcher.h"
 
 #include <algorithm>
@@ -77,6 +80,15 @@ MicroBatcher::MicroBatcher(const MicroBatcherOptions& options,
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
+MicroBatcher::MicroBatcher(const MicroBatcherOptions& options,
+                           BatchIntoFn batch_fn, EmbeddingCache* cache)
+    : options_(options), batch_into_fn_(std::move(batch_fn)), cache_(cache) {
+  RLL_CHECK_GE(options_.max_batch, 1u);
+  RLL_CHECK_GE(options_.max_queue, 1u);
+  Metrics();  // Resolve instruments before concurrent use.
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
 MicroBatcher::~MicroBatcher() { Stop(); }
 
 Result<Matrix> MicroBatcher::Embed(const Matrix& row, int64_t trace_id) {
@@ -145,8 +157,12 @@ void MicroBatcher::Stop() {
 }
 
 void MicroBatcher::WorkerLoop() {
+  // Hoisted out of the loop: at steady state the vector's capacity (like
+  // every other per-batch buffer) is reused, so draining a batch performs
+  // no heap allocation.
+  std::vector<Pending> batch;
   for (;;) {
-    std::vector<Pending> batch;
+    batch.clear();
     {
       MutexLock lock(mu_);
       while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
@@ -171,32 +187,46 @@ void MicroBatcher::WorkerLoop() {
       }
       Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
     }
-    RunBatch(std::move(batch));
+    RunBatch(batch);
   }
 }
 
-void MicroBatcher::RunBatch(std::vector<Pending> batch) {
+void MicroBatcher::RunBatch(std::vector<Pending>& batch) {
   RLL_TRACE_SPAN("serve_batch");
   const int64_t batch_start = obs::TraceNowMicros();
   const size_t n = batch.size();
-  Matrix stacked(n, batch[0].row.cols());
-  std::vector<bool> failed(n, false);
+  // Batch assembly reuses the worker's keyed buffer: GetReshaped keeps
+  // the capacity across batches, so varying batch sizes only allocate
+  // until the high-water shape has been seen once.
+  Matrix& stacked = ws_.GetReshaped("batcher.stacked", n, batch[0].row.cols());
+  failed_.assign(n, 0);
   for (size_t i = 0; i < n; ++i) {
     if (batch[i].row.cols() != stacked.cols()) {
       // Mixed widths cannot be stacked; fail the odd row out and embed
       // the rest (ServerCore validates dimensions up front, so this is
-      // belt-and-braces against direct batcher users; the zero row left
-      // in `stacked` only feeds a result nobody reads).
+      // belt-and-braces against direct batcher users; the stale row left
+      // in `stacked` only feeds a result nobody reads — every kernel in
+      // the embed path maps input rows to output rows independently).
       batch[i].promise.set_value(
           Status::InvalidArgument("row width differs within batch"));
-      failed[i] = true;
+      failed_[i] = 1;
       continue;
     }
     stacked.SetRow(i, batch[i].row);
   }
 
   Stopwatch timer;
-  const Matrix embedded = batch_fn_(stacked);
+  Matrix legacy;  // Holds the result only on the copying BatchFn path.
+  const Matrix* embedded_ptr;
+  if (batch_into_fn_) {
+    // Allocation-free path: the batch function writes into (and returns a
+    // reference aliasing) the worker's workspace.
+    embedded_ptr = &batch_into_fn_(stacked, ws_);
+  } else {
+    legacy = batch_fn_(stacked);
+    embedded_ptr = &legacy;
+  }
+  const Matrix& embedded = *embedded_ptr;
   Metrics().batch_embed_ms->Observe(timer.ElapsedMillis());
   Metrics().batch_size->Observe(static_cast<double>(n));
   Metrics().batches->Increment();
@@ -212,12 +242,12 @@ void MicroBatcher::RunBatch(std::vector<Pending> batch) {
         "batch function returned " + std::to_string(embedded.rows()) +
         " rows for a batch of " + std::to_string(n));
     for (size_t i = 0; i < n; ++i) {
-      if (!failed[i]) batch[i].promise.set_value(broken);
+      if (!failed_[i]) batch[i].promise.set_value(broken);
     }
     return;
   }
   for (size_t i = 0; i < n; ++i) {
-    if (failed[i]) continue;
+    if (failed_[i]) continue;
     Matrix row = embedded.Row(i);
     if (cache_ != nullptr) cache_->Insert(batch[i].key, batch[i].row, row);
     if (batch[i].trace_id > 0) {

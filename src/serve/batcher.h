@@ -62,10 +62,20 @@ class MicroBatcher {
   /// Maps a stacked n×in matrix to the n×out result, row-aligned. Runs on
   /// the batcher's worker thread (never on a producer).
   using BatchFn = std::function<Matrix(const Matrix&)>;
+  /// Workspace-threading variant: the result reference must alias a `ws`
+  /// buffer (or otherwise outlive the call) and is consumed before the
+  /// next invocation. With this form the whole stack→embed step reuses
+  /// the worker's buffers — zero allocations at steady state.
+  using BatchIntoFn =
+      std::function<const Matrix&(const Matrix&, Workspace&)>;
 
   /// `cache` is optional (nullptr disables caching); it is probed in
   /// Embed before enqueueing and filled by the worker after each batch.
   MicroBatcher(const MicroBatcherOptions& options, BatchFn batch_fn,
+               EmbeddingCache* cache);
+  /// Allocation-free form (preferred): batch matrices come from the
+  /// worker's Workspace and the batch function writes into it too.
+  MicroBatcher(const MicroBatcherOptions& options, BatchIntoFn batch_fn,
                EmbeddingCache* cache);
   ~MicroBatcher();
 
@@ -107,12 +117,18 @@ class MicroBatcher {
   };
 
   void WorkerLoop();
-  /// Stacks, embeds, demultiplexes, and caches one batch.
-  void RunBatch(std::vector<Pending> batch);
+  /// Stacks, embeds, demultiplexes, and caches one batch. The vector is
+  /// owned by WorkerLoop and cleared (capacity kept) after each batch.
+  void RunBatch(std::vector<Pending>& batch);
 
   const MicroBatcherOptions options_;
-  const BatchFn batch_fn_;
+  const BatchFn batch_fn_;            // Exactly one of batch_fn_ /
+  const BatchIntoFn batch_into_fn_;   // batch_into_fn_ is set.
   EmbeddingCache* const cache_;  // Not owned; may be nullptr.
+
+  // Worker-thread state (no locking: RunBatch only runs on worker_).
+  Workspace ws_;
+  std::vector<char> failed_;
 
   Mutex mu_;
   CondVar cv_;

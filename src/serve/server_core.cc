@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -66,11 +67,17 @@ ServerCore::ServerCore(core::ModelBundle bundle,
   }
   cache_ = std::make_unique<EmbeddingCache>(options_.cache_capacity);
   // The batch function runs on the batcher's worker thread; RllModel::
-  // Embed is const and the bundle is immutable after construction, so no
-  // synchronization is needed. Rows arrive already standardized.
+  // EmbedInto is const and the bundle is immutable after construction, so
+  // no synchronization is needed. Rows arrive already standardized. The
+  // workspace-threading form keeps the steady-state batch → embed step
+  // allocation-free: every intermediate lives in the worker's reused
+  // buffers.
   batcher_ = std::make_unique<MicroBatcher>(
       options_.batcher,
-      [this](const Matrix& x) { return bundle_.model().Embed(x); },
+      MicroBatcher::BatchIntoFn(
+          [this](const Matrix& x, Workspace& ws) -> const Matrix& {
+            return bundle_.model().EmbedInto(x, ws);
+          }),
       cache_.get());
 }
 
@@ -281,6 +288,18 @@ std::string ServerCore::StatuszPayload() const {
 
 std::string ServerCore::MetricszPayload() {
   auto& registry = obs::MetricRegistry::Global();
+  // Arena gauges are refreshed at scrape time (pull, not push): the
+  // memory plane has no natural event to hook, and a scrape-time snapshot
+  // is exactly as fresh as any other gauge here.
+  const ArenaStatsSnapshot arenas = GlobalArenaStats();
+  registry.GetGauge("rll_arena_live")
+      ->Set(static_cast<double>(arenas.live_arenas));
+  registry.GetGauge("rll_arena_used_bytes")
+      ->Set(static_cast<double>(arenas.bytes_used));
+  registry.GetGauge("rll_arena_reserved_bytes")
+      ->Set(static_cast<double>(arenas.bytes_reserved));
+  registry.GetGauge("rll_arena_high_water_bytes")
+      ->Set(static_cast<double>(arenas.high_water));
   // Counters are snapshotted once and reused for the delta, so the two
   // views in one payload never disagree with each other.
   const std::map<std::string, uint64_t> counters = registry.CounterValues();

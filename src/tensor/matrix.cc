@@ -7,8 +7,8 @@
 
 namespace rll {
 
-Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
+Matrix::Matrix(size_t rows, size_t cols, const std::vector<double>& data)
+    : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
   RLL_CHECK_EQ(rows_ * cols_, data_.size());
 }
 
@@ -64,14 +64,29 @@ void Matrix::SetRow(size_t r, const std::vector<double>& values) {
 }
 
 Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
-  Matrix out(indices.size(), cols_);
-  for (size_t i = 0; i < indices.size(); ++i) {
+  return GatherRows(indices.data(), indices.size());
+}
+
+Matrix Matrix::GatherRows(const size_t* indices, size_t count) const {
+  Matrix out(count, cols_);
+  for (size_t i = 0; i < count; ++i) {
     RLL_CHECK_LT(indices[i], rows_);
     const double* src = row_data(indices[i]);
     double* dst = out.row_data(i);
     for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
   }
   return out;
+}
+
+void Matrix::GatherRowsInto(const size_t* indices, size_t count,
+                            Matrix& out) const {
+  out.Reshape(count, cols_);
+  for (size_t i = 0; i < count; ++i) {
+    RLL_CHECK_LT(indices[i], rows_);
+    const double* src = row_data(indices[i]);
+    double* dst = out.row_data(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
 }
 
 void Matrix::Fill(double value) {

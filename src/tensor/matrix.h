@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 
 namespace rll {
@@ -22,9 +23,8 @@ class Matrix {
   Matrix(size_t rows, size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
-  /// Takes ownership of a flat row-major buffer. data.size() must equal
-  /// rows*cols.
-  Matrix(size_t rows, size_t cols, std::vector<double> data);
+  /// Copies a flat row-major buffer. data.size() must equal rows*cols.
+  Matrix(size_t rows, size_t cols, const std::vector<double>& data);
 
   /// Builds from nested initializer lists: Matrix({{1,2},{3,4}}).
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
@@ -86,6 +86,23 @@ class Matrix {
 
   /// Returns a new matrix of the selected rows, in the given order.
   Matrix GatherRows(const std::vector<size_t>& indices) const;
+  /// Pointer form for hot paths whose index lists live in scratch storage.
+  Matrix GatherRows(const size_t* indices, size_t count) const;
+  /// Gathers into an existing matrix (reshaped to count×cols), so a
+  /// workspace buffer can absorb the copy without allocating.
+  void GatherRowsInto(const size_t* indices, size_t count,
+                      Matrix& out) const;
+
+  /// Re-declares the shape, reusing the existing storage. The value prefix
+  /// that survives a std::vector resize is preserved; new elements are
+  /// zero. Capacity is never released, so a steady-state loop that cycles
+  /// shapes (e.g. varying serve batch sizes) stops allocating once it has
+  /// seen its largest shape.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
 
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
@@ -112,8 +129,19 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  // Scratch-backed: inside an ArenaScope the elements land in the scope's
+  // arena (per-batch temporaries cost a pointer bump); outside any scope
+  // the allocator is a 64-byte-aligned heap — so every Matrix is
+  // SIMD-aligned either way. See common/arena.h for the lifetime rule.
+  ScratchVector<double> data_;
 };
+
+/// List of matrices whose spine follows the scratch rules — used for
+/// per-batch collections (e.g. slot confidence matrices in the trainer).
+using MatrixList = ScratchVector<Matrix>;
+
+/// Keyed reusable Matrix buffers (see BasicWorkspace in common/arena.h).
+using Workspace = BasicWorkspace<Matrix>;
 
 }  // namespace rll
 

@@ -1,3 +1,5 @@
+// rll-analyze: hot-path — every kernel here sits inside the trainer batch
+// loop or the serve request path; allocation is reserved for Reshape growth.
 #include "tensor/ops.h"
 
 #include <algorithm>
@@ -42,17 +44,17 @@ size_t ElemGrain(size_t n) {
 }
 
 // Reshapes `out` to rows×cols, zeroing it either way (accumulating kernels).
+// Reshape keeps capacity, so an output cycled through varying shapes (serve
+// batches) reallocates only until it has seen its largest shape.
 void EnsureZeroed(Matrix& out, size_t rows, size_t cols) {
-  if (out.rows() != rows || out.cols() != cols) {
-    out = Matrix(rows, cols);
-  } else {
-    out.Fill(0.0);
-  }
+  out.Reshape(rows, cols);
+  out.Fill(0.0);
 }
 
-// Reshapes `out` without clearing it (kernels that overwrite every element).
+// Reshapes `out` without clearing it (kernels that overwrite every element;
+// any garbage surviving the capacity reuse is overwritten before it is read).
 void EnsureShape(Matrix& out, size_t rows, size_t cols) {
-  if (out.rows() != rows || out.cols() != cols) out = Matrix(rows, cols);
+  out.Reshape(rows, cols);
 }
 
 }  // namespace

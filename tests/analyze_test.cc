@@ -226,6 +226,75 @@ TEST(LockDisciplineRuleTest, DoesNotApplyOutsideSrc) {
   EXPECT_TRUE(Analyze("bench/micro_ops.cc", "#include <mutex>\n").empty());
 }
 
+// ---------------------------------------------------------------- hot path
+
+TEST(HotPathRuleTest, FiresOnAllocationsInTaggedFiles) {
+  const char* tag = "// rll-analyze: hot-path\n";
+  EXPECT_TRUE(Fires(
+      Analyze("src/tensor/a.cc", std::string(tag) + "int* p = new int;\n"),
+      "hot-path-alloc"));
+  EXPECT_TRUE(Fires(Analyze("src/tensor/a.cc",
+                            std::string(tag) + "void* p = malloc(8);\n"),
+                    "hot-path-alloc"));
+  // A vector constructed per iteration is the hidden-allocation classic.
+  EXPECT_TRUE(Fires(
+      Analyze("src/tensor/a.cc",
+              std::string(tag) +
+                  "void F() {\n"
+                  "  for (int i = 0; i < n; ++i) {\n"
+                  "    std::vector<double> row(n);\n"
+                  "  }\n"
+                  "}\n"),
+      "hot-path-alloc"));
+  // Brace-less loop bodies count too.
+  EXPECT_TRUE(Fires(Analyze("src/tensor/a.cc",
+                            std::string(tag) +
+                                "void F() {\n"
+                                "  while (more())\n"
+                                "    std::vector<int> v(3);\n"
+                                "}\n"),
+                    "hot-path-alloc"));
+}
+
+TEST(HotPathRuleTest, SilentWithoutTagAndOnHoistedVectors) {
+  // Untagged files may allocate freely.
+  EXPECT_TRUE(Analyze("src/tensor/a.cc", "int* p = new int;\n").empty());
+  EXPECT_TRUE(
+      Analyze("src/tensor/a.cc",
+              "void F() { for (;;) { std::vector<int> v; } }\n")
+          .empty());
+  const char* tag = "// rll-analyze: hot-path\n";
+  // Hoisted vector (declared outside the loop, reused inside) is the
+  // idiom the rule pushes toward.
+  EXPECT_TRUE(Analyze("src/tensor/a.cc",
+                      std::string(tag) +
+                          "void F() {\n"
+                          "  std::vector<double> row(n);\n"
+                          "  for (int i = 0; i < n; ++i) {\n"
+                          "    row.assign(n, 0.0);\n"
+                          "    Use(row);\n"
+                          "  }\n"
+                          "}\n")
+                  .empty());
+  // `operator new` declarations (the alloc-count hook) are not naked new.
+  EXPECT_TRUE(Analyze("src/tensor/a.cc",
+                      std::string(tag) +
+                          "void* operator new(std::size_t n);\n")
+                  .empty());
+  // Member calls named like the banned functions are someone else's API.
+  EXPECT_TRUE(Analyze("src/tensor/a.cc",
+                      std::string(tag) + "arena.malloc(8);\n")
+                  .empty());
+}
+
+TEST(HotPathRuleTest, WaiverSuppressesTheRule) {
+  EXPECT_TRUE(
+      Analyze("src/tensor/a.cc",
+              "// rll-analyze: hot-path\n"
+              "int* p = new int;  // rll-analyze: allow(hot-path-alloc)\n")
+          .empty());
+}
+
 // ----------------------------------------------------------------- waivers
 
 TEST(WaiverTest, AllowCommentSuppressesNamedRuleOnly) {

@@ -44,7 +44,7 @@ TEST(VariableTest, TopologicalOrderParentsFirst) {
   Var a = Parameter(Matrix(1, 1, 2.0));
   Var b = Scale(a, 3.0);
   Var c = Add(b, a);  // Diamond: a reachable twice.
-  std::vector<Node*> order = TopologicalOrder(c);
+  ScratchVector<Node*> order = TopologicalOrder(c);
   // a must precede b, b must precede c; each node appears once.
   EXPECT_EQ(order.size(), 3u);
   auto pos = [&order](Node* n) {
@@ -230,7 +230,8 @@ TEST(GradCheckTest, ConcatCols) {
   Var b = Parameter(RandomMat(3, 4, 18));
   Var c = Parameter(RandomMat(3, 1, 19));
   auto r = CheckGradients(
-      {a, b, c}, [&] { return Sum(Square(ConcatCols({a, b, c}))); });
+      {a, b, c},
+      [&] { return Sum(Square(ConcatCols(VarList{a, b, c}))); });
   EXPECT_LT(r.max_relative_error, kTol);
 }
 
@@ -238,7 +239,7 @@ TEST(GradCheckTest, ConcatRows) {
   Var a = Parameter(RandomMat(2, 3, 20));
   Var b = Parameter(RandomMat(4, 3, 21));
   auto r = CheckGradients(
-      {a, b}, [&] { return Sum(Square(ConcatRows({a, b}))); });
+      {a, b}, [&] { return Sum(Square(ConcatRows(VarList{a, b}))); });
   EXPECT_LT(r.max_relative_error, kTol);
 }
 

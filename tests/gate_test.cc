@@ -70,6 +70,28 @@ TEST(GateExtractTest, RejectsUnknownShapesAndPaths) {
   EXPECT_FALSE(LoadMetricsFile("/nonexistent/bench.json", "").ok());
 }
 
+TEST(GateExtractTest, LiftsAllocsPerOpIntoItsOwnMetric) {
+  const auto metrics = Extract(
+      R"({"benchmarks":[
+           {"name":"BM_MulInto/64","real_time_ms":0.5,"allocs_per_op":0},
+           {"name":"BM_Matmul/64","real_time_ms":0.6}]})");
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].name, "BM_MulInto/64.allocs_per_op");
+  EXPECT_DOUBLE_EQ(metrics[0].value, 0.0);
+  EXPECT_EQ(metrics[1].name, "BM_MulInto/64");
+  EXPECT_EQ(metrics[2].name, "BM_Matmul/64");
+}
+
+TEST(GateCompareTest, AllocRegressionFromZeroBaselineFails) {
+  // The steady-state loops are pinned at zero allocations; any growth past
+  // the absolute slack must fail even though the ratio is undefined.
+  const std::vector<Metric> baseline = {{"BM_MulInto/64.allocs_per_op", 0.0}};
+  const std::vector<Metric> regressed = {{"BM_MulInto/64.allocs_per_op", 3.0}};
+  GateOptions options;
+  EXPECT_TRUE(Compare(baseline, baseline, options).pass());
+  EXPECT_FALSE(Compare(baseline, regressed, options).pass());
+}
+
 TEST(GateDirectionTest, ClassifiesByKeyword) {
   EXPECT_EQ(DirectionFor("latency_p99_ms"), Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionFor("embed_wall_ms"), Direction::kLowerIsBetter);
@@ -79,6 +101,9 @@ TEST(GateDirectionTest, ClassifiesByKeyword) {
   EXPECT_EQ(DirectionFor("windowed_p99_agreement"),
             Direction::kHigherIsBetter);
   EXPECT_EQ(DirectionFor("rows_per_sec"), Direction::kHigherIsBetter);
+  EXPECT_EQ(DirectionFor("allocs_per_op"), Direction::kLowerIsBetter);
+  EXPECT_EQ(DirectionFor("BM_MulInto/64.allocs_per_op"),
+            Direction::kLowerIsBetter);
   EXPECT_EQ(DirectionFor("mean_batch_size"), Direction::kBand);
 }
 

@@ -145,13 +145,17 @@ TEST_P(GroupLossPropertyTest, NegativeOrderInvariance) {
   Matrix c_pos(batch, 1, 0.9), c1(batch, 1, 0.6), c2(batch, 1, 0.8);
   const double a = core::GroupNllLoss(
                        ag::Constant(anchor),
-                       {ag::Constant(pos), ag::Constant(n1), ag::Constant(n2)},
-                       {c_pos, c1, c2}, 5.0)
+                       std::vector<ag::Var>{ag::Constant(pos),
+                                            ag::Constant(n1),
+                                            ag::Constant(n2)},
+                       std::vector<Matrix>{c_pos, c1, c2}, 5.0)
                        ->value(0, 0);
   const double b = core::GroupNllLoss(
                        ag::Constant(anchor),
-                       {ag::Constant(pos), ag::Constant(n2), ag::Constant(n1)},
-                       {c_pos, c2, c1}, 5.0)
+                       std::vector<ag::Var>{ag::Constant(pos),
+                                            ag::Constant(n2),
+                                            ag::Constant(n1)},
+                       std::vector<Matrix>{c_pos, c2, c1}, 5.0)
                        ->value(0, 0);
   EXPECT_NEAR(a, b, 1e-12);
 }

@@ -25,7 +25,12 @@ bool AllowsRawRand(std::string_view rel_path) {
   return rel_path == "src/common/rng.h" || rel_path == "src/common/rng.cc";
 }
 bool AllowsNakedNew(std::string_view rel_path) {
-  return StartsWith(rel_path, "src/tensor/");
+  // tensor/ owns raw buffers; arena + alloc_count ARE the allocators the
+  // rule steers everyone else toward.
+  return StartsWith(rel_path, "src/tensor/") ||
+         rel_path == "src/common/arena.h" ||
+         rel_path == "src/common/arena.cc" ||
+         rel_path == "src/obs/alloc_count.cc";
 }
 
 class FileLinter {
@@ -224,8 +229,8 @@ class FileLinter {
       if (AllowsNakedNew(rel_path_)) return;
       if (ident == "delete" && prev == "=") return;  // Deleted functions.
       Report(line, "naked-new-delete",
-             "naked `" + ident + "` outside src/tensor/ — use containers, "
-             "std::make_unique, or std::make_shared");
+             "naked `" + ident + "` outside the allocator layers — use "
+             "containers, std::make_unique, or std::make_shared");
       return;
     }
     if (!called) return;

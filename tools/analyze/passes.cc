@@ -83,6 +83,7 @@ class FileAnalyzer {
     if (!StartsWith(rel_path_, "src/")) return {};
     LayeringPass();
     DeterminismPass();
+    HotPathPass();
     // The wrapper itself is the one place raw primitives may live.
     if (rel_path_ != "src/common/mutex.h") LockDisciplinePass();
     std::sort(violations_.begin(), violations_.end(),
@@ -352,6 +353,142 @@ class FileAnalyzer {
                      "sorted vector or use std::map");
         }
       }
+    }
+  }
+
+  // ------------------------------------------------------------ hot path
+
+  /// Allocation ban for files tagged `// rll-analyze: hot-path` (the tag
+  /// lives in a comment, so it is searched in the raw text). Tagged files
+  /// carry the trainer batch loop or the serve request path; the rule
+  /// keeps "allocation-free at steady state" an enforced property instead
+  /// of a comment. Flagged:
+  ///   - `new` anywhere (except `operator new` declarations),
+  ///   - malloc / calloc / realloc calls anywhere,
+  ///   - `std::vector<...>` constructed inside a loop body (a fresh
+  ///     vector per iteration is the classic hidden allocation; hoist it
+  ///     or take a Workspace buffer).
+  void HotPathPass() {
+    bool tagged = false;
+    for (std::string_view line : raw_lines_) {
+      if (line.find("rll-analyze: hot-path") != std::string_view::npos) {
+        tagged = true;
+        break;
+      }
+    }
+    if (!tagged) return;
+
+    const std::string_view code = code_;
+    std::string prev;
+    size_t line = 1;
+    int brace_depth = 0;
+    bool pending_header = false;  // Saw for/while; its '(' is next.
+    bool in_header = false;       // Inside the for/while parens.
+    int header_parens = 0;
+    bool expect_body = false;     // Header closed; body token is next.
+    // Brace depths whose enclosing block is a loop body, and depths at
+    // which a brace-less loop body statement is still running.
+    std::vector<int> loop_bodies;
+    std::vector<int> single_stmt_bodies;
+
+    for (size_t i = 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '\n') {
+        ++line;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (expect_body) {
+        expect_body = false;
+        if (c == ';') {  // Empty body / do-while tail: nothing to track.
+          prev = ";";
+          continue;
+        }
+        if (c == '{') {
+          loop_bodies.push_back(++brace_depth);
+          prev = "{";
+          continue;
+        }
+        single_stmt_bodies.push_back(brace_depth);  // Brace-less body.
+      }
+      if (IsIdentChar(c)) {
+        size_t j = i;
+        while (j < code.size() && IsIdentChar(code[j])) ++j;
+        const std::string ident(code.substr(i, j - i));
+        size_t k = j;
+        while (k < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[k])))
+          ++k;
+        const char next = k < code.size() ? code[k] : '\0';
+        const bool in_loop =
+            !loop_bodies.empty() || !single_stmt_bodies.empty();
+        if ((ident == "for" || ident == "while") && prev != "." &&
+            prev != "->" && next == '(') {
+          pending_header = true;
+        } else if (ident == "do" && next == '{') {
+          expect_body = true;
+        } else if (ident == "new" && prev != "operator") {
+          Report(line, "hot-path-alloc",
+                 "naked `new` in a hot-path file — this code must be "
+                 "allocation-free at steady state; use a Workspace buffer, "
+                 "ScratchVector, or hoist the allocation out of the hot "
+                 "path");
+        } else if ((ident == "malloc" || ident == "calloc" ||
+                    ident == "realloc") &&
+                   next == '(' && prev != "." && prev != "->") {
+          Report(line, "hot-path-alloc",
+                 ident +
+                     "() in a hot-path file — this code must be "
+                     "allocation-free at steady state");
+        } else if (ident == "vector" && next == '<' && in_loop &&
+                   !in_header) {
+          Report(line, "hot-path-alloc",
+                 "std::vector constructed inside a loop in a hot-path "
+                 "file — a fresh vector per iteration allocates every "
+                 "pass; hoist it (reusing capacity) or take a Workspace "
+                 "buffer");
+        }
+        prev = ident;
+        i = j - 1;
+        continue;
+      }
+      if (pending_header && c == '(') {
+        pending_header = false;
+        in_header = true;
+        header_parens = 1;
+        prev = "(";
+        continue;
+      }
+      if (in_header) {
+        if (c == '(') ++header_parens;
+        if (c == ')' && --header_parens == 0) {
+          in_header = false;
+          expect_body = true;
+        }
+        prev = std::string(1, c);
+        continue;
+      }
+      if (c == '{') {
+        ++brace_depth;
+      } else if (c == '}') {
+        if (!loop_bodies.empty() && loop_bodies.back() == brace_depth) {
+          loop_bodies.pop_back();
+        }
+        --brace_depth;
+      } else if (c == ';') {
+        while (!single_stmt_bodies.empty() &&
+               single_stmt_bodies.back() == brace_depth) {
+          single_stmt_bodies.pop_back();
+        }
+      }
+      std::string tok(1, c);
+      if ((c == '-' || c == ':') && i + 1 < code.size() &&
+          ((c == '-' && code[i + 1] == '>') ||
+           (c == ':' && code[i + 1] == ':'))) {
+        tok += code[i + 1];
+        ++i;
+      }
+      prev = tok;
     }
   }
 

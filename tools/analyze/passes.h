@@ -23,6 +23,13 @@
 //                       condition_variable outside src/common/mutex.h —
 //                       concurrency goes through the annotated wrapper so
 //                       clang -Wthread-safety sees every lock
+//   hot-path-alloc      files tagged `// rll-analyze: hot-path` sit on the
+//                       trainer batch loop or the serve request path and
+//                       must stay allocation-free at steady state: naked
+//                       new and malloc/calloc/realloc are banned anywhere
+//                       in the file, and constructing a std::vector inside
+//                       a loop body is banned (hoist it and reuse the
+//                       capacity, or use a Workspace / ScratchVector)
 //
 // All passes apply to src/** only (tests, bench, tools, and examples may
 // see everything and are free to use ad-hoc primitives). A violation can

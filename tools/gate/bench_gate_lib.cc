@@ -90,6 +90,14 @@ Result<std::vector<Metric>> MetricsFromNode(const serve::JsonValue& node) {
     metrics.reserve(node.array.size());
     for (const serve::JsonValue& entry : node.array) {
       RLL_ASSIGN_OR_RETURN(Metric metric, MetricFromObject(entry));
+      // Benchmarks built with RLL_COUNT_ALLOCS attach a per-iteration
+      // allocation count; gate it as its own lower-is-better metric so an
+      // allocation regression fails CI like a latency regression would.
+      if (const serve::JsonValue* allocs = entry.Find("allocs_per_op");
+          allocs != nullptr && allocs->is_number()) {
+        metrics.push_back(
+            {metric.name + ".allocs_per_op", allocs->number});
+      }
       metrics.push_back(std::move(metric));
     }
     return metrics;
@@ -118,7 +126,7 @@ Direction DirectionFor(const std::string& name) {
   }
   if (ContainsAny(lowered, {"latency", "_ms", "wall", "time", "rtt",
                             "overhead", "rejected", "mismatch", "failure",
-                            "error"})) {
+                            "error", "alloc"})) {
     return Direction::kLowerIsBetter;
   }
   return Direction::kBand;
