@@ -14,10 +14,12 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_registry.h"
 #include "common/threading.h"
 #include "crowd/worker_pool.h"
 #include "data/synthetic.h"
 #include "obs/json_util.h"
+#include "obs/profiler.h"
 
 namespace rll::bench {
 
@@ -51,18 +53,23 @@ inline std::vector<BenchDataset> MakePaperDatasets(
   return out;
 }
 
-/// Parses --seed N, --quick, --threads N and --json PATH from argv. Quick
-/// mode shrinks training budgets so a full table regenerates in seconds
-/// (for smoke runs); --threads sizes the global thread pool (results are
-/// identical at any value — see common/threading.h); --json writes a
-/// machine-readable record of the run (see BenchReporter) alongside the
-/// human-readable table on stdout.
+/// Parses --seed N, --quick, --threads N, --json PATH, --profile-out PATH
+/// and --profile-hz N from argv. Quick mode shrinks training budgets so a
+/// full table regenerates in seconds (for smoke runs); --threads sizes the
+/// global thread pool (results are identical at any value — see
+/// common/threading.h); --json writes a machine-readable record of the run
+/// (see BenchReporter) alongside the human-readable table on stdout;
+/// --profile-out arms the sampling CPU profiler for the whole run and
+/// writes collapsed stacks (or the JSON report, for a .json path) at
+/// Finish().
 struct BenchArgs {
   uint64_t seed = kDefaultSeed;
   bool quick = false;
   /// 0 keeps the RLL_THREADS / serial default.
   size_t threads = 0;
   std::string json_path;
+  std::string profile_path;
+  int profile_hz = 99;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -81,12 +88,57 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[i + 1];
       ++i;
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      args.profile_path = argv[i + 1];
+      ++i;
+    } else if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      args.profile_hz = static_cast<int>(std::strtol(argv[i + 1], nullptr,
+                                                     10));
+      ++i;
     }
   }
   if (args.threads > 0) SetGlobalThreads(args.threads);
   // Keep stdout clean for the tables.
   SetLogLevel(LogLevel::kWarning);
+  SetCurrentThreadName("rll-bench-main");
+  if (!args.profile_path.empty()) {
+    obs::ProfilerOptions options;
+    if (args.profile_hz > 0) options.hz = args.profile_hz;
+    const Status started = obs::StartCpuProfiler(options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      args.profile_path.clear();  // Nothing to write at Finish().
+    }
+  }
   return args;
+}
+
+/// Stops the profiler (if ParseArgs armed it) and writes the profile to
+/// `args.profile_path` — collapsed stacks, or the aggregated JSON report
+/// when the path ends in ".json". Returns 0, or 1 on a write failure.
+inline int FinishProfile(const BenchArgs& args) {
+  if (args.profile_path.empty()) return 0;
+  obs::StopCpuProfiler();
+  std::FILE* f = std::fopen(args.profile_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for write\n",
+                 args.profile_path.c_str());
+    return 1;
+  }
+  const std::string& path = args.profile_path;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string profile =
+      json ? obs::ProfileToJson() + "\n" : obs::ProfileToFolded();
+  std::fwrite(profile.data(), 1, profile.size(), f);
+  const bool write_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!write_ok) {
+    std::fprintf(stderr, "write failed: %s\n", args.profile_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "profile written to %s\n", args.profile_path.c_str());
+  return 0;
 }
 
 inline void PrintRule(int width) {

@@ -10,13 +10,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "autograd/ops.h"
 #include "common/arena.h"
+#include "common/stopwatch.h"
+#include "common/thread_registry.h"
 #include "common/threading.h"
 #include "obs/alloc_count.h"
+#include "obs/profiler.h"
 #include "baselines/raykar.h"
 #include "classify/pca.h"
 #include "core/embedding_index.h"
@@ -361,6 +366,52 @@ void BM_LinguisticFeatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_LinguisticFeatureExtraction);
 
+void BM_ProfilerOverhead(benchmark::State& state) {
+  // Cost of running the sampling profiler at its default 99 Hz: each
+  // iteration times the same reused-buffer gemm burst twice, unprofiled
+  // then profiled, and the accumulated ratio lands in "overhead_ratio"
+  // (1.0 = free). tools/gate pins it lower-is-better; the ROADMAP target
+  // is <= 1.05. Interleaving the two bursts inside one iteration cancels
+  // machine drift that back-to-back runs would absorb into the ratio.
+  Rng rng(1);
+  const size_t n = 64;
+  Matrix a = RandomNormal(n, n, &rng);
+  Matrix b = RandomNormal(n, n, &rng);
+  Matrix out;
+  MulInto(a, b, out);  // Warm the buffer.
+  constexpr int kReps = 200;
+  if (obs::CpuProfilerRunning()) {
+    state.SkipWithError("profiler already armed (--profile-out?)");
+    return;
+  }
+  double base_ms = 0.0;
+  double profiled_ms = 0.0;
+  for (auto _ : state) {
+    Stopwatch unprofiled;
+    for (int r = 0; r < kReps; ++r) {
+      MulInto(a, b, out);
+      benchmark::DoNotOptimize(out.data());
+    }
+    base_ms += unprofiled.ElapsedMillis();
+    if (!obs::StartCpuProfiler({.hz = 99}).ok()) {
+      state.SkipWithError("StartCpuProfiler failed");
+      return;
+    }
+    Stopwatch profiled;
+    for (int r = 0; r < kReps; ++r) {
+      MulInto(a, b, out);
+      benchmark::DoNotOptimize(out.data());
+    }
+    profiled_ms += profiled.ElapsedMillis();
+    obs::StopCpuProfiler();
+    obs::ClearProfile();  // Keep per-thread buffers from filling up.
+  }
+  if (base_ms > 0.0) {
+    state.counters["overhead_ratio"] = profiled_ms / base_ms;
+  }
+}
+BENCHMARK(BM_ProfilerOverhead);
+
 void BM_EmbeddingIndexQuery(benchmark::State& state) {
   Rng rng(13);
   Matrix corpus = RandomNormal(880, 32, &rng);
@@ -379,7 +430,11 @@ BENCHMARK(BM_EmbeddingIndexQuery);
 }  // namespace rll
 
 int main(int argc, char** argv) {
-  // Strip --threads N before google-benchmark rejects it as unknown.
+  rll::SetCurrentThreadName("rll-bench-main");
+  // Strip --threads N (and the profiler flags) before google-benchmark
+  // rejects them as unknown.
+  std::string profile_out;
+  int profile_hz = 0;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -388,12 +443,46 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--profile-hz") == 0 && i + 1 < argc) {
+      profile_hz = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
+  if (!profile_out.empty()) {
+    // Whole-run profile; BM_ProfilerOverhead skips itself when it finds
+    // the profiler already armed.
+    rll::obs::ProfilerOptions options;
+    if (profile_hz > 0) options.hz = profile_hz;
+    const rll::Status started = rll::obs::StartCpuProfiler(options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!profile_out.empty()) {
+    rll::obs::StopCpuProfiler();
+    std::FILE* f = std::fopen(profile_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for write\n", profile_out.c_str());
+      return 1;
+    }
+    const bool json =
+        profile_out.size() >= 5 &&
+        profile_out.compare(profile_out.size() - 5, 5, ".json") == 0;
+    const std::string profile = json ? rll::obs::ProfileToJson() + "\n"
+                                     : rll::obs::ProfileToFolded();
+    std::fwrite(profile.data(), 1, profile.size(), f);
+    std::fclose(f);
+  }
   return 0;
 }

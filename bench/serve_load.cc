@@ -186,6 +186,46 @@ int Run(int argc, char** argv) {
     if (response.find("\"ok\":true") == std::string::npos) ++scrape_failures;
   }
 
+  // Profiler overhead on the serve path: the same single-threaded request
+  // burst unprofiled then profiled at the default 99 Hz, interleaved per
+  // round so machine drift cancels. Skipped when --profile-out already
+  // armed the profiler for the whole run.
+  double profiler_overhead = 0.0;
+  if (!obs::CpuProfilerRunning()) {
+    const size_t burst = args.quick ? 500 : 4000;
+    const auto run_burst = [&] {
+      for (size_t i = 0; i < burst; ++i) {
+        core->get()->HandleLine(request_lines[i % hot_rows]);
+      }
+    };
+    run_burst();  // Warm the burst path itself out of the measurement.
+    double base_ms = 0.0;
+    double profiled_ms = 0.0;
+    for (int round = 0; round < 8; ++round) {
+      // Alternate which leg runs first so one-directional drift (cache
+      // warming, frequency scaling) cancels instead of biasing the ratio.
+      const bool profiled_first = (round % 2) == 1;
+      for (int leg = 0; leg < 2; ++leg) {
+        const bool profiled_leg = (leg == 1) != profiled_first;
+        if (profiled_leg &&
+            !obs::StartCpuProfiler({.hz = 99}).ok()) {
+          break;
+        }
+        Stopwatch timer;
+        run_burst();
+        (profiled_leg ? profiled_ms : base_ms) += timer.ElapsedMillis();
+        if (profiled_leg) {
+          obs::StopCpuProfiler();
+          obs::ClearProfile();
+        }
+      }
+    }
+    if (base_ms > 0.0 && profiled_ms > 0.0) {
+      profiler_overhead = profiled_ms / base_ms;
+      reporter.Record("profiler_overhead_ratio", profiler_overhead);
+    }
+  }
+
   // Windowed snapshot before Shutdown, while the run is still inside the
   // 120s window configured above.
   const obs::WindowedHistogram::Snapshot windowed =
@@ -263,8 +303,13 @@ int Run(int argc, char** argv) {
               windowed.p50, windowed.p99, agreement(windowed.p50, p50),
               agreement(windowed.p99, p99),
               scrape_total_ms / static_cast<double>(scrapes));
+  if (profiler_overhead > 0.0) {
+    std::printf("  profiler overhead ratio %.4f (99 Hz, single client)\n",
+                profiler_overhead);
+  }
 
   int rc = reporter.Finish();
+  if (rc == 0) rc = FinishProfile(args);
   if (total_failures > 0) {
     std::fprintf(stderr, "FAIL: %llu requests failed\n",
                  static_cast<unsigned long long>(total_failures));

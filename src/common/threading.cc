@@ -4,7 +4,10 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/strings.h"
+#include "common/thread_registry.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace rll {
@@ -81,6 +84,11 @@ int ThreadPool::CurrentWorkerId() { return tls_worker_id; }
 void ThreadPool::WorkerLoop(size_t worker_id) {
   tls_pool = this;
   tls_worker_id = static_cast<int>(worker_id);
+  // Name the worker (kernel + registry) and register its profiler sample
+  // buffer up front, so CPU samples and trace rows attribute to
+  // "rll-pool-N" instead of an anonymous tid.
+  SetCurrentThreadName(StrFormat("rll-pool-%zu", worker_id));
+  obs::RegisterProfilerThread();
   for (;;) {
     std::function<void()> task;
     {

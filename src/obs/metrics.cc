@@ -128,16 +128,31 @@ Histogram::Histogram(HistogramOptions options)
       min_(kInf),
       max_(-kInf) {
   counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  exemplar_ids_ =
+      std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  exemplar_values_ =
+      std::make_unique<std::atomic<double>[]>(bounds_.size() + 1);
+}
+
+size_t Histogram::BucketFor(double value) const {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<size_t>(it - bounds_.begin());
 }
 
 void Histogram::Observe(double value) {
-  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
-  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
-  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
+}
+
+void Histogram::ObserveWithExemplar(double value, uint64_t trace_id) {
+  Observe(value);
+  if (trace_id == 0) return;
+  const size_t bucket = BucketFor(value);
+  exemplar_values_[bucket].store(value, std::memory_order_relaxed);
+  exemplar_ids_[bucket].store(trace_id, std::memory_order_relaxed);
 }
 
 double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
@@ -152,6 +167,15 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   std::vector<uint64_t> out(bounds_.size() + 1);
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<HistogramExemplar> Histogram::bucket_exemplars() const {
+  std::vector<HistogramExemplar> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i].trace_id = exemplar_ids_[i].load(std::memory_order_relaxed);
+    out[i].value = exemplar_values_[i].load(std::memory_order_relaxed);
   }
   return out;
 }

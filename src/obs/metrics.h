@@ -82,6 +82,15 @@ struct HistogramOptions {
   double max = 1.0;
 };
 
+/// One bucket's most recent exemplar: a correlation id (e.g. a serve
+/// trace_id) captured alongside an observation that landed in the bucket,
+/// letting a dashboard jump from "p99 is high" to one concrete traced
+/// request. trace_id 0 means the bucket has no exemplar yet.
+struct HistogramExemplar {
+  uint64_t trace_id = 0;
+  double value = 0.0;
+};
+
 /// Fixed-bucket histogram with interpolated percentiles. Observations are
 /// relaxed atomic increments; snapshots taken concurrently with writers are
 /// approximate (each field is individually consistent), which is the usual
@@ -94,6 +103,13 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
   void Observe(double value);
+
+  /// Observe(value), additionally stamping (trace_id, value) as the
+  /// containing bucket's exemplar (last write wins). trace_id 0 records no
+  /// exemplar. The id and value are separate relaxed atomics, so a racing
+  /// pair of writers can mix one's id with the other's value — both still
+  /// describe real observations in that bucket.
+  void ObserveWithExemplar(double value, uint64_t trace_id);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -113,12 +129,21 @@ class Histogram {
   /// final entry is the overflow bucket).
   std::vector<uint64_t> bucket_counts() const;
 
+  /// Snapshot of per-bucket exemplars, same shape as bucket_counts().
+  /// Entries with trace_id 0 have seen no exemplar-carrying observation.
+  std::vector<HistogramExemplar> bucket_exemplars() const;
+
   const HistogramOptions& options() const { return options_; }
 
  private:
+  size_t BucketFor(double value) const;
+
   HistogramOptions options_;
   std::vector<double> bounds_;  // Ascending finite upper bounds.
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1.
+  // Parallel to counts_: last exemplar per bucket (see ObserveWithExemplar).
+  std::unique_ptr<std::atomic<uint64_t>[]> exemplar_ids_;
+  std::unique_ptr<std::atomic<double>[]> exemplar_values_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;

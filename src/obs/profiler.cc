@@ -1,0 +1,488 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/strings.h"
+#include "common/thread_registry.h"
+#include "obs/json_util.h"
+#include "obs/trace.h"
+
+namespace rll::obs {
+
+namespace {
+
+// Deep enough for the trainer's autograd recursion; at 8 bytes a frame
+// this keeps one sample at ~350 bytes.
+constexpr int kMaxFrames = 40;
+
+struct Sample {
+  void* frames[kMaxFrames];
+  int32_t depth = 0;
+  // Leading frames belonging to the capture machinery itself (handler +
+  // signal trampoline, or the test hook); dropped at report time.
+  int32_t skip = 0;
+  const char* span = nullptr;  // RLL_TRACE_SPAN literal, nullptr = none.
+};
+
+// A sample array and the capacity that bounds it, immutable after
+// construction and published through one atomic pointer — so a capture can
+// never pair a stale capacity with a newer (possibly smaller) array.
+// make_unique value-initializes the samples, so even a sample that was
+// never written reads as depth 0 / no span, not wild pointers.
+struct SampleBuffer {
+  explicit SampleBuffer(uint32_t capacity)
+      : capacity(capacity), samples(std::make_unique<Sample[]>(capacity)) {}
+  const uint32_t capacity;
+  const std::unique_ptr<Sample[]> samples;
+};
+
+// One thread's slot. Single-writer: only the owning thread (its SIGPROF
+// handler or CaptureSampleNow) writes samples/count; readers acquire-load
+// `count` after loading `buffer`. The buffer is published with a release
+// store, so the handler never sees a half-built one.
+struct ThreadSamples {
+  std::atomic<SampleBuffer*> buffer{nullptr};
+  std::atomic<uint32_t> count{0};
+  std::atomic<uint32_t> dropped{0};
+  uint32_t tid = 0;  // Profiler registration order, 1-based.
+  std::string name;  // Registry name at registration time.
+};
+
+struct ProfilerState {
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadSamples>> threads RLL_GUARDED_BY(mu);
+  // Parallel to `threads`: owning storage for each slot's buffer (kept out
+  // of ThreadSamples so the handler-visible struct stays simple and frees
+  // happen under mu).
+  std::vector<std::unique_ptr<SampleBuffer>> storage RLL_GUARDED_BY(mu);
+  // Buffers replaced by a session with a different max_samples_per_thread.
+  // Kept alive (not freed) because a concurrent capture may still hold the
+  // old pointer; growth is bounded by capacity changes, not by samples.
+  std::vector<std::unique_ptr<SampleBuffer>> retired RLL_GUARDED_BY(mu);
+  uint32_t next_tid RLL_GUARDED_BY(mu) = 1;
+  ProfilerOptions options RLL_GUARDED_BY(mu);
+  int hz RLL_GUARDED_BY(mu) = 0;  // Most recent session's rate.
+  bool ever_started RLL_GUARDED_BY(mu) = false;
+  bool handler_installed RLL_GUARDED_BY(mu) = false;
+};
+
+ProfilerState& State() {
+  // Leaked: thread-exit cleanup runs from thread_local destructors, which
+  // can outlive function-local statics during process teardown.
+  static ProfilerState* state = new ProfilerState();  // rll-lint: allow(naked-new-delete)
+  return *state;
+}
+
+std::atomic<bool> g_running{false};
+std::atomic<uint64_t> g_unattributed{0};
+
+thread_local ThreadSamples* tls_samples = nullptr;
+
+void AllocateSlotLocked(ProfilerState& state, size_t index)
+    RLL_REQUIRES(state.mu) {
+  ThreadSamples* slot = state.threads[index].get();
+  const uint32_t want =
+      static_cast<uint32_t>(state.options.max_samples_per_thread);
+  if (SampleBuffer* current = slot->buffer.load(std::memory_order_relaxed);
+      current != nullptr) {
+    if (current->capacity == want) return;
+    // A new session changed max_samples_per_thread: swap in a fresh buffer
+    // (discarding this slot's recorded samples) and retire the old one —
+    // the owning thread's capture may still hold its pointer.
+    slot->buffer.store(nullptr, std::memory_order_release);
+    slot->count.store(0, std::memory_order_release);
+    state.retired.push_back(std::move(state.storage[index]));
+  }
+  state.storage[index] = std::make_unique<SampleBuffer>(want);
+  slot->buffer.store(state.storage[index].get(),
+                     std::memory_order_release);
+}
+
+// Unregisters empty slots when their thread exits, so transient threads
+// (one per TCP connection) don't accumulate buffers. Slots holding samples
+// are kept: profiles outlive the threads they measured, until
+// ClearProfile.
+struct TlsSlotGuard {
+  std::shared_ptr<ThreadSamples> slot;
+  ~TlsSlotGuard() {
+    if (slot == nullptr) return;
+    tls_samples = nullptr;  // After this, no handler on this thread records.
+    ProfilerState& state = State();
+    MutexLock lock(state.mu);
+    if (slot->count.load(std::memory_order_acquire) != 0) return;
+    for (size_t i = 0; i < state.threads.size(); ++i) {
+      if (state.threads[i] != slot) continue;
+      state.threads.erase(state.threads.begin() + static_cast<long>(i));
+      state.storage.erase(state.storage.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+};
+thread_local TlsSlotGuard tls_guard;
+
+// The async-signal-safe core: everything it touches was allocated and
+// published before the timer was armed. No locks, no allocation, no
+// formatting; errno is the caller's job.
+inline void CaptureInto(ThreadSamples* slot, int32_t skip) {
+  SampleBuffer* buffer = slot->buffer.load(std::memory_order_acquire);
+  const uint32_t index = slot->count.load(std::memory_order_relaxed);
+  if (buffer == nullptr || index >= buffer->capacity) {
+    slot->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Sample& sample = buffer->samples[index];
+  sample.depth = backtrace(sample.frames, kMaxFrames);
+  sample.skip = skip;
+  sample.span = CurrentThreadSpan();
+  slot->count.store(index + 1, std::memory_order_release);
+}
+
+void SigprofHandler(int /*signum*/, siginfo_t* /*info*/, void* /*ctx*/) {
+  const int saved_errno = errno;
+  // A signal already in flight when StopCpuProfiler disarmed the timer can
+  // still deliver; record nothing for it.
+  if (!g_running.load(std::memory_order_relaxed)) {
+    errno = saved_errno;
+    return;
+  }
+  ThreadSamples* slot = tls_samples;
+  if (slot == nullptr) {
+    g_unattributed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // frames[0] is this handler, frames[1] the kernel's signal trampoline.
+    CaptureInto(slot, /*skip=*/2);
+  }
+  errno = saved_errno;
+}
+
+/// Caches pc → demangled symbol for one report pass. dladdr only sees
+/// dynamic symbols, so executables link with -rdynamic (CMake
+/// ENABLE_EXPORTS); pcs it cannot name render as hex.
+const std::string& Symbolize(void* pc,
+                             std::map<const void*, std::string>* cache) {
+  const auto it = cache->find(pc);
+  if (it != cache->end()) return it->second;
+  std::string name;
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      name = demangled;
+      std::free(demangled);
+    } else {
+      name = info.dli_sname;
+    }
+    // ';' delimits frames in the folded format; templated symbols never
+    // contain it, but a C symbol theoretically could.
+    std::replace(name.begin(), name.end(), ';', ':');
+  } else {
+    name = StrFormat(
+        "0x%llx",
+        static_cast<unsigned long long>(reinterpret_cast<uintptr_t>(pc)));
+  }
+  return cache->emplace(pc, std::move(name)).first->second;
+}
+
+/// Snapshot of every slot plus the storage pointers, taken under the
+/// directory mutex so thread-exit erasure cannot race the walk.
+struct SlotSnapshot {
+  std::shared_ptr<ThreadSamples> slot;
+  const Sample* samples = nullptr;
+  uint32_t count = 0;
+};
+
+std::vector<SlotSnapshot> SnapshotSlots(int* hz) {
+  std::vector<SlotSnapshot> out;
+  ProfilerState& state = State();
+  MutexLock lock(state.mu);
+  *hz = state.hz;
+  out.reserve(state.threads.size());
+  for (const auto& slot : state.threads) {
+    SlotSnapshot snapshot;
+    snapshot.slot = slot;
+    const SampleBuffer* buffer =
+        slot->buffer.load(std::memory_order_acquire);
+    snapshot.samples = buffer != nullptr ? buffer->samples.get() : nullptr;
+    snapshot.count = slot->count.load(std::memory_order_acquire);
+    out.push_back(std::move(snapshot));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status StartCpuProfiler(const ProfilerOptions& options) {
+  if (options.hz < 0 || options.hz > kMaxProfileHz) {
+    return Status::InvalidArgument(
+        StrFormat("profile hz must be in [0, %d], got %d", kMaxProfileHz,
+                  options.hz));
+  }
+  if (options.max_samples_per_thread == 0 ||
+      options.max_samples_per_thread > (1u << 20)) {
+    return Status::InvalidArgument(
+        "max_samples_per_thread must be in [1, 2^20]");
+  }
+  bool expected = false;
+  if (!g_running.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("profiler is already running");
+  }
+
+  RegisterProfilerThread();
+  // Warm backtrace's lazy unwinder setup (it dlopens libgcc_s and
+  // allocates on first use) so no in-handler call is ever the first.
+  void* warm[4];
+  backtrace(warm, 4);
+
+  ProfilerState& state = State();
+  {
+    MutexLock lock(state.mu);
+    state.options = options;
+    state.hz = options.hz;
+    state.ever_started = true;
+    // Slots sized by an earlier session are re-sized (and emptied) when
+    // this session asks for a different max_samples_per_thread.
+    for (size_t i = 0; i < state.threads.size(); ++i) {
+      AllocateSlotLocked(state, i);
+    }
+    if (!state.handler_installed) {
+      struct sigaction action;
+      std::memset(&action, 0, sizeof(action));
+      action.sa_sigaction = &SigprofHandler;
+      action.sa_flags = SA_RESTART | SA_SIGINFO;
+      sigemptyset(&action.sa_mask);
+      if (sigaction(SIGPROF, &action, nullptr) != 0) {
+        g_running.store(false, std::memory_order_relaxed);
+        return Status::Internal("sigaction(SIGPROF) failed");
+      }
+      state.handler_installed = true;
+    }
+  }
+
+  // Samples must attribute to spans even when tracing is off, so the
+  // profiler flips its own half of the span-marking switch.
+  internal::SetProfilerSpanMarking(true);
+
+  if (options.hz > 0) {
+    itimerval timer;
+    std::memset(&timer, 0, sizeof(timer));
+    const long interval_us = std::max(1L, 1000000L / options.hz);
+    timer.it_interval.tv_sec = interval_us / 1000000;
+    timer.it_interval.tv_usec = interval_us % 1000000;
+    timer.it_value = timer.it_interval;
+    if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+      internal::SetProfilerSpanMarking(false);
+      g_running.store(false, std::memory_order_relaxed);
+      return Status::Internal("setitimer(ITIMER_PROF) failed");
+    }
+  }
+  return Status::OK();
+}
+
+void StopCpuProfiler() {
+  if (!g_running.exchange(false, std::memory_order_acq_rel)) return;
+  itimerval timer;
+  std::memset(&timer, 0, sizeof(timer));  // Zero interval disarms.
+  setitimer(ITIMER_PROF, &timer, nullptr);
+  internal::SetProfilerSpanMarking(false);
+}
+
+bool CpuProfilerRunning() {
+  return g_running.load(std::memory_order_relaxed);
+}
+
+void RegisterProfilerThread() {
+  if (tls_samples != nullptr) return;
+  auto slot = std::make_shared<ThreadSamples>();
+  slot->name = CurrentThreadName();
+  ProfilerState& state = State();
+  {
+    MutexLock lock(state.mu);
+    slot->tid = state.next_tid++;
+    state.threads.push_back(slot);
+    state.storage.emplace_back();
+    if (state.ever_started) {
+      AllocateSlotLocked(state, state.threads.size() - 1);
+    }
+  }
+  tls_guard.slot = slot;
+  tls_samples = slot.get();
+}
+
+void CaptureSampleNow() {
+  RegisterProfilerThread();
+  ThreadSamples* slot = tls_samples;
+  if (slot->buffer.load(std::memory_order_acquire) == nullptr) {
+    // Not a handler: allocating here is fine, and lets tests drive the
+    // sampler without arming anything.
+    ProfilerState& state = State();
+    MutexLock lock(state.mu);
+    for (size_t i = 0; i < state.threads.size(); ++i) {
+      if (state.threads[i].get() == slot) {
+        AllocateSlotLocked(state, i);
+        break;
+      }
+    }
+  }
+  // frames[0] is CaptureSampleNow itself.
+  CaptureInto(slot, /*skip=*/1);
+}
+
+ProfileReport CollectProfile() {
+  ProfileReport report;
+  std::vector<SlotSnapshot> slots = SnapshotSlots(&report.hz);
+  report.unattributed = g_unattributed.load(std::memory_order_relaxed);
+
+  std::map<const void*, std::string> symbol_cache;
+  std::map<std::string, uint64_t> span_totals;
+  // symbol → {self, total}.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> symbol_totals;
+
+  for (const SlotSnapshot& snapshot : slots) {
+    const uint32_t dropped =
+        snapshot.slot->dropped.load(std::memory_order_relaxed);
+    report.by_thread.push_back({snapshot.slot->tid, snapshot.slot->name,
+                                snapshot.count, dropped});
+    report.samples += snapshot.count;
+    report.dropped += dropped;
+    if (snapshot.samples == nullptr) continue;
+    std::vector<std::string> on_stack;
+    for (uint32_t i = 0; i < snapshot.count; ++i) {
+      const Sample& sample = snapshot.samples[i];
+      ++span_totals[sample.span != nullptr ? sample.span : "(none)"];
+      const int32_t begin = std::min(sample.skip, sample.depth);
+      on_stack.clear();
+      for (int32_t f = begin; f < sample.depth; ++f) {
+        const std::string& symbol =
+            Symbolize(sample.frames[f], &symbol_cache);
+        auto& totals = symbol_totals[symbol];
+        if (f == begin) ++totals.first;  // Leaf frame: self time.
+        on_stack.push_back(symbol);
+      }
+      // Total counts each symbol once per sample, recursion included.
+      std::sort(on_stack.begin(), on_stack.end());
+      on_stack.erase(std::unique(on_stack.begin(), on_stack.end()),
+                     on_stack.end());
+      for (const std::string& symbol : on_stack) {
+        ++symbol_totals[symbol].second;
+      }
+    }
+  }
+
+  std::sort(report.by_thread.begin(), report.by_thread.end(),
+            [](const ProfileThreadTotal& a, const ProfileThreadTotal& b) {
+              return a.tid < b.tid;
+            });
+  for (const auto& [span, samples] : span_totals) {
+    report.by_span.push_back({span, samples});
+  }
+  std::sort(report.by_span.begin(), report.by_span.end(),
+            [](const ProfileSpanTotal& a, const ProfileSpanTotal& b) {
+              return a.samples != b.samples ? a.samples > b.samples
+                                            : a.span < b.span;
+            });
+  for (const auto& [symbol, totals] : symbol_totals) {
+    report.by_symbol.push_back({symbol, totals.first, totals.second});
+  }
+  std::sort(report.by_symbol.begin(), report.by_symbol.end(),
+            [](const ProfileSymbolTotal& a, const ProfileSymbolTotal& b) {
+              return a.self != b.self ? a.self > b.self
+                                      : a.symbol < b.symbol;
+            });
+  return report;
+}
+
+std::string ProfileToFolded() {
+  int hz = 0;
+  const std::vector<SlotSnapshot> slots = SnapshotSlots(&hz);
+  std::map<const void*, std::string> symbol_cache;
+  std::map<std::string, uint64_t> stacks;
+  for (const SlotSnapshot& snapshot : slots) {
+    if (snapshot.samples == nullptr) continue;
+    for (uint32_t i = 0; i < snapshot.count; ++i) {
+      const Sample& sample = snapshot.samples[i];
+      std::string line = "span:";
+      line += sample.span != nullptr ? sample.span : "(none)";
+      // Root-first: backtrace returns leaf-first, so walk backwards.
+      const int32_t begin = std::min(sample.skip, sample.depth);
+      for (int32_t f = sample.depth - 1; f >= begin; --f) {
+        line += ';';
+        line += Symbolize(sample.frames[f], &symbol_cache);
+      }
+      ++stacks[line];
+    }
+  }
+  std::string out;
+  for (const auto& [stack, count] : stacks) {
+    out += stack;
+    out += StrFormat(" %llu\n", static_cast<unsigned long long>(count));
+  }
+  return out;
+}
+
+std::string ProfileToJson(size_t top_n) {
+  const ProfileReport report = CollectProfile();
+  std::string out = "{\"by_span\":[";
+  for (size_t i = 0; i < report.by_span.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("{\"samples\":%llu,\"span\":\"%s\"}",
+                     static_cast<unsigned long long>(
+                         report.by_span[i].samples),
+                     JsonEscape(report.by_span[i].span).c_str());
+  }
+  out += StrFormat("],\"dropped\":%llu,\"hz\":%d,\"samples\":%llu",
+                   static_cast<unsigned long long>(report.dropped),
+                   report.hz,
+                   static_cast<unsigned long long>(report.samples));
+  out += ",\"threads\":[";
+  for (size_t i = 0; i < report.by_thread.size(); ++i) {
+    const ProfileThreadTotal& thread = report.by_thread[i];
+    if (i > 0) out += ",";
+    out += StrFormat(
+        "{\"dropped\":%llu,\"name\":\"%s\",\"samples\":%llu,\"tid\":%u}",
+        static_cast<unsigned long long>(thread.dropped),
+        JsonEscape(thread.name).c_str(),
+        static_cast<unsigned long long>(thread.samples), thread.tid);
+  }
+  out += "],\"top\":[";
+  const size_t n = std::min(top_n, report.by_symbol.size());
+  for (size_t i = 0; i < n; ++i) {
+    const ProfileSymbolTotal& symbol = report.by_symbol[i];
+    if (i > 0) out += ",";
+    out += StrFormat("{\"self\":%llu,\"symbol\":\"%s\",\"total\":%llu}",
+                     static_cast<unsigned long long>(symbol.self),
+                     JsonEscape(symbol.symbol).c_str(),
+                     static_cast<unsigned long long>(symbol.total));
+  }
+  out += StrFormat("],\"unattributed\":%llu}",
+                   static_cast<unsigned long long>(report.unattributed));
+  return out;
+}
+
+void ClearProfile() {
+  // Exact only when the profiler is stopped: a live handler's count store
+  // can race these resets (the usual monitoring contract).
+  ProfilerState& state = State();
+  MutexLock lock(state.mu);
+  for (const auto& slot : state.threads) {
+    slot->count.store(0, std::memory_order_release);
+    slot->dropped.store(0, std::memory_order_relaxed);
+  }
+  g_unattributed.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rll::obs

@@ -1,0 +1,144 @@
+// Sampling CPU profiler: SIGPROF-driven stack capture with span-attributed
+// time accounting.
+//
+// StartCpuProfiler arms ITIMER_PROF at `hz` samples per second of consumed
+// CPU time; the kernel delivers each SIGPROF on a thread that is actually
+// burning cycles, and the handler appends one sample — a raw backtrace()
+// stack plus the innermost active RLL_TRACE_SPAN on that thread — to the
+// thread's preallocated buffer. Everything slow or unsafe is deferred:
+// symbolization (dladdr + demangle), aggregation, and formatting happen at
+// report time on a normal thread, never in the handler.
+//
+// Signal-safety rules the handler obeys (see DESIGN.md §15):
+//   * no allocation, no locks, no formatting — writes go into storage
+//     published before the timer was armed;
+//   * per-thread buffers with a single-writer discipline: only the owning
+//     thread's handler writes its buffer (release store on the count);
+//     readers take the directory mutex and acquire-load;
+//   * the current-span mark is one thread-local pointer read (obs/trace);
+//   * backtrace() is warmed once in StartCpuProfiler so its lazy
+//     libgcc_s initialization (which allocates) never runs in the handler;
+//   * errno is saved and restored around the handler body.
+//
+// Threads register their buffer at entry (RegisterProfilerThread — the
+// pool workers, the serve batcher, and TCP connection threads already do);
+// SIGPROF on a never-registered thread is counted as `unattributed`
+// rather than lost silently. Buffer storage is only allocated once
+// profiling has actually been requested, so idle processes pay one
+// pointer-sized slot per thread.
+//
+// Two export formats:
+//   * ProfileToFolded(): Brendan Gregg collapsed stacks, one
+//     "span:<name>;outermost;...;leaf count" line per unique stack —
+//     pipe through flamegraph.pl for an SVG;
+//   * ProfileToJson(): machine-readable report with per-span, per-symbol
+//     (self/total) and per-thread sample totals.
+//
+// Deterministic tests: StartCpuProfiler with hz == 0 arms no timer; the
+// injectable sampler hook CaptureSampleNow() then drives the exact handler
+// code path from test code at known points.
+
+#ifndef RLL_OBS_PROFILER_H_
+#define RLL_OBS_PROFILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rll::obs {
+
+struct ProfilerOptions {
+  /// Samples per second of process CPU time (ITIMER_PROF). 0 arms no
+  /// timer: samples then come only from CaptureSampleNow(), the
+  /// deterministic test hook. Capped at kMaxProfileHz.
+  int hz = 99;
+  /// Per-thread sample capacity; once full, further samples on that
+  /// thread increment a drop counter instead.
+  size_t max_samples_per_thread = 1 << 13;
+};
+
+inline constexpr int kMaxProfileHz = 1000;
+
+/// Arms the profiler: registers the calling thread, allocates buffers for
+/// every registered thread, installs the SIGPROF handler, and (hz > 0)
+/// starts the CPU-time timer. Fails if the profiler is already running or
+/// the options are out of range. Also enables span marking in obs/trace so
+/// samples carry the innermost active span even when tracing is off.
+/// Buffers left over from an earlier session are reused when
+/// max_samples_per_thread is unchanged (samples accumulate across
+/// sessions until ClearProfile); a different value replaces them,
+/// discarding their samples. Must not race CaptureSampleNow on another
+/// thread — start, then capture.
+Status StartCpuProfiler(const ProfilerOptions& options = {});
+
+/// Disarms the timer and stops sampling. Samples survive until
+/// ClearProfile() so reports can be built after stopping. Idempotent.
+void StopCpuProfiler();
+
+bool CpuProfilerRunning();
+
+/// Registers the calling thread's sample buffer (idempotent, cheap).
+/// Threads that never register have their samples counted as
+/// unattributed instead of being recorded.
+void RegisterProfilerThread();
+
+/// Captures one sample on the calling thread through the same code path
+/// the SIGPROF handler runs — the injectable sampler hook. Registers and
+/// allocates the thread's buffer if needed (safe here: not a handler).
+/// Use with StartCpuProfiler({.hz = 0}) for timer-free deterministic
+/// tests; works while the real timer runs too.
+void CaptureSampleNow();
+
+struct ProfileSpanTotal {
+  std::string span;  // RLL_TRACE_SPAN literal, or "(none)".
+  uint64_t samples = 0;
+};
+
+struct ProfileSymbolTotal {
+  std::string symbol;
+  uint64_t self = 0;   // Samples with this symbol as the leaf frame.
+  uint64_t total = 0;  // Samples with it anywhere on the stack.
+};
+
+struct ProfileThreadTotal {
+  uint32_t tid = 0;  // Profiler registration order, 1-based.
+  std::string name;  // common/thread_registry name, may be "".
+  uint64_t samples = 0;
+  uint64_t dropped = 0;
+};
+
+struct ProfileReport {
+  uint64_t samples = 0;        // Recorded across all registered threads.
+  uint64_t dropped = 0;        // Lost to full per-thread buffers.
+  uint64_t unattributed = 0;   // SIGPROFs on never-registered threads.
+  int hz = 0;                  // Rate of the most recent session.
+  std::vector<ProfileSpanTotal> by_span;      // Descending samples.
+  std::vector<ProfileSymbolTotal> by_symbol;  // Descending self.
+  std::vector<ProfileThreadTotal> by_thread;  // Ascending tid.
+};
+
+/// Symbolizes and aggregates everything sampled so far. Meant to run after
+/// StopCpuProfiler; collecting while the timer is live is safe but the
+/// report is then a racy snapshot.
+ProfileReport CollectProfile();
+
+/// Brendan Gregg collapsed-stack lines, "frame;frame;...;frame count\n",
+/// root first, each stack rooted at a "span:<name>" pseudo-frame. Lines
+/// are sorted, so equal sample sets render byte-identically. Feed to
+/// flamegraph.pl (see README "Profiling a run").
+std::string ProfileToFolded();
+
+/// One JSON document: {"samples":...,"dropped":...,"unattributed":...,
+/// "hz":...,"by_span":[...],"threads":[...],"top":[...]} with `top`
+/// holding the top_n symbols by self samples. Key order is deterministic.
+std::string ProfileToJson(size_t top_n = 20);
+
+/// Drops every recorded sample (buffers stay registered and allocated).
+void ClearProfile();
+
+}  // namespace rll::obs
+
+#endif  // RLL_OBS_PROFILER_H_

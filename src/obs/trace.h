@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rll::obs {
@@ -44,12 +45,38 @@ std::vector<TraceEventView> SnapshotTraceEvents();
 /// Total recorded events across all threads.
 size_t TraceEventCount();
 
+/// trace tid → thread name (common/thread_registry) for every trace buffer
+/// whose thread had named itself by the time it recorded a span. Ordered
+/// by tid.
+std::vector<std::pair<uint32_t, std::string>> TraceThreadNames();
+
 /// {"displayTimeUnit":"ms","traceEvents":[...]} with one complete ("ph":"X")
 /// event per span; timestamps/durations in microseconds as Chrome expects.
+/// Named threads additionally get a "thread_name" metadata ("ph":"M")
+/// event, so Perfetto labels their rows.
 std::string TraceToChromeJson();
+
+/// Innermost active RLL_TRACE_SPAN literal on the calling thread, nullptr
+/// when none (or when span marking is off). Async-signal-safe: one
+/// thread-local pointer read, maintained by TraceSpan whenever tracing OR
+/// the CPU profiler is on. The pointer is the macro's string literal, so it
+/// stays valid for the process lifetime.
+const char* CurrentThreadSpan();
 
 namespace internal {
 void RecordSpan(std::string name, int64_t start_us, int64_t end_us);
+
+/// True when spans must maintain the thread-local current-span mark:
+/// tracing is enabled or the profiler asked for marking. One relaxed load.
+bool SpanMarkingEnabled();
+
+/// The profiler's half of SpanMarkingEnabled (tracing is the other half).
+void SetProfilerSpanMarking(bool on);
+
+/// Pushes `name` as the thread's current span; returns the previous mark
+/// for PopSpanMark. Literals only — the pointer is stored, not the string.
+const char* PushSpanMark(const char* name);
+void PopSpanMark(const char* previous);
 }  // namespace internal
 
 /// Records a completed "name:id" span from `start_us` to now. For call
@@ -63,17 +90,17 @@ void RecordSpanWithId(const char* name, int64_t id, int64_t start_us);
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (TracingEnabled()) Open(name);
+    if (internal::SpanMarkingEnabled()) Open(name);
   }
   /// Records "name:id" — the id is formatted only when tracing is on.
   TraceSpan(const char* name, int64_t id) {
-    if (TracingEnabled()) OpenWithId(name, id);
+    if (internal::SpanMarkingEnabled()) OpenWithId(name, id);
   }
   /// Records "name:id" when `with_id`, plain "name" otherwise — for call
   /// sites where a sampler decides at runtime whether the span carries a
   /// correlation id.
   TraceSpan(const char* name, int64_t id, bool with_id) {
-    if (!TracingEnabled()) return;
+    if (!internal::SpanMarkingEnabled()) return;
     if (with_id) {
       OpenWithId(name, id);
     } else {
@@ -81,6 +108,7 @@ class TraceSpan {
     }
   }
   ~TraceSpan() {
+    if (marked_) internal::PopSpanMark(parent_);
     if (open_) {
       internal::RecordSpan(std::move(name_), start_us_, TraceNowMicros());
     }
@@ -93,7 +121,13 @@ class TraceSpan {
   void Open(const char* name);
   void OpenWithId(const char* name, int64_t id);
 
+  // A span can be marked (current-span pointer for profiler attribution)
+  // without being open (event recorded at destruction): profiling with
+  // tracing off marks but never records, so the hot paths stay
+  // allocation-free while being profiled.
   bool open_ = false;
+  bool marked_ = false;
+  const char* parent_ = nullptr;
   int64_t start_us_ = 0;
   std::string name_;
 };

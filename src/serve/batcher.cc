@@ -9,7 +9,9 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/thread_registry.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace rll::serve {
@@ -157,6 +159,11 @@ void MicroBatcher::Stop() {
 }
 
 void MicroBatcher::WorkerLoop() {
+  // Once, at thread start (the per-batch loop below stays allocation-free):
+  // name the worker and register its profiler buffer — this thread runs
+  // every Embed forward pass, so it dominates serve CPU profiles.
+  SetCurrentThreadName("rll-batcher");
+  obs::RegisterProfilerThread();
   // Hoisted out of the loop: at steady state the vector's capacity (like
   // every other per-batch buffer) is reused, so draining a batch performs
   // no heap allocation.

@@ -35,6 +35,8 @@ const char* RequestTypeName(RequestType type) {
       return "statusz";
     case RequestType::kMetricsz:
       return "metricsz";
+    case RequestType::kProfilez:
+      return "profilez";
   }
   RLL_CHECK_MSG(false, "unknown request type");
   return "";
@@ -42,7 +44,7 @@ const char* RequestTypeName(RequestType type) {
 
 bool IsAdminRequest(RequestType type) {
   return type == RequestType::kHealthz || type == RequestType::kStatusz ||
-         type == RequestType::kMetricsz;
+         type == RequestType::kMetricsz || type == RequestType::kProfilez;
 }
 
 const char* ServeErrorName(ServeError error) {
@@ -91,6 +93,8 @@ Result<Request> ParseRequest(const std::string& line, std::string* id_json) {
     request.type = RequestType::kStatusz;
   } else if (type->string == "metricsz") {
     request.type = RequestType::kMetricsz;
+  } else if (type->string == "profilez") {
+    request.type = RequestType::kProfilez;
   } else {
     return Status::InvalidArgument("unknown \"type\": " + type->string);
   }
@@ -103,7 +107,63 @@ Result<Request> ParseRequest(const std::string& line, std::string* id_json) {
     if (root.Find("k") != nullptr) {
       return Status::InvalidArgument("\"k\" is only valid for neighbors");
     }
+    if (request.type != RequestType::kProfilez) {
+      if (root.Find("action") != nullptr || root.Find("hz") != nullptr ||
+          root.Find("format") != nullptr) {
+        return Status::InvalidArgument(
+            "\"action\"/\"hz\"/\"format\" are only valid for profilez");
+      }
+      return request;
+    }
+    const JsonValue* action = root.Find("action");
+    if (action == nullptr || !action->is_string()) {
+      return Status::InvalidArgument(
+          "profilez requires a string \"action\"");
+    }
+    if (action->string == "start") {
+      request.profile_action = ProfileAction::kStart;
+    } else if (action->string == "stop") {
+      request.profile_action = ProfileAction::kStop;
+    } else if (action->string == "fetch") {
+      request.profile_action = ProfileAction::kFetch;
+    } else {
+      return Status::InvalidArgument("unknown profilez \"action\": " +
+                                     action->string);
+    }
+    if (const JsonValue* hz = root.Find("hz"); hz != nullptr) {
+      if (request.profile_action != ProfileAction::kStart) {
+        return Status::InvalidArgument(
+            "\"hz\" is only valid with action \"start\"");
+      }
+      if (!hz->is_number() || hz->number < 1.0 ||
+          hz->number != static_cast<double>(static_cast<int>(hz->number))) {
+        return Status::InvalidArgument("\"hz\" must be a positive integer");
+      }
+      request.profile_hz = static_cast<int>(hz->number);
+    }
+    if (const JsonValue* format = root.Find("format"); format != nullptr) {
+      if (request.profile_action != ProfileAction::kFetch) {
+        return Status::InvalidArgument(
+            "\"format\" is only valid with action \"fetch\"");
+      }
+      if (!format->is_string()) {
+        return Status::InvalidArgument("\"format\" must be a string");
+      }
+      if (format->string == "folded") {
+        request.profile_format = ProfileFormat::kFolded;
+      } else if (format->string == "json") {
+        request.profile_format = ProfileFormat::kJson;
+      } else {
+        return Status::InvalidArgument("unknown profilez \"format\": " +
+                                       format->string);
+      }
+    }
     return request;
+  }
+  if (root.Find("action") != nullptr || root.Find("hz") != nullptr ||
+      root.Find("format") != nullptr) {
+    return Status::InvalidArgument(
+        "\"action\"/\"hz\"/\"format\" are only valid for profilez");
   }
 
   const JsonValue* features = root.Find("features");
@@ -184,7 +244,8 @@ std::string SerializeResponse(const Response& response) {
     }
     case RequestType::kHealthz:
     case RequestType::kStatusz:
-    case RequestType::kMetricsz: {
+    case RequestType::kMetricsz:
+    case RequestType::kProfilez: {
       // payload_json is produced server-side (never from client input), so
       // it is spliced in verbatim as a complete JSON document.
       out += ",\"payload\":";

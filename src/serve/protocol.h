@@ -14,6 +14,13 @@
 //   {"id": 3, "type": "metricsz"}    — metric snapshot: cumulative,
 //                                      since-last-scrape delta, and
 //                                      sliding-window views
+//   {"id": 4, "type": "profilez", "action": "start", "hz": 99}
+//   {"id": 5, "type": "profilez", "action": "stop"}
+//   {"id": 6, "type": "profilez", "action": "fetch", "format": "folded"}
+//                                    — in-process CPU profiler control:
+//                                      "hz" only with start (optional),
+//                                      "format" only with fetch
+//                                      ("folded" | "json", default folded)
 // Admin responses carry the JSON document in a "payload" member.
 //
 // Responses (always one line, always carry "ok"):
@@ -46,13 +53,28 @@ enum class RequestType {
   kHealthz,
   kStatusz,
   kMetricsz,
+  kProfilez,
 };
 
 const char* RequestTypeName(RequestType type);
 
-/// True for the introspection commands (healthz/statusz/metricsz), which
-/// carry no features and bypass the model entirely.
+/// True for the introspection commands (healthz/statusz/metricsz/
+/// profilez), which carry no features and bypass the model entirely.
 bool IsAdminRequest(RequestType type);
+
+/// profilez sub-commands.
+enum class ProfileAction {
+  kStart,  // Arm the sampling profiler (optional "hz").
+  kStop,   // Disarm; samples survive for a later fetch.
+  kFetch,  // Export samples ("format": "folded" | "json").
+};
+
+/// Fetch export formats: collapsed stacks for flamegraph.pl, or the
+/// aggregated JSON report.
+enum class ProfileFormat {
+  kFolded,
+  kJson,
+};
 
 /// Machine-readable error classes, mirrored into the "error" field and the
 /// serve_requests_total{status=...} metric label.
@@ -73,6 +95,11 @@ struct Request {
   std::vector<double> features;
   /// neighbors only; 0 means "use the server default".
   size_t k = 0;
+  /// profilez only.
+  ProfileAction profile_action = ProfileAction::kFetch;
+  /// profilez start only; 0 means "use the profiler default".
+  int profile_hz = 0;
+  ProfileFormat profile_format = ProfileFormat::kFolded;
 };
 
 struct NeighborHit {

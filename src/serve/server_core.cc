@@ -10,6 +10,7 @@
 #include "common/threading.h"
 #include "obs/json_util.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace rll::serve {
@@ -19,14 +20,18 @@ namespace {
 /// Request counter + latency histogram per (type, status) resolved on the
 /// fly: the registry lookup takes a lock, but request handling already
 /// crosses the batcher's mutex and a future, so one map lookup is noise.
-void RecordRequest(const char* type, const char* status, double millis) {
+void RecordRequest(const char* type, const char* status, double millis,
+                   uint64_t trace_id) {
   auto& registry = obs::MetricRegistry::Global();
   registry
       .GetCounter("serve_requests_total",
                   {{"type", type}, {"status", status}})
       ->Increment();
+  // Trace-sampled requests stamp their id as the latency bucket's
+  // exemplar, so metricsz can point at one concrete traced request per
+  // bucket (trace_id 0 degrades to a plain Observe).
   registry.GetHistogram("serve_request_latency_ms", {{"type", type}})
-      ->Observe(millis);
+      ->ObserveWithExemplar(millis, trace_id);
 }
 
 /// Data-plane request types index windowed_latency_by_type_.
@@ -134,7 +139,8 @@ Response ServerCore::Handle(const Request& request) {
   const double millis = timer.ElapsedMillis();
   const char* status =
       response.ok ? "ok" : ServeErrorName(response.error);
-  RecordRequest(RequestTypeName(request.type), status, millis);
+  RecordRequest(RequestTypeName(request.type), status, millis,
+                sampled ? request_id : 0);
   if (!IsAdminRequest(request.type)) {
     windowed_requests_.Increment();
     windowed_latency_all_->Observe(millis);
@@ -218,6 +224,7 @@ Response ServerCore::HandleInternal(const Request& request,
     case RequestType::kHealthz:
     case RequestType::kStatusz:
     case RequestType::kMetricsz:
+    case RequestType::kProfilez:
       break;  // Unreachable: dispatched to HandleAdmin above.
   }
   return MakeErrorResponse(request.id_json, ServeError::kInternal,
@@ -239,12 +246,59 @@ Response ServerCore::HandleAdmin(const Request& request) {
     case RequestType::kMetricsz:
       response.payload_json = MetricszPayload();
       break;
+    case RequestType::kProfilez: {
+      Result<std::string> payload = ProfilezPayload(request);
+      if (!payload.ok()) {
+        // Operator errors (already running, bad hz) come back structured,
+        // like every other protocol failure.
+        const ServeError error = payload.status().code() == StatusCode::kInternal
+                                     ? ServeError::kInternal
+                                     : ServeError::kBadRequest;
+        return MakeErrorResponse(request.id_json, error,
+                                 payload.status().message());
+      }
+      response.payload_json = *std::move(payload);
+      break;
+    }
     default:
       return MakeErrorResponse(request.id_json, ServeError::kInternal,
                                "non-admin type in HandleAdmin");
   }
   response.ok = true;
   return response;
+}
+
+Result<std::string> ServerCore::ProfilezPayload(const Request& request) {
+  switch (request.profile_action) {
+    case ProfileAction::kStart: {
+      obs::ProfilerOptions options;
+      if (request.profile_hz > 0) options.hz = request.profile_hz;
+      RLL_RETURN_IF_ERROR(obs::StartCpuProfiler(options));
+      profiler_started_.store(true, std::memory_order_relaxed);
+      return StrFormat("{\"action\":\"start\",\"hz\":%d,\"running\":true}",
+                       options.hz);
+    }
+    case ProfileAction::kStop: {
+      obs::StopCpuProfiler();
+      profiler_started_.store(false, std::memory_order_relaxed);
+      return std::string("{\"action\":\"stop\",\"running\":false}");
+    }
+    case ProfileAction::kFetch: {
+      std::string out = StrFormat(
+          "{\"action\":\"fetch\",\"format\":\"%s\",\"profile\":",
+          request.profile_format == ProfileFormat::kFolded ? "folded"
+                                                           : "json");
+      if (request.profile_format == ProfileFormat::kFolded) {
+        out += "\"" + obs::JsonEscape(obs::ProfileToFolded()) + "\"";
+      } else {
+        out += obs::ProfileToJson();
+      }
+      out += StrFormat(",\"running\":%s}",
+                       obs::CpuProfilerRunning() ? "true" : "false");
+      return out;
+    }
+  }
+  return Status::Internal("unknown profilez action");
 }
 
 std::string ServerCore::HealthzPayload() const {
@@ -352,9 +406,40 @@ std::string ServerCore::MetricszPayload() {
       obs::JsonNumber(requests.rate_per_sec).c_str(),
       obs::JsonNumber(requests.window_seconds).c_str());
 
+  // Latency exemplars: per data-plane type, every bucket that has seen a
+  // trace-sampled request, as {le, trace_id, value}. An operator reading a
+  // suspicious p99 here gets a concrete trace_id to pull up.
+  std::string exemplars = "{";
+  bool first_type = true;
+  for (const char* type : {"embed", "neighbors", "predict"}) {
+    obs::Histogram* histogram =
+        registry.GetHistogram("serve_request_latency_ms", {{"type", type}});
+    const std::vector<double>& bounds = histogram->bucket_bounds();
+    const std::vector<obs::HistogramExemplar> buckets =
+        histogram->bucket_exemplars();
+    if (!first_type) exemplars += ",";
+    first_type = false;
+    exemplars += StrFormat("\"%s\":[", type);
+    bool first_bucket = true;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i].trace_id == 0) continue;
+      if (!first_bucket) exemplars += ",";
+      first_bucket = false;
+      const std::string le =
+          i < bounds.size() ? obs::JsonNumber(bounds[i]) : "null";
+      exemplars += StrFormat(
+          "{\"le\":%s,\"trace_id\":%llu,\"value\":%s}", le.c_str(),
+          static_cast<unsigned long long>(buckets[i].trace_id),
+          obs::JsonNumber(buckets[i].value).c_str());
+    }
+    exemplars += "]";
+  }
+  exemplars += "}";
+
   std::string out = "{\"cumulative\":" + cumulative;
   out += ",\"delta\":" + delta;
   out += ",\"delta_seconds\":" + obs::JsonNumber(delta_seconds);
+  out += ",\"exemplars\":" + exemplars;
   out += StrFormat(",\"schema_version\":%d", obs::kMetricsSchemaVersion);
   out += StrFormat(",\"scrape_seq\":%llu", seq);
   out += ",\"uptime_s\":" + obs::JsonNumber(uptime_seconds());
@@ -366,7 +451,8 @@ std::string ServerCore::HandleLine(const std::string& line) {
   std::string id_json;
   Result<Request> request = ParseRequest(line, &id_json);
   if (!request.ok()) {
-    RecordRequest("unknown", ServeErrorName(ServeError::kBadRequest), 0.0);
+    RecordRequest("unknown", ServeErrorName(ServeError::kBadRequest), 0.0,
+                  /*trace_id=*/0);
     return SerializeResponse(MakeErrorResponse(
         id_json, ServeError::kBadRequest, request.status().message()));
   }
@@ -379,6 +465,11 @@ void ServerCore::Shutdown() {
   // normally instead of being dropped.
   shutdown_.store(true, std::memory_order_release);
   batcher_->Stop();
+  // A profilez "start" without a matching "stop" must not outlive the
+  // server that armed it.
+  if (profiler_started_.exchange(false, std::memory_order_relaxed)) {
+    obs::StopCpuProfiler();
+  }
 }
 
 }  // namespace rll::serve

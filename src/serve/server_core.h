@@ -126,6 +126,10 @@ class ServerCore {
   std::string HealthzPayload() const;
   std::string StatuszPayload() const;
   std::string MetricszPayload();
+  /// profilez start/stop/fetch against the process-wide CPU profiler
+  /// (obs/profiler.h). Errors (already running, invalid hz) surface as a
+  /// structured response, not a dropped connection.
+  Result<std::string> ProfilezPayload(const Request& request);
 
   const ServerCoreOptions options_;
   core::ModelBundle bundle_;
@@ -135,6 +139,9 @@ class ServerCore {
   std::unique_ptr<EmbeddingCache> cache_;
   std::unique_ptr<MicroBatcher> batcher_;
   std::atomic<bool> shutdown_{false};
+  /// True while a profilez "start" this core issued is live, so Shutdown
+  /// can disarm the timer instead of leaving SIGPROF firing into teardown.
+  std::atomic<bool> profiler_started_{false};
 
   Stopwatch uptime_;
   std::atomic<uint64_t> next_request_id_{0};

@@ -11,7 +11,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_registry.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace rll::serve {
 
@@ -170,6 +173,11 @@ void TcpServer::ReapFinished() {
 }
 
 void TcpServer::HandleConnection(int fd) {
+  // Per-connection threads are short-lived, but they burn the CPU that
+  // parses and serializes the protocol — name them and give them a
+  // profiler buffer so that time is attributed, not "unattributed".
+  SetCurrentThreadName(StrFormat("rll-conn-%d", fd));
+  obs::RegisterProfilerThread();
   std::string buffer;
   char chunk[4096];
   for (;;) {

@@ -82,6 +82,20 @@ TEST(GateExtractTest, LiftsAllocsPerOpIntoItsOwnMetric) {
   EXPECT_EQ(metrics[2].name, "BM_Matmul/64");
 }
 
+TEST(GateExtractTest, LiftsOverheadRatioIntoItsOwnMetric) {
+  const auto metrics = Extract(
+      R"({"benchmarks":[
+           {"name":"BM_ProfilerOverhead","real_time_ms":12.0,
+            "overhead_ratio":1.02}]})");
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].name, "BM_ProfilerOverhead.overhead_ratio");
+  EXPECT_DOUBLE_EQ(metrics[0].value, 1.02);
+  // "overhead" is a lower-is-better keyword: a profiler that gets more
+  // expensive fails the gate like a latency regression would.
+  EXPECT_EQ(DirectionFor(metrics[0].name), Direction::kLowerIsBetter);
+  EXPECT_EQ(metrics[1].name, "BM_ProfilerOverhead");
+}
+
 TEST(GateCompareTest, AllocRegressionFromZeroBaselineFails) {
   // The steady-state loops are pinned at zero allocations; any growth past
   // the absolute slack must fail even though the ratio is undefined.

@@ -258,6 +258,31 @@ TEST(HistogramTest, OverflowBucketCatchesOutliers) {
   EXPECT_LE(h.Percentile(1.0), 1e6 + 1e-9);
 }
 
+TEST(HistogramTest, ExemplarsStampTheContainingBucket) {
+  HistogramOptions options;
+  options.buckets = HistogramOptions::Buckets::kLinear;
+  options.min = 0.0;
+  options.max = 10.0;
+  options.count = 10;
+  Histogram h(options);
+
+  h.Observe(0.5);                     // Plain observation: no exemplar.
+  h.ObserveWithExemplar(2.5, 101);    // Bucket [2, 3).
+  h.ObserveWithExemplar(2.7, 202);    // Same bucket: last write wins.
+  h.ObserveWithExemplar(1e6, 303);    // Overflow bucket.
+  h.ObserveWithExemplar(4.5, 0);      // trace_id 0: counted, no exemplar.
+
+  EXPECT_EQ(h.count(), 5u);  // Exemplar observes still count normally.
+  const std::vector<HistogramExemplar> exemplars = h.bucket_exemplars();
+  ASSERT_EQ(exemplars.size(), h.bucket_bounds().size() + 1);
+  EXPECT_EQ(exemplars[0].trace_id, 0u);  // Plain Observe left none.
+  EXPECT_EQ(exemplars[2].trace_id, 202u);
+  EXPECT_DOUBLE_EQ(exemplars[2].value, 2.7);
+  EXPECT_EQ(exemplars[4].trace_id, 0u);  // trace_id 0 records nothing.
+  EXPECT_EQ(exemplars.back().trace_id, 303u);
+  EXPECT_DOUBLE_EQ(exemplars.back().value, 1e6);
+}
+
 TEST(HistogramTest, ConcurrentObservesKeepExactCount) {
   Histogram h;
   constexpr int kThreads = 4;

@@ -20,6 +20,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "core/model_bundle.h"
 #include "core/rll_model.h"
 #include "data/dataset.h"
@@ -675,6 +676,49 @@ TEST(ProtocolTest, ParsesAdminRequestsAndRejectsPayloads) {
   EXPECT_FALSE(ParseRequest(R"({"type": "metricsz", "k": 3})", &id).ok());
 }
 
+TEST(ProtocolTest, ParsesProfilezStrictly) {
+  std::string id;
+  auto start = ParseRequest(
+      R"({"type": "profilez", "action": "start", "hz": 250})", &id);
+  ASSERT_TRUE(start.ok());
+  EXPECT_EQ(start->type, RequestType::kProfilez);
+  EXPECT_EQ(start->profile_action, ProfileAction::kStart);
+  EXPECT_EQ(start->profile_hz, 250);
+
+  auto fetch = ParseRequest(
+      R"({"type": "profilez", "action": "fetch", "format": "json"})", &id);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch->profile_action, ProfileAction::kFetch);
+  EXPECT_EQ(fetch->profile_format, ProfileFormat::kJson);
+
+  ASSERT_TRUE(
+      ParseRequest(R"({"type": "profilez", "action": "stop"})", &id).ok());
+
+  // Strict parse: the action is mandatory and enumerated; hz belongs to
+  // start, format to fetch; other requests reject profilez keys outright.
+  EXPECT_FALSE(ParseRequest(R"({"type": "profilez"})", &id).ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"type": "profilez", "action": "dump"})", &id).ok());
+  EXPECT_FALSE(ParseRequest(
+                   R"({"type": "profilez", "action": "stop", "hz": 99})",
+                   &id)
+                   .ok());
+  EXPECT_FALSE(
+      ParseRequest(
+          R"({"type": "profilez", "action": "start", "format": "json"})",
+          &id)
+          .ok());
+  EXPECT_FALSE(ParseRequest(
+                   R"({"type": "profilez", "action": "start", "hz": 0})",
+                   &id)
+                   .ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"type": "metricsz", "action": "start"})", &id).ok());
+  EXPECT_FALSE(ParseRequest(
+                   R"({"type": "embed", "features": [1], "hz": 99})", &id)
+                   .ok());
+}
+
 TEST(ProtocolTest, SerializesTraceId) {
   Response response;
   response.id_json = "5";
@@ -790,6 +834,36 @@ TEST(ServerCoreTest, MetricszReportsWindowedLoadAndDeltas) {
                 ->Find("count")
                 ->number,
             static_cast<double>(kRequests) + 5.0);
+  core->Shutdown();
+}
+
+TEST(ServerCoreTest, MetricszExposesLatencyExemplars) {
+  ServerCoreOptions options;
+  options.trace_sample_every = 1;  // Every request is trace-sampled.
+  auto core = MakeCore(nullptr, options);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(core->Handle(EmbedRequest({1.0, 2.0, 3.0})).ok);
+  }
+
+  auto scrape =
+      ParseJson(core->HandleLine(R"({"id": 1, "type": "metricsz"})"));
+  ASSERT_TRUE(scrape.ok());
+  const JsonValue* exemplars =
+      scrape->Find("payload")->Find("exemplars");
+  ASSERT_NE(exemplars, nullptr);
+  const JsonValue* embed = exemplars->Find("embed");
+  ASSERT_NE(embed, nullptr);
+  ASSERT_TRUE(embed->is_array());
+  // 20 sampled embeds: at least one latency bucket carries an exemplar,
+  // and every entry is a well-formed {le, trace_id, value} triple.
+  ASSERT_FALSE(embed->array.empty());
+  for (const JsonValue& entry : embed->array) {
+    ASSERT_NE(entry.Find("le"), nullptr);
+    ASSERT_NE(entry.Find("trace_id"), nullptr);
+    EXPECT_GT(entry.Find("trace_id")->number, 0.0);
+    ASSERT_NE(entry.Find("value"), nullptr);
+    EXPECT_GT(entry.Find("value")->number, 0.0);
+  }
   core->Shutdown();
 }
 
@@ -915,6 +989,80 @@ TEST(TcpServerTest, AnswersAdminOverLoopback) {
   auto parsed = ParseJson(metricsz);
   ASSERT_TRUE(parsed.ok()) << metricsz;
   EXPECT_NE(parsed->Find("payload")->Find("windowed"), nullptr);
+
+  ::close(fd);
+  server.Stop();
+  serve_thread.join();
+  core->Shutdown();
+}
+
+TEST(TcpServerTest, ProfilezRoundTripsOverLoopback) {
+  auto core = MakeCore(nullptr);
+  TcpServer server({}, core.get());
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serve_thread([&] { ASSERT_TRUE(server.Serve().ok()); });
+  const int fd = ConnectLoopback(server.port());
+
+  SendAll(fd, "{\"id\": 1, \"type\": \"profilez\", \"action\": \"start\", "
+              "\"hz\": 500}\n");
+  const std::string started = RecvLine(fd);
+  auto parsed = ParseJson(started);
+  ASSERT_TRUE(parsed.ok()) << started;
+  const JsonValue* payload = parsed->Find("payload");
+  ASSERT_NE(payload, nullptr) << started;
+  EXPECT_EQ(payload->Find("hz")->number, 500.0);
+  EXPECT_TRUE(payload->Find("running")->boolean);
+
+  // Starting twice is a client error, answered structurally.
+  SendAll(fd, "{\"id\": 2, \"type\": \"profilez\", \"action\": \"start\"}\n");
+  EXPECT_NE(RecvLine(fd).find("\"error\":\"bad_request\""),
+            std::string::npos);
+
+  // Burn some serving CPU so a fetch has a chance of holding samples (the
+  // structure is asserted either way; sample counts are timing-dependent).
+  for (int i = 0; i < 200; ++i) {
+    SendAll(fd, StrFormat("{\"id\": %d, \"type\": \"embed\", "
+                          "\"features\": [1, 2, 3]}\n",
+                          100 + i));
+    RecvLine(fd);
+  }
+
+  SendAll(fd, "{\"id\": 3, \"type\": \"profilez\", \"action\": \"fetch\"}\n");
+  const std::string fetched = RecvLine(fd);
+  parsed = ParseJson(fetched);
+  ASSERT_TRUE(parsed.ok()) << fetched;
+  payload = parsed->Find("payload");
+  ASSERT_NE(payload, nullptr) << fetched;
+  EXPECT_EQ(payload->Find("format")->string, "folded");
+  ASSERT_NE(payload->Find("profile"), nullptr) << fetched;
+  EXPECT_TRUE(payload->Find("profile")->is_string());
+  EXPECT_TRUE(payload->Find("running")->boolean);
+
+  // The JSON format nests the full report as parseable JSON.
+  SendAll(fd, "{\"id\": 4, \"type\": \"profilez\", \"action\": \"fetch\", "
+              "\"format\": \"json\"}\n");
+  const std::string fetched_json = RecvLine(fd);
+  parsed = ParseJson(fetched_json);
+  ASSERT_TRUE(parsed.ok()) << fetched_json;
+  const JsonValue* profile = parsed->Find("payload")->Find("profile");
+  ASSERT_NE(profile, nullptr) << fetched_json;
+  ASSERT_TRUE(profile->is_object());
+  EXPECT_NE(profile->Find("by_span"), nullptr);
+  EXPECT_NE(profile->Find("threads"), nullptr);
+
+  SendAll(fd, "{\"id\": 5, \"type\": \"profilez\", \"action\": \"stop\"}\n");
+  const std::string stopped = RecvLine(fd);
+  parsed = ParseJson(stopped);
+  ASSERT_TRUE(parsed.ok()) << stopped;
+  EXPECT_FALSE(parsed->Find("payload")->Find("running")->boolean);
+
+  // Unknown action and misplaced keys are strict-parse failures.
+  SendAll(fd, "{\"id\": 6, \"type\": \"profilez\", \"action\": \"dump\"}\n");
+  EXPECT_NE(RecvLine(fd).find("\"error\":\"bad_request\""),
+            std::string::npos);
+  SendAll(fd, "{\"id\": 7, \"type\": \"healthz\", \"action\": \"start\"}\n");
+  EXPECT_NE(RecvLine(fd).find("\"error\":\"bad_request\""),
+            std::string::npos);
 
   ::close(fd);
   server.Stop();

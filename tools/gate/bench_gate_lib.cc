@@ -98,6 +98,14 @@ Result<std::vector<Metric>> MetricsFromNode(const serve::JsonValue& node) {
         metrics.push_back(
             {metric.name + ".allocs_per_op", allocs->number});
       }
+      // BM_ProfilerOverhead's profiled/unprofiled time ratio: pinned the
+      // same way, so a profiler that gets more expensive fails CI
+      // ("overhead" is already a lower-is-better keyword).
+      if (const serve::JsonValue* overhead = entry.Find("overhead_ratio");
+          overhead != nullptr && overhead->is_number()) {
+        metrics.push_back(
+            {metric.name + ".overhead_ratio", overhead->number});
+      }
       metrics.push_back(std::move(metric));
     }
     return metrics;

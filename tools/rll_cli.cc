@@ -24,6 +24,9 @@
 //   --log-level debug|info|warning|error
 //   --metrics-out M.jsonl   per-epoch training series + metric registry dump
 //   --trace-out T.json      Chrome trace-event file (chrome://tracing)
+//   --profile-out P.folded  sampling CPU profile as collapsed stacks (a
+//                           .json path writes the aggregated report);
+//   --profile-hz N          sample rate for --profile-out (default 99)
 //
 // The features CSV is "f0,...,fN,label" (label = expert ground truth, used
 // only for evaluation); annotations are long-format
@@ -54,6 +57,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_registry.h"
 #include "common/threading.h"
 #include "core/embedding_index.h"
 #include "core/model_bundle.h"
@@ -70,6 +74,7 @@
 #include "data/synthetic.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/json.h"
 #include "serve/server_core.h"
@@ -127,7 +132,11 @@ int Usage() {
       "  --threads N              thread-pool size (same results at any N)\n"
       "  --log-level debug|info|warning|error\n"
       "  --metrics-out M.jsonl    training series + metric registry dump\n"
-      "  --trace-out T.json       Chrome trace (open in chrome://tracing)\n");
+      "  --trace-out T.json       Chrome trace (open in chrome://tracing)\n"
+      "  --profile-out P.folded   CPU profile, collapsed stacks (a .json\n"
+      "                           path writes the aggregated report "
+      "instead)\n"
+      "  --profile-hz N           profiler sample rate (default 99)\n");
   return 2;
 }
 
@@ -135,8 +144,9 @@ int Usage() {
 // outside the union is a hard error: silently ignoring a typo like
 // --k-negative would run with the default and report misleading numbers.
 const std::set<std::string>& CommonFlags() {
-  static const std::set<std::string> flags = {"threads", "log-level",
-                                              "metrics-out", "trace-out"};
+  static const std::set<std::string> flags = {
+      "threads",   "log-level",   "metrics-out",
+      "trace-out", "profile-out", "profile-hz"};
   return flags;
 }
 
@@ -199,6 +209,7 @@ Result<Args> Parse(int argc, char** argv) {
 struct ObsSession {
   std::string metrics_path;
   std::string trace_path;
+  std::string profile_path;
   std::unique_ptr<obs::JsonlObserver> jsonl;
   std::unique_ptr<obs::MetricsObserver> metrics;
   std::unique_ptr<obs::ProgressObserver> progress;
@@ -234,6 +245,20 @@ Result<ObsSession> SetupObservability(const Args& args) {
   session.progress = std::make_unique<obs::ProgressObserver>(5);
   session.observers.push_back(session.progress.get());
   if (!session.trace_path.empty()) obs::SetTracingEnabled(true);
+  session.profile_path = args.Get("profile-out", "");
+  if (args.Has("profile-hz") && session.profile_path.empty()) {
+    return Status::InvalidArgument("--profile-hz requires --profile-out");
+  }
+  if (!session.profile_path.empty()) {
+    obs::ProfilerOptions options;
+    const int64_t hz = args.GetInt("profile-hz", options.hz);
+    if (hz < 1 || hz > obs::kMaxProfileHz) {
+      return Status::InvalidArgument(
+          StrFormat("--profile-hz must be in [1, %d]", obs::kMaxProfileHz));
+    }
+    options.hz = static_cast<int>(hz);
+    RLL_RETURN_IF_ERROR(obs::StartCpuProfiler(options));
+  }
   return session;
 }
 
@@ -266,6 +291,23 @@ int FinishObservability(ObsSession* session) {
       rc = 1;
     } else {
       out << obs::TraceToChromeJson();
+    }
+  }
+  if (!session->profile_path.empty()) {
+    obs::StopCpuProfiler();
+    std::ofstream out(session->profile_path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s for write\n",
+                   session->profile_path.c_str());
+      rc = 1;
+    } else {
+      // A .json destination gets the aggregated report; anything else the
+      // collapsed stacks flamegraph.pl expects.
+      const std::string& path = session->profile_path;
+      const bool json = path.size() >= 5 &&
+                        path.compare(path.size() - 5, 5, ".json") == 0;
+      out << (json ? obs::ProfileToJson() : obs::ProfileToFolded());
+      if (json) out << "\n";
     }
   }
   return rc;
@@ -996,6 +1038,9 @@ int Dispatch(const Args& args, const ObsSession& obs_session) {
 }
 
 int Main(int argc, char** argv) {
+  // Before SetupObservability: the profiler captures each thread's name at
+  // registration, and starting with --profile-out registers this thread.
+  SetCurrentThreadName("rll-main");
   auto args = Parse(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
