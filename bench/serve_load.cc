@@ -14,10 +14,25 @@
 //     against the concurrently micro-batched answers — the determinism
 //     claim in serve/batcher.h, checked end to end under real contention.
 //
+// A second, open-loop phase replays a Poisson arrival process against the
+// same core: request start times are drawn from seeded exponential
+// inter-arrivals at a configured offered rate, and latency is measured
+// from the *scheduled* arrival — so when the server falls behind, queueing
+// delay shows up in the percentiles instead of silently throttling the
+// generator (the closed-loop coordinated-omission trap). The sweep's top
+// rate is chosen past saturation on purpose: goodput should plateau at
+// capacity while tail latency grows, and both are recorded per rate.
+//
 // Usage: serve_load [--quick] [--seed N] [--threads N] [--json OUT.json]
+//                   [--offered-qps Q1,Q2,...]
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,9 +75,117 @@ ClientStats RunClient(serve::ServerCore* core, const data::Dataset& dataset,
   return stats;
 }
 
+struct OpenLoopResult {
+  uint64_t issued = 0;
+  uint64_t succeeded = 0;
+  double wall_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double PercentileOf(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// Replays `count` requests whose start times follow a Poisson process at
+/// `offered_qps`. A pool of dispatcher threads pulls scheduled arrivals
+/// off a shared index: each sleeps until its arrival time, issues the
+/// request, and charges the full scheduled-arrival-to-response interval as
+/// latency. Past saturation the pool runs behind schedule, so queueing
+/// delay accumulates into the measured tails — exactly what an open-loop
+/// client would see.
+OpenLoopResult RunOpenLoop(serve::ServerCore* core,
+                           const std::vector<std::string>& request_lines,
+                           double offered_qps, size_t count, size_t pool,
+                           uint64_t seed) {
+  // The arrival schedule is drawn up front from one seeded stream, so the
+  // offered process is identical no matter how the pool gets scheduled.
+  Rng rng(seed);
+  std::vector<double> arrival_s(count);
+  double clock_s = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    clock_s += -std::log(1.0 - rng.Uniform()) / offered_qps;
+    arrival_s[i] = clock_s;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> succeeded{0};
+  std::vector<std::vector<double>> latencies(pool);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(pool);
+  for (size_t d = 0; d < pool; ++d) {
+    dispatchers.emplace_back([&, d] {
+      std::vector<double>& local = latencies[d];
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        const auto scheduled =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(arrival_s[i]));
+        std::this_thread::sleep_until(scheduled);
+        const std::string& line = request_lines[i % request_lines.size()];
+        const std::string response = core->HandleLine(line);
+        const auto done = std::chrono::steady_clock::now();
+        if (response.find("\"ok\":true") != std::string::npos) {
+          succeeded.fetch_add(1, std::memory_order_relaxed);
+        }
+        local.push_back(
+            std::chrono::duration<double, std::milli>(done - scheduled)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : dispatchers) t.join();
+
+  OpenLoopResult result;
+  result.issued = count;
+  result.succeeded = succeeded.load();
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  std::vector<double> merged;
+  merged.reserve(count);
+  for (const std::vector<double>& local : latencies) {
+    merged.insert(merged.end(), local.begin(), local.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.p50_ms = PercentileOf(merged, 0.50);
+  result.p95_ms = PercentileOf(merged, 0.95);
+  result.p99_ms = PercentileOf(merged, 0.99);
+  return result;
+}
+
+/// Parses "--offered-qps Q1,Q2,..." out of argv (ParseArgs ignores flags
+/// it does not know). The default sweep straddles saturation; it is the
+/// same list in --quick mode so the recorded metric names stay stable for
+/// the bench gate, only the per-rate request budget shrinks.
+std::vector<double> ParseOfferedQps(int argc, char** argv) {
+  std::vector<double> sweep = {4000.0, 16000.0, 64000.0};
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--offered-qps") != 0) continue;
+    sweep.clear();
+    const char* cursor = argv[i + 1];
+    while (*cursor != '\0') {
+      char* end = nullptr;
+      const double qps = std::strtod(cursor, &end);
+      if (end == cursor) break;
+      if (qps > 0.0) sweep.push_back(qps);
+      cursor = *end == ',' ? end + 1 : end;
+    }
+  }
+  return sweep;
+}
+
 int Run(int argc, char** argv) {
   BenchArgs args = ParseArgs(argc, argv);
   BenchReporter reporter("serve_load", args);
+  const std::vector<double> offered_qps = ParseOfferedQps(argc, argv);
 
   // Serving needs a bundle, not a good one: a randomly initialized encoder
   // exercises the identical compute path in a fraction of the setup time.
@@ -231,8 +354,6 @@ int Run(int argc, char** argv) {
   const obs::WindowedHistogram::Snapshot windowed =
       core->get()->windowed_latency(serve::RequestType::kEmbed).GetSnapshot();
 
-  core->get()->Shutdown();
-
   auto& registry = obs::MetricRegistry::Global();
   const obs::Histogram* latency = registry.GetHistogram(
       "serve_request_latency_ms", {{"type", "embed"}});
@@ -275,6 +396,35 @@ int Run(int argc, char** argv) {
   reporter.Record("metricsz_scrape_rtt_ms",
                   scrape_total_ms / static_cast<double>(scrapes));
 
+  // Open-loop sweep: fixed offered rates, Poisson arrivals, latency from
+  // the scheduled arrival. Runs last — after every closed-loop metric has
+  // been read — so the lifetime histograms above keep describing the
+  // closed loop alone, while the open-loop numbers are measured
+  // client-side from the arrival schedule.
+  std::vector<OpenLoopResult> open_loop(offered_qps.size());
+  const size_t pool = 32;
+  for (size_t p = 0; p < offered_qps.size(); ++p) {
+    const double qps = offered_qps[p];
+    // Budget ~0.75s (0.25s quick) of offered traffic per rate; enough for
+    // stable tails at the low rates without letting the past-saturation
+    // point queue unboundedly.
+    const size_t count = std::max<size_t>(
+        200, static_cast<size_t>(qps * (args.quick ? 0.25 : 0.75)));
+    open_loop[p] = RunOpenLoop(core->get(), request_lines, qps, count, pool,
+                               SplitSeed(args.seed, 1000 + p));
+    const std::string prefix = StrFormat("open_loop_%.0f", qps);
+    const OpenLoopResult& r = open_loop[p];
+    reporter.Record(prefix + "_goodput_per_sec",
+                    r.wall_s > 0.0
+                        ? static_cast<double>(r.succeeded) / r.wall_s
+                        : 0.0);
+    reporter.Record(prefix + "_p50_ms", r.p50_ms);
+    reporter.Record(prefix + "_p95_ms", r.p95_ms);
+    reporter.Record(prefix + "_p99_ms", r.p99_ms);
+  }
+
+  core->get()->Shutdown();
+
   std::printf("serve_load: %zu clients x %zu requests (%llu total, "
               "%llu failed)\n",
               clients, iterations,
@@ -298,6 +448,18 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(cache.misses()));
   std::printf("  batched-vs-direct bitwise mismatches: %zu / %zu\n",
               mismatches, sample);
+  for (size_t p = 0; p < offered_qps.size(); ++p) {
+    const OpenLoopResult& r = open_loop[p];
+    std::printf("  open loop @%7.0f qps: goodput %8.0f/s  "
+                "p50 %.3f  p95 %.3f  p99 %.3f ms  (%llu/%llu ok)\n",
+                offered_qps[p],
+                r.wall_s > 0.0
+                    ? static_cast<double>(r.succeeded) / r.wall_s
+                    : 0.0,
+                r.p50_ms, r.p95_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.succeeded),
+                static_cast<unsigned long long>(r.issued));
+  }
   std::printf("  windowed p50 %.4f p99 %.4f (agreement %.3f / %.3f), "
               "metricsz rtt %.4f ms\n",
               windowed.p50, windowed.p99, agreement(windowed.p50, p50),
@@ -314,6 +476,18 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: %llu requests failed\n",
                  static_cast<unsigned long long>(total_failures));
     rc = 1;
+  }
+  for (size_t p = 0; p < offered_qps.size(); ++p) {
+    if (open_loop[p].succeeded != open_loop[p].issued) {
+      std::fprintf(stderr,
+                   "FAIL: open loop @%.0f qps: %llu of %llu requests "
+                   "failed\n",
+                   offered_qps[p],
+                   static_cast<unsigned long long>(open_loop[p].issued -
+                                                   open_loop[p].succeeded),
+                   static_cast<unsigned long long>(open_loop[p].issued));
+      rc = 1;
+    }
   }
   if (batcher.max_batch_observed() < 2) {
     std::fprintf(stderr,

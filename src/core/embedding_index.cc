@@ -96,9 +96,17 @@ Result<std::vector<Neighbor>> EmbeddingIndex::Query(const Matrix& query,
     }
   });
   const size_t kk = std::min(k, all.size());
+  // Strict total order (similarity desc, index asc): partial_sort is not
+  // stable, so without the index tie-break two equal similarities could
+  // come back in either order — and the sharded merge
+  // (core/sharded_index.h) needs one canonical ranking to be bitwise
+  // identical to this scan at any shard count.
   std::partial_sort(all.begin(), all.begin() + static_cast<long>(kk),
                     all.end(), [](const Neighbor& a, const Neighbor& b) {
-                      return a.similarity > b.similarity;
+                      if (a.similarity != b.similarity) {
+                        return a.similarity > b.similarity;
+                      }
+                      return a.index < b.index;
                     });
   // Small k-sized copy out of the scratch buffer: the result crosses the
   // call boundary, so it must own its storage.

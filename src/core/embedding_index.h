@@ -31,7 +31,10 @@ class EmbeddingIndex {
   Result<size_t> Add(const Matrix& embedding);
 
   /// The k nearest corpus rows to `query` (1×dim) by cosine similarity,
-  /// most similar first. k is clamped to the corpus size. The corpus scan
+  /// ranked by the strict total order (similarity desc, index asc) so
+  /// results are unique even under exact ties — the property the sharded
+  /// merge (core/sharded_index.h) builds on. k is clamped to the corpus
+  /// size. The corpus scan
   /// runs on the global thread pool above a calibrated size threshold;
   /// results are bitwise identical at any --threads value because every
   /// similarity is computed from one corpus row with a fixed fold order.

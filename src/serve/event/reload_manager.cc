@@ -1,0 +1,123 @@
+#include "serve/event/reload_manager.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_registry.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace rll::serve {
+
+ReloadManager::ReloadManager(ServerCore* core, ReloadManagerOptions options)
+    : core_(core), options_(std::move(options)) {}
+
+ReloadManager::~ReloadManager() { Stop(); }
+
+void ReloadManager::Start() {
+  {
+    MutexLock lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ReloadManager::Stop() {
+  {
+    MutexLock lock(mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+}
+
+Status ReloadManager::RequestReload(const std::string& path) {
+  {
+    MutexLock lock(mu_);
+    if (stop_ || !started_) {
+      return Status::FailedPrecondition("reload manager is not running");
+    }
+    queue_.push_back(path);
+  }
+  cv_.NotifyAll();
+  return Status::OK();
+}
+
+uint64_t ReloadManager::watch_triggers() const {
+  MutexLock lock(mu_);
+  return watch_triggers_;
+}
+
+int64_t ReloadManager::WatchFileMtimeNs() const {
+  struct stat st;
+  if (::stat(options_.watch_path.c_str(), &st) != 0) return -1;
+  return static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+         static_cast<int64_t>(st.st_mtim.tv_nsec);
+}
+
+void ReloadManager::Run() {
+  SetCurrentThreadName("rll-reload");
+  obs::RegisterProfilerThread();
+  const bool watching =
+      !options_.watch_path.empty() && options_.watch_interval_ms > 0;
+  // The mtime at startup is the generation already being served; only a
+  // change after this point triggers a reload.
+  int64_t last_mtime = watching ? WatchFileMtimeNs() : -1;
+  obs::Counter* triggers = obs::MetricRegistry::Global().GetCounter(
+      "rll_serve_watch_triggers_total");
+
+  for (;;) {
+    std::vector<std::string> batch;
+    bool fire_watch = false;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !stop_) {
+        if (watching) {
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(options_.watch_interval_ms);
+          if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+            break;  // Poll tick: check the file below.
+          }
+        } else {
+          cv_.Wait(mu_);
+        }
+      }
+      if (stop_) return;
+      batch.swap(queue_);
+    }
+    for (const std::string& path : batch) {
+      const Status status = core_->Reload(path);
+      if (!status.ok()) {
+        RLL_LOG(Warning) << "reload failed: " << status.message();
+      }
+    }
+    if (watching && batch.empty()) {
+      const int64_t mtime = WatchFileMtimeNs();
+      if (mtime >= 0 && mtime != last_mtime) {
+        // A change while unreadable (mtime -1) is picked up once the file
+        // reappears; the comparison is against the last *seen* stamp.
+        if (last_mtime >= 0) fire_watch = true;
+        last_mtime = mtime;
+      }
+    }
+    if (fire_watch) {
+      {
+        MutexLock lock(mu_);
+        ++watch_triggers_;
+      }
+      triggers->Increment();
+      const Status status = core_->Reload(options_.watch_path);
+      if (!status.ok()) {
+        RLL_LOG(Warning) << "watch-triggered reload failed: "
+                      << status.message();
+      }
+    }
+  }
+}
+
+}  // namespace rll::serve

@@ -1,0 +1,84 @@
+// Background reload thread for ServerCore: serializes hot model swaps off
+// the serving threads. A reload builds a whole new generation — bundle
+// load, corpus re-embed, index rebuild — which can take seconds; running
+// it on a shard worker would stall every connection on that shard, so the
+// event plane hands `reloadz action=reload` requests here (via
+// ServerCore::SetReloadRequestHandler) and answers "accepted"
+// immediately.
+//
+// The same thread optionally watches the served bundle file: when
+// `watch_interval_ms` > 0, it stats `watch_path` on that cadence and
+// triggers a reload whenever the modification time changes — so
+// `rll train --save-model m.rll` into the served path rolls the server
+// forward with no operator action at all. Failed reloads keep the old
+// generation serving and are retried on the next mtime change.
+
+#ifndef RLL_SERVE_EVENT_RELOAD_MANAGER_H_
+#define RLL_SERVE_EVENT_RELOAD_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "serve/server_core.h"
+
+namespace rll::serve {
+
+struct ReloadManagerOptions {
+  /// Bundle file to poll for mtime changes; empty disables watching
+  /// (the thread then only serves explicit RequestReload calls).
+  std::string watch_path;
+  /// Poll cadence; 0 disables watching.
+  int64_t watch_interval_ms = 0;
+};
+
+class ReloadManager {
+ public:
+  ReloadManager(ServerCore* core, ReloadManagerOptions options);
+  ~ReloadManager();
+
+  ReloadManager(const ReloadManager&) = delete;
+  ReloadManager& operator=(const ReloadManager&) = delete;
+
+  /// Spawns the "rll-reload" thread. Call once, before serving starts.
+  void Start();
+
+  /// Stops the thread; queued reloads that have not started are dropped
+  /// (the requester already got "accepted" — shutdown outranks it, and
+  /// ServerCore would refuse the swap anyway). Idempotent.
+  void Stop();
+
+  /// Enqueues a reload (empty path: the served bundle's source) and
+  /// returns immediately; the background thread runs ServerCore::Reload.
+  /// Fails once Stop() has been called.
+  Status RequestReload(const std::string& path);
+
+  /// Reloads triggered by the file watcher so far.
+  uint64_t watch_triggers() const;
+
+ private:
+  void Run();
+  /// Returns the watch file's mtime as nanoseconds-since-epoch, or -1
+  /// when the file is missing/unreadable (missing is not an error: a
+  /// writer may be mid-rename).
+  int64_t WatchFileMtimeNs() const;
+
+  ServerCore* const core_;  // Not owned.
+  const ReloadManagerOptions options_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<std::string> queue_ RLL_GUARDED_BY(mu_);
+  bool stop_ RLL_GUARDED_BY(mu_) = false;
+  bool started_ RLL_GUARDED_BY(mu_) = false;
+  uint64_t watch_triggers_ RLL_GUARDED_BY(mu_) = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace rll::serve
+
+#endif  // RLL_SERVE_EVENT_RELOAD_MANAGER_H_

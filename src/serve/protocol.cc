@@ -37,6 +37,8 @@ const char* RequestTypeName(RequestType type) {
       return "metricsz";
     case RequestType::kProfilez:
       return "profilez";
+    case RequestType::kReloadz:
+      return "reloadz";
   }
   RLL_CHECK_MSG(false, "unknown request type");
   return "";
@@ -44,7 +46,8 @@ const char* RequestTypeName(RequestType type) {
 
 bool IsAdminRequest(RequestType type) {
   return type == RequestType::kHealthz || type == RequestType::kStatusz ||
-         type == RequestType::kMetricsz || type == RequestType::kProfilez;
+         type == RequestType::kMetricsz || type == RequestType::kProfilez ||
+         type == RequestType::kReloadz;
 }
 
 const char* ServeErrorName(ServeError error) {
@@ -95,6 +98,8 @@ Result<Request> ParseRequest(const std::string& line, std::string* id_json) {
     request.type = RequestType::kMetricsz;
   } else if (type->string == "profilez") {
     request.type = RequestType::kProfilez;
+  } else if (type->string == "reloadz") {
+    request.type = RequestType::kReloadz;
   } else {
     return Status::InvalidArgument("unknown \"type\": " + type->string);
   }
@@ -106,6 +111,40 @@ Result<Request> ParseRequest(const std::string& line, std::string* id_json) {
     }
     if (root.Find("k") != nullptr) {
       return Status::InvalidArgument("\"k\" is only valid for neighbors");
+    }
+    if (request.type == RequestType::kReloadz) {
+      if (root.Find("hz") != nullptr || root.Find("format") != nullptr) {
+        return Status::InvalidArgument(
+            "\"hz\"/\"format\" are only valid for profilez");
+      }
+      const JsonValue* action = root.Find("action");
+      if (action == nullptr || !action->is_string()) {
+        return Status::InvalidArgument(
+            "reloadz requires a string \"action\"");
+      }
+      if (action->string == "reload") {
+        request.reload_action = ReloadAction::kReload;
+      } else if (action->string == "status") {
+        request.reload_action = ReloadAction::kStatus;
+      } else {
+        return Status::InvalidArgument("unknown reloadz \"action\": " +
+                                       action->string);
+      }
+      if (const JsonValue* path = root.Find("path"); path != nullptr) {
+        if (request.reload_action != ReloadAction::kReload) {
+          return Status::InvalidArgument(
+              "\"path\" is only valid with action \"reload\"");
+        }
+        if (!path->is_string() || path->string.empty()) {
+          return Status::InvalidArgument(
+              "\"path\" must be a non-empty string");
+        }
+        request.reload_path = path->string;
+      }
+      return request;
+    }
+    if (root.Find("path") != nullptr) {
+      return Status::InvalidArgument("\"path\" is only valid for reloadz");
     }
     if (request.type != RequestType::kProfilez) {
       if (root.Find("action") != nullptr || root.Find("hz") != nullptr ||
@@ -164,6 +203,9 @@ Result<Request> ParseRequest(const std::string& line, std::string* id_json) {
       root.Find("format") != nullptr) {
     return Status::InvalidArgument(
         "\"action\"/\"hz\"/\"format\" are only valid for profilez");
+  }
+  if (root.Find("path") != nullptr) {
+    return Status::InvalidArgument("\"path\" is only valid for reloadz");
   }
 
   const JsonValue* features = root.Find("features");
@@ -245,7 +287,8 @@ std::string SerializeResponse(const Response& response) {
     case RequestType::kHealthz:
     case RequestType::kStatusz:
     case RequestType::kMetricsz:
-    case RequestType::kProfilez: {
+    case RequestType::kProfilez:
+    case RequestType::kReloadz: {
       // payload_json is produced server-side (never from client input), so
       // it is spliced in verbatim as a complete JSON document.
       out += ",\"payload\":";

@@ -21,6 +21,15 @@
 //                                      "hz" only with start (optional),
 //                                      "format" only with fetch
 //                                      ("folded" | "json", default folded)
+//   {"id": 7, "type": "reloadz", "action": "reload", "path": "m.rll"}
+//   {"id": 8, "type": "reloadz", "action": "status"}
+//                                    — zero-downtime model swap: "reload"
+//                                      loads the bundle at "path" (omitted:
+//                                      the currently served path) as the
+//                                      next generation; "status" reports
+//                                      generation / reload counters /
+//                                      last_error. "path" is only valid
+//                                      with "reload".
 // Admin responses carry the JSON document in a "payload" member.
 //
 // Responses (always one line, always carry "ok"):
@@ -54,12 +63,14 @@ enum class RequestType {
   kStatusz,
   kMetricsz,
   kProfilez,
+  kReloadz,
 };
 
 const char* RequestTypeName(RequestType type);
 
-/// True for the introspection commands (healthz/statusz/metricsz/
-/// profilez), which carry no features and bypass the model entirely.
+/// True for the introspection/control commands (healthz/statusz/metricsz/
+/// profilez/reloadz), which carry no features and bypass the model
+/// entirely.
 bool IsAdminRequest(RequestType type);
 
 /// profilez sub-commands.
@@ -74,6 +85,12 @@ enum class ProfileAction {
 enum class ProfileFormat {
   kFolded,
   kJson,
+};
+
+/// reloadz sub-commands.
+enum class ReloadAction {
+  kReload,  // Swap in a new bundle generation (optional "path").
+  kStatus,  // Report generation, counters, and the last reload error.
 };
 
 /// Machine-readable error classes, mirrored into the "error" field and the
@@ -100,6 +117,10 @@ struct Request {
   /// profilez start only; 0 means "use the profiler default".
   int profile_hz = 0;
   ProfileFormat profile_format = ProfileFormat::kFolded;
+  /// reloadz only.
+  ReloadAction reload_action = ReloadAction::kStatus;
+  /// reloadz action=reload only; empty means "reload the served path".
+  std::string reload_path;
 };
 
 struct NeighborHit {

@@ -58,10 +58,11 @@ std::string WindowedHistogramJson(
 
 }  // namespace
 
-ServerCore::ServerCore(core::ModelBundle bundle,
-                       const ServerCoreOptions& options)
+ServerCore::ServerCore(const ServerCoreOptions& options, data::Dataset corpus,
+                       bool has_corpus)
     : options_(options),
-      bundle_(std::move(bundle)),
+      corpus_(std::move(corpus)),
+      has_corpus_(has_corpus),
       windowed_requests_(options.window) {
   windowed_latency_all_ =
       std::make_unique<obs::WindowedHistogram>(obs::HistogramOptions{},
@@ -70,20 +71,12 @@ ServerCore::ServerCore(core::ModelBundle bundle,
     histogram = std::make_unique<obs::WindowedHistogram>(
         obs::HistogramOptions{}, options_.window);
   }
-  cache_ = std::make_unique<EmbeddingCache>(options_.cache_capacity);
-  // The batch function runs on the batcher's worker thread; RllModel::
-  // EmbedInto is const and the bundle is immutable after construction, so
-  // no synchronization is needed. Rows arrive already standardized. The
-  // workspace-threading form keeps the steady-state batch → embed step
-  // allocation-free: every intermediate lives in the worker's reused
-  // buffers.
-  batcher_ = std::make_unique<MicroBatcher>(
-      options_.batcher,
-      MicroBatcher::BatchIntoFn(
-          [this](const Matrix& x, Workspace& ws) -> const Matrix& {
-            return bundle_.model().EmbedInto(x, ws);
-          }),
-      cache_.get());
+  // Register the reload families up front so they export at 0 from the
+  // first scrape, not only after the first reload.
+  auto& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("rll_serve_reloads_total", {});
+  registry.GetCounter("rll_serve_reload_failures_total", {});
+  registry.GetGauge("rll_serve_generation")->Set(1.0);
 }
 
 const obs::WindowedHistogram& ServerCore::windowed_latency(
@@ -95,35 +88,186 @@ ServerCore::~ServerCore() { Shutdown(); }
 
 Result<std::unique_ptr<ServerCore>> ServerCore::Create(
     core::ModelBundle bundle, const data::Dataset* corpus,
-    const ServerCoreOptions& options) {
+    const ServerCoreOptions& options, std::string bundle_source) {
   if (options.default_k == 0) {
     return Status::InvalidArgument("default_k must be >= 1");
   }
-  std::unique_ptr<ServerCore> server(
-      new ServerCore(std::move(bundle), options));  // rll-lint: allow(naked-new-delete)
-  if (corpus != nullptr) {
-    if (corpus->empty()) {
-      return Status::InvalidArgument("corpus must be non-empty");
-    }
-    if (corpus->dim() != server->bundle_.input_dim()) {
-      return Status::InvalidArgument(
-          "corpus feature dimensionality does not match the bundle");
-    }
-    // One batched pass through the same encoder that will serve traffic.
-    RLL_ASSIGN_OR_RETURN(Matrix embeddings,
-                         server->bundle_.Embed(corpus->features()));
-    RLL_RETURN_IF_ERROR(server->index_.Build(embeddings));
-    RLL_RETURN_IF_ERROR(
-        server->predictor_.Fit(embeddings, corpus->true_labels()));
-    server->corpus_labels_ = corpus->true_labels();
+  if (options.shards == 0) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (corpus != nullptr && corpus->empty()) {
+    return Status::InvalidArgument("corpus must be non-empty");
+  }
+  std::unique_ptr<ServerCore> server(new ServerCore(  // rll-lint: allow(naked-new-delete)
+      options, corpus != nullptr ? *corpus : data::Dataset(),
+      corpus != nullptr));
+  RLL_ASSIGN_OR_RETURN(
+      std::shared_ptr<ServingState> state,
+      server->BuildState(std::move(bundle), std::move(bundle_source)));
+  {
+    MutexLock lock(server->state_mu_);
+    server->state_ = std::move(state);
   }
   return server;
 }
 
-Result<Matrix> ServerCore::EmbedRow(const std::vector<double>& features,
+Result<std::shared_ptr<ServerCore::ServingState>> ServerCore::BuildState(
+    core::ModelBundle bundle, std::string source) {
+  if (has_corpus_ && corpus_.dim() != bundle.input_dim()) {
+    return Status::InvalidArgument(
+        "corpus feature dimensionality does not match the bundle");
+  }
+  auto state = std::make_shared<ServingState>(std::move(bundle));
+  state->source = std::move(source);
+  if (has_corpus_) {
+    // One batched pass through the same encoder that will serve traffic.
+    // On reload this re-embeds the retained corpus with the incoming
+    // bundle, so the index and the head always match the live encoder.
+    RLL_ASSIGN_OR_RETURN(Matrix embeddings,
+                         state->bundle.Embed(corpus_.features()));
+    RLL_RETURN_IF_ERROR(state->index.Build(embeddings, options_.shards));
+    RLL_RETURN_IF_ERROR(
+        state->predictor.Fit(embeddings, corpus_.true_labels()));
+    state->corpus_labels = corpus_.true_labels();
+  }
+  state->cache = std::make_unique<EmbeddingCache>(options_.cache_capacity);
+  // The batch function runs on this generation's batcher worker thread;
+  // RllModel::EmbedInto is const and the bundle is immutable once the
+  // state is published, so no synchronization is needed. The raw model
+  // pointer is stable (ModelBundle holds the model behind a shared_ptr)
+  // and the batcher is a member of the same ServingState, declared last so
+  // its drain finishes before the bundle dies. Rows arrive already
+  // standardized. The workspace-threading form keeps the steady-state
+  // batch → embed step allocation-free.
+  const core::RllModel* model = &state->bundle.model();
+  state->batcher = std::make_unique<MicroBatcher>(
+      options_.batcher,
+      MicroBatcher::BatchIntoFn(
+          [model](const Matrix& x, Workspace& ws) -> const Matrix& {
+            return model->EmbedInto(x, ws);
+          }),
+      state->cache.get());
+  return state;
+}
+
+std::shared_ptr<ServerCore::ServingState> ServerCore::state() const {
+  MutexLock lock(state_mu_);
+  return state_;
+}
+
+Status ServerCore::Reload(const std::string& path) {
+  const std::string target = path.empty() ? bundle_source() : path;
+  if (target.empty()) {
+    const Status status =
+        Status::InvalidArgument("no bundle path to reload from");
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricRegistry::Global()
+        .GetCounter("rll_serve_reload_failures_total", {})
+        ->Increment();
+    MutexLock lock(admin_mu_);
+    last_reload_error_ = status.message();
+    return status;
+  }
+  Result<core::ModelBundle> bundle = core::ModelBundle::Load(target);
+  if (!bundle.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricRegistry::Global()
+        .GetCounter("rll_serve_reload_failures_total", {})
+        ->Increment();
+    MutexLock lock(admin_mu_);
+    last_reload_error_ = bundle.status().message();
+    return bundle.status();
+  }
+  return ReloadFromBundle(*std::move(bundle), target);
+}
+
+Status ServerCore::ReloadFromBundle(core::ModelBundle bundle,
+                                    std::string source) {
+  // One build at a time: concurrent reload requests queue on this mutex
+  // and each swaps in turn (last writer wins, generations stay monotone).
+  MutexLock reload_lock(reload_mu_);
+  reload_in_progress_.store(true, std::memory_order_release);
+  Result<std::shared_ptr<ServingState>> built =
+      BuildState(std::move(bundle), std::move(source));
+  Status status = built.status();
+  std::shared_ptr<ServingState> retired;
+  if (status.ok()) {
+    MutexLock lock(state_mu_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      // The swap would publish a batcher Shutdown() will never stop.
+      status = Status::FailedPrecondition("server is shutting down");
+    } else {
+      (*built)->generation = state_->generation + 1;
+      retired = std::move(state_);
+      state_ = *std::move(built);
+    }
+  }
+  auto& registry = obs::MetricRegistry::Global();
+  if (status.ok()) {
+    reloads_total_.fetch_add(1, std::memory_order_relaxed);
+    registry.GetCounter("rll_serve_reloads_total", {})->Increment();
+    uint64_t generation;
+    {
+      MutexLock lock(state_mu_);
+      generation = state_->generation;
+    }
+    registry.GetGauge("rll_serve_generation")
+        ->Set(static_cast<double>(generation));
+    MutexLock lock(admin_mu_);
+    last_reload_error_.clear();
+  } else {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    registry.GetCounter("rll_serve_reload_failures_total", {})->Increment();
+    MutexLock lock(admin_mu_);
+    last_reload_error_ = status.message();
+  }
+  reload_in_progress_.store(false, std::memory_order_release);
+  // `retired` dies here (or when the last in-flight request that pinned it
+  // finishes): its destructor stops the old generation's batcher, which
+  // drains every request already queued against the old bundle.
+  return status;
+}
+
+uint64_t ServerCore::generation() const { return state()->generation; }
+
+std::string ServerCore::bundle_source() const { return state()->source; }
+
+void ServerCore::SetReloadRequestHandler(ReloadRequestFn handler) {
+  MutexLock lock(admin_mu_);
+  reload_handler_ = std::move(handler);
+}
+
+void ServerCore::SetTransportStatusProvider(TransportStatusFn provider) {
+  MutexLock lock(admin_mu_);
+  transport_status_ = std::move(provider);
+}
+
+const EmbeddingCache& ServerCore::cache() const { return *state()->cache; }
+
+const MicroBatcher& ServerCore::batcher() const {
+  return *state()->batcher;
+}
+
+const core::ModelBundle& ServerCore::bundle() const {
+  return state()->bundle;
+}
+
+size_t ServerCore::corpus_size() const { return corpus_.size(); }
+
+bool ServerCore::supports_predict() const { return has_corpus_; }
+
+bool ServerCore::supports_neighbors() const { return has_corpus_; }
+
+size_t ServerCore::index_shards() const {
+  return state()->index.shard_count();
+}
+
+Result<Matrix> ServerCore::EmbedRow(const ServingState& st,
+                                    const std::vector<double>& features,
                                     int64_t trace_id) {
   const Matrix raw = Matrix::RowVector(features);
-  return batcher_->Embed(bundle_.standardizer().Transform(raw), trace_id);
+  return st.batcher->Embed(st.bundle.standardizer().Transform(raw),
+                           trace_id);
 }
 
 Response ServerCore::Handle(const Request& request) {
@@ -134,7 +278,11 @@ Response ServerCore::Handle(const Request& request) {
   const int64_t trace_id = sampled ? static_cast<int64_t>(request_id) : 0;
   obs::TraceSpan span("serve_request", trace_id, sampled);
   Stopwatch timer;
-  Response response = HandleInternal(request, trace_id);
+  // Pin this request's generation once: everything below — dimension
+  // check, batcher, head, index — runs against one consistent bundle even
+  // if a reload swaps the current pointer mid-request.
+  const std::shared_ptr<ServingState> st = state();
+  Response response = HandleInternal(request, *st, trace_id);
   if (sampled) response.trace_id = request_id;
   const double millis = timer.ElapsedMillis();
   const char* status =
@@ -150,6 +298,7 @@ Response ServerCore::Handle(const Request& request) {
 }
 
 Response ServerCore::HandleInternal(const Request& request,
+                                    const ServingState& st,
                                     int64_t trace_id) {
   // Admin commands answer even while draining: an operator watching a
   // shutdown is exactly when introspection must keep working.
@@ -158,14 +307,14 @@ Response ServerCore::HandleInternal(const Request& request,
     return MakeErrorResponse(request.id_json, ServeError::kShutdown,
                              "server is shutting down");
   }
-  if (request.features.size() != bundle_.input_dim()) {
+  if (request.features.size() != st.bundle.input_dim()) {
     return MakeErrorResponse(
         request.id_json, ServeError::kBadRequest,
-        "expected " + std::to_string(bundle_.input_dim()) +
+        "expected " + std::to_string(st.bundle.input_dim()) +
             " features, got " + std::to_string(request.features.size()));
   }
 
-  Result<Matrix> embedded = EmbedRow(request.features, trace_id);
+  Result<Matrix> embedded = EmbedRow(st, request.features, trace_id);
   if (!embedded.ok()) {
     ServeError error = ServeError::kInternal;
     if (IsOverloaded(embedded.status())) error = ServeError::kOverloaded;
@@ -191,7 +340,7 @@ Response ServerCore::HandleInternal(const Request& request,
             request.id_json, ServeError::kUnsupported,
             "predict needs a labeled corpus (start the server with one)");
       }
-      response.score = predictor_.PredictProba(*embedded)[0];
+      response.score = st.predictor.PredictProba(*embedded)[0];
       response.label = response.score >= 0.5 ? 1 : 0;
       response.ok = true;
       return response;
@@ -205,7 +354,7 @@ Response ServerCore::HandleInternal(const Request& request,
       const size_t k = request.k > 0 ? request.k : options_.default_k;
       const int64_t query_start =
           trace_id > 0 ? obs::TraceNowMicros() : 0;
-      auto hits = index_.Query(*embedded, k);
+      auto hits = st.index.Query(*embedded, k);
       if (trace_id > 0) {
         obs::RecordSpanWithId("serve_index_query", trace_id, query_start);
       }
@@ -216,7 +365,7 @@ Response ServerCore::HandleInternal(const Request& request,
       response.neighbors.reserve(hits->size());
       for (const core::Neighbor& n : *hits) {
         response.neighbors.push_back(
-            {n.index, corpus_labels_[n.index], n.similarity});
+            {n.index, st.corpus_labels[n.index], n.similarity});
       }
       response.ok = true;
       return response;
@@ -225,6 +374,7 @@ Response ServerCore::HandleInternal(const Request& request,
     case RequestType::kStatusz:
     case RequestType::kMetricsz:
     case RequestType::kProfilez:
+    case RequestType::kReloadz:
       break;  // Unreachable: dispatched to HandleAdmin above.
   }
   return MakeErrorResponse(request.id_json, ServeError::kInternal,
@@ -260,12 +410,79 @@ Response ServerCore::HandleAdmin(const Request& request) {
       response.payload_json = *std::move(payload);
       break;
     }
+    case RequestType::kReloadz: {
+      Result<std::string> payload = ReloadzPayload(request);
+      if (!payload.ok()) {
+        const ServeError error = payload.status().code() == StatusCode::kInternal
+                                     ? ServeError::kInternal
+                                     : ServeError::kBadRequest;
+        return MakeErrorResponse(request.id_json, error,
+                                 payload.status().message());
+      }
+      response.payload_json = *std::move(payload);
+      break;
+    }
     default:
       return MakeErrorResponse(request.id_json, ServeError::kInternal,
                                "non-admin type in HandleAdmin");
   }
   response.ok = true;
   return response;
+}
+
+Result<std::string> ServerCore::ReloadzPayload(const Request& request) {
+  switch (request.reload_action) {
+    case ReloadAction::kStatus: {
+      std::string last_error;
+      {
+        MutexLock lock(admin_mu_);
+        last_error = last_reload_error_;
+      }
+      const std::shared_ptr<ServingState> st = state();
+      std::string out = "{\"action\":\"status\"";
+      out += StrFormat(",\"failures\":%llu",
+                       static_cast<unsigned long long>(reload_failures()));
+      out += StrFormat(",\"generation\":%llu",
+                       static_cast<unsigned long long>(st->generation));
+      out += StrFormat(",\"in_progress\":%s",
+                       reload_in_progress() ? "true" : "false");
+      out += ",\"last_error\":\"" + obs::JsonEscape(last_error) + "\"";
+      out += StrFormat(",\"reloads\":%llu",
+                       static_cast<unsigned long long>(reloads_total()));
+      out += ",\"source\":\"" + obs::JsonEscape(st->source) + "\"}";
+      return out;
+    }
+    case ReloadAction::kReload: {
+      ReloadRequestFn handler;
+      {
+        MutexLock lock(admin_mu_);
+        handler = reload_handler_;
+      }
+      if (handler) {
+        // Asynchronous mode (event plane): hand the request to the reload
+        // thread and answer immediately — a reload can take seconds and
+        // must not stall the connection (or its shard) that asked for it.
+        RLL_RETURN_IF_ERROR(handler(request.reload_path));
+        std::string out = "{\"action\":\"reload\"";
+        out += StrFormat(",\"generation\":%llu",
+                         static_cast<unsigned long long>(generation()));
+        out += ",\"path\":\"" + obs::JsonEscape(request.reload_path) + "\"";
+        out += ",\"status\":\"accepted\"}";
+        return out;
+      }
+      // Synchronous mode (tests, bench, embedded use): run the reload
+      // inline and report the outcome in the response.
+      RLL_RETURN_IF_ERROR(Reload(request.reload_path));
+      const std::shared_ptr<ServingState> st = state();
+      std::string out = "{\"action\":\"reload\"";
+      out += StrFormat(",\"generation\":%llu",
+                       static_cast<unsigned long long>(st->generation));
+      out += ",\"source\":\"" + obs::JsonEscape(st->source) + "\"";
+      out += ",\"status\":\"ok\"}";
+      return out;
+    }
+  }
+  return Status::Internal("unknown reloadz action");
 }
 
 Result<std::string> ServerCore::ProfilezPayload(const Request& request) {
@@ -309,17 +526,29 @@ std::string ServerCore::HealthzPayload() const {
 }
 
 std::string ServerCore::StatuszPayload() const {
+  const std::shared_ptr<ServingState> st = state();
+  std::string transport;
+  {
+    MutexLock lock(admin_mu_);
+    transport = transport_status_ ? transport_status_() : "{}";
+  }
   std::string out = "{";
   out += StrFormat("\"batch_timeout_us\":%lld",
                    static_cast<long long>(options_.batcher.batch_timeout_us));
-  out += StrFormat(",\"cache_capacity\":%zu", cache_->capacity());
-  out += StrFormat(",\"cache_size\":%zu", cache_->size());
+  out += ",\"bundle_source\":\"" + obs::JsonEscape(st->source) + "\"";
+  out += StrFormat(",\"cache_capacity\":%zu", st->cache->capacity());
+  out += StrFormat(",\"cache_size\":%zu", st->cache->size());
   out += StrFormat(",\"corpus_size\":%zu", corpus_size());
   out += StrFormat(",\"default_k\":%zu", options_.default_k);
-  out += StrFormat(",\"embedding_dim\":%zu", bundle_.embedding_dim());
-  out += StrFormat(",\"input_dim\":%zu", bundle_.input_dim());
+  out += StrFormat(",\"embedding_dim\":%zu", st->bundle.embedding_dim());
+  out += StrFormat(",\"generation\":%llu",
+                   static_cast<unsigned long long>(st->generation));
+  out += StrFormat(",\"index_shards\":%zu", st->index.shard_count());
+  out += StrFormat(",\"input_dim\":%zu", st->bundle.input_dim());
   out += StrFormat(",\"max_batch\":%zu", options_.batcher.max_batch);
   out += StrFormat(",\"max_queue\":%zu", options_.batcher.max_queue);
+  out += StrFormat(",\"reload_in_progress\":%s",
+                   reload_in_progress() ? "true" : "false");
   out += StrFormat(",\"requests_handled\":%llu",
                    static_cast<unsigned long long>(requests_handled()));
   out += StrFormat(",\"schema_version\":%d", obs::kMetricsSchemaVersion);
@@ -333,6 +562,9 @@ std::string ServerCore::StatuszPayload() const {
   out += StrFormat(",\"trace_sample_every\":%llu",
                    static_cast<unsigned long long>(
                        options_.trace_sample_every));
+  // transport is produced by the event plane (never from client input), so
+  // it is spliced in verbatim as a complete JSON object.
+  out += ",\"transport\":" + transport;
   out += ",\"uptime_s\":" + obs::JsonNumber(uptime_seconds());
   out += StrFormat(",\"window_interval_us\":%lld",
                    static_cast<long long>(options_.window.interval_us));
@@ -460,11 +692,20 @@ std::string ServerCore::HandleLine(const std::string& line) {
 }
 
 void ServerCore::Shutdown() {
-  // Flag first so new arrivals fail fast; Stop() then drains what is
-  // already queued, so requests blocked in batcher_->Embed complete
-  // normally instead of being dropped.
+  // Flag first so new arrivals fail fast, and so any reload that has not
+  // yet swapped is refused at publish time; then stop the current
+  // generation's batcher, which drains what is already queued — requests
+  // blocked in Embed complete normally instead of being dropped. Requests
+  // still in flight on an older, already-retired generation hold their own
+  // shared_ptr; that generation's batcher stops when the last one
+  // releases it.
   shutdown_.store(true, std::memory_order_release);
-  batcher_->Stop();
+  std::shared_ptr<ServingState> st;
+  {
+    MutexLock lock(state_mu_);
+    st = state_;
+  }
+  if (st != nullptr) st->batcher->Stop();
   // A profilez "start" without a matching "stop" must not outlive the
   // server that armed it.
   if (profiler_started_.exchange(false, std::memory_order_relaxed)) {

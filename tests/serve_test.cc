@@ -32,7 +32,8 @@
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "serve/server_core.h"
-#include "serve/tcp_server.h"
+#include "serve/event/event_server.h"
+#include "serve/event/reload_manager.h"
 #include "tensor/init.h"
 #include "tensor/matrix.h"
 
@@ -907,7 +908,7 @@ TEST(ServerCoreTest, TraceSamplerSelectsEveryNth) {
   EXPECT_EQ(core->Handle(EmbedRequest({1.0, 2.0, 3.0})).trace_id, 4u);
 }
 
-// -------------------------------------------------------------- TcpServer
+// ------------------------------------------------------------ EventServer
 
 int ConnectLoopback(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -941,10 +942,10 @@ std::string RecvLine(int fd) {
   return line;
 }
 
-TEST(TcpServerTest, ServesRequestsOverLoopback) {
+TEST(EventServerTest, ServesRequestsOverLoopback) {
   auto core = MakeCore(nullptr);
-  TcpServerOptions options;  // port 0: ephemeral.
-  TcpServer server(options, core.get());
+  EventServerOptions options;  // port 0: ephemeral.
+  EventServer server(options, core.get());
   ASSERT_TRUE(server.Start().ok());
   ASSERT_GT(server.port(), 0);
   std::thread serve_thread([&] { ASSERT_TRUE(server.Serve().ok()); });
@@ -972,9 +973,9 @@ TEST(TcpServerTest, ServesRequestsOverLoopback) {
   core->Shutdown();
 }
 
-TEST(TcpServerTest, AnswersAdminOverLoopback) {
+TEST(EventServerTest, AnswersAdminOverLoopback) {
   auto core = MakeCore(nullptr);
-  TcpServer server({}, core.get());
+  EventServer server({}, core.get());
   ASSERT_TRUE(server.Start().ok());
   std::thread serve_thread([&] { ASSERT_TRUE(server.Serve().ok()); });
 
@@ -996,9 +997,9 @@ TEST(TcpServerTest, AnswersAdminOverLoopback) {
   core->Shutdown();
 }
 
-TEST(TcpServerTest, ProfilezRoundTripsOverLoopback) {
+TEST(EventServerTest, ProfilezRoundTripsOverLoopback) {
   auto core = MakeCore(nullptr);
-  TcpServer server({}, core.get());
+  EventServer server({}, core.get());
   ASSERT_TRUE(server.Start().ok());
   std::thread serve_thread([&] { ASSERT_TRUE(server.Serve().ok()); });
   const int fd = ConnectLoopback(server.port());
@@ -1070,9 +1071,9 @@ TEST(TcpServerTest, ProfilezRoundTripsOverLoopback) {
   core->Shutdown();
 }
 
-TEST(TcpServerTest, StopUnblocksOpenConnections) {
+TEST(EventServerTest, StopUnblocksOpenConnections) {
   auto core = MakeCore(nullptr);
-  TcpServer server({}, core.get());
+  EventServer server({}, core.get());
   ASSERT_TRUE(server.Start().ok());
   std::thread serve_thread([&] { ASSERT_TRUE(server.Serve().ok()); });
 

@@ -78,7 +78,8 @@
 #include "obs/trace.h"
 #include "serve/json.h"
 #include "serve/server_core.h"
-#include "serve/tcp_server.h"
+#include "serve/event/event_server.h"
+#include "serve/event/reload_manager.h"
 #include "tensor/serialize.h"
 
 namespace rll::cli {
@@ -127,6 +128,7 @@ int Usage() {
       "  serve     --model M [--corpus F] [--host H] [--port P]\n"
       "            [--max-batch N] [--batch-timeout-us U] [--max-queue Q]\n"
       "            [--cache-size C] [--k K] [--trace-sample N]\n"
+      "            [--shards S] [--max-connections N] [--watch-bundle MS]\n"
       "  top       --port P [--host H] [--interval-ms MS] [--count N]\n"
       "common flags (any command):\n"
       "  --threads N              thread-pool size (same results at any N)\n"
@@ -169,7 +171,8 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"retrieve", {"features", "model", "query", "k"}},
       {"serve",
        {"model", "corpus", "host", "port", "max-batch", "batch-timeout-us",
-        "max-queue", "cache-size", "k", "trace-sample"}},
+        "max-queue", "cache-size", "k", "trace-sample", "shards",
+        "max-connections", "watch-bundle"}},
       {"top", {"host", "port", "interval-ms", "count"}},
   };
   return flags;
@@ -768,18 +771,41 @@ int RunServe(const Args& args) {
   core_options.default_k = static_cast<size_t>(args.GetInt("k", 5));
   core_options.trace_sample_every =
       static_cast<uint64_t>(args.GetInt("trace-sample", 0));
-  auto server_core =
-      serve::ServerCore::Create(std::move(*bundle), corpus_ptr, core_options);
+  const size_t shards = static_cast<size_t>(args.GetInt("shards", 1));
+  if (shards == 0) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  // One index shard per event-plane worker: the retrieval scan is split
+  // the same way the connections are.
+  core_options.shards = shards;
+  auto server_core = serve::ServerCore::Create(std::move(*bundle), corpus_ptr,
+                                               core_options, model_path);
   if (!server_core.ok()) {
     std::fprintf(stderr, "%s\n", server_core.status().ToString().c_str());
     return 1;
   }
   serve::ServerCore* core = server_core->get();
 
-  serve::TcpServerOptions tcp_options;
-  tcp_options.host = args.Get("host", "127.0.0.1");
-  tcp_options.port = static_cast<int>(args.GetInt("port", 0));
-  serve::TcpServer server(tcp_options, core);
+  // The reload thread serves reloadz verbs and, with --watch-bundle N,
+  // polls the model file every N ms and swaps on mtime change.
+  const long long watch_ms = args.GetInt("watch-bundle", 0);
+  serve::ReloadManagerOptions reload_options;
+  reload_options.watch_path = model_path;
+  reload_options.watch_interval_ms = watch_ms > 0 ? watch_ms : 0;
+  serve::ReloadManager reload_manager(core, reload_options);
+  reload_manager.Start();
+  core->SetReloadRequestHandler([&reload_manager](const std::string& path) {
+    return reload_manager.RequestReload(path);
+  });
+
+  serve::EventServerOptions server_options;
+  server_options.host = args.Get("host", "127.0.0.1");
+  server_options.port = static_cast<int>(args.GetInt("port", 0));
+  server_options.shards = shards;
+  server_options.max_connections =
+      static_cast<size_t>(args.GetInt("max-connections", 1024));
+  serve::EventServer server(server_options, core);
   Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -790,12 +816,14 @@ int RunServe(const Args& args) {
   std::signal(SIGTERM, HandleStopSignal);
   // Scraped by scripts (and the CI smoke test) to find the bound port, so
   // it goes to stdout and is flushed before the blocking accept loop.
-  std::printf("serving on %s:%d\n", tcp_options.host.c_str(), server.port());
+  std::printf("serving on %s:%d\n", server_options.host.c_str(),
+              server.port());
   std::fflush(stdout);
   std::fprintf(stderr,
                "model=%s corpus=%zu rows predict=%s neighbors=%s "
                "max-batch=%zu batch-timeout-us=%lld max-queue=%zu "
-               "cache-size=%zu trace-sample=%llu\n",
+               "cache-size=%zu trace-sample=%llu shards=%zu "
+               "watch-bundle=%lld\n",
                model_path.c_str(), core->corpus_size(),
                core->supports_predict() ? "on" : "off",
                core->supports_neighbors() ? "on" : "off",
@@ -803,10 +831,12 @@ int RunServe(const Args& args) {
                static_cast<long long>(core_options.batcher.batch_timeout_us),
                core_options.batcher.max_queue, core_options.cache_capacity,
                static_cast<unsigned long long>(
-                   core_options.trace_sample_every));
+                   core_options.trace_sample_every),
+               shards, watch_ms);
 
   status = server.Serve(&g_stop_requested);
   server.Stop();
+  reload_manager.Stop();
   core->Shutdown();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
